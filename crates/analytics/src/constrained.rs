@@ -1,0 +1,214 @@
+//! Constraint-aware clustering of VM behaviours.
+//!
+//! Section 4.1: "DeepDive enhances the clustering results by providing a set
+//! of constraints along with the collected VM behaviors — when diagnosing a
+//! VM's behavior with interference, the analyzer also prevents the algorithm
+//! from assigning this behavior to an interference-free cluster."
+//!
+//! We implement the constraint in the simplest faithful way: points the
+//! analyzer labelled as interference are excluded from the data the mixture
+//! is fitted on, and after fitting, the per-metric thresholds are shrunk
+//! until no labelled-interference point would be accepted by any normal
+//! cluster.  The result is the pair (normal clusters, `MT`) the warning
+//! system uses at run time.
+
+use crate::gmm::GaussianMixture;
+use crate::thresholds::MetricThresholds;
+
+/// Minimum multiplicative step used when shrinking thresholds to honour
+/// cannot-link constraints.
+const SHRINK_STEP: f64 = 0.9;
+
+/// Maximum shrink iterations before giving up (thresholds then stay at the
+/// smallest value reached; remaining violations are reported).
+const MAX_SHRINK_ITERS: usize = 60;
+
+/// A behaviour observation together with the analyzer's verdict about it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledBehaviour {
+    /// Normalized metric vector.
+    pub metrics: Vec<f64>,
+    /// True when the interference analyzer confirmed this behaviour was
+    /// caused by interference (cannot-link to normal clusters).
+    pub interference: bool,
+}
+
+impl LabelledBehaviour {
+    /// Convenience constructor for a normal (non-interference) behaviour.
+    pub fn normal(metrics: Vec<f64>) -> Self {
+        Self {
+            metrics,
+            interference: false,
+        }
+    }
+
+    /// Convenience constructor for a confirmed-interference behaviour.
+    pub fn interference(metrics: Vec<f64>) -> Self {
+        Self {
+            metrics,
+            interference: true,
+        }
+    }
+}
+
+/// Result of the constrained clustering pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstrainedModel {
+    /// Mixture fitted over the normal behaviours only.
+    pub mixture: GaussianMixture,
+    /// Thresholds shrunk until they exclude the labelled interference points.
+    pub thresholds: MetricThresholds,
+    /// Number of labelled interference points still (wrongly) accepted after
+    /// shrinking; zero in the common case.
+    pub residual_violations: usize,
+}
+
+/// Fits normal-behaviour clusters under cannot-link constraints.
+///
+/// * `behaviours` — all observations the analyzer has verified so far.
+/// * `k` — number of mixture components to fit over the normal points.
+/// * `sigma_multiplier` — starting σ-multiplier for the thresholds.
+/// * `seed` — RNG seed for the underlying EM initialization.
+pub fn fit_constrained(
+    behaviours: &[LabelledBehaviour],
+    k: usize,
+    sigma_multiplier: f64,
+    seed: u64,
+) -> ConstrainedModel {
+    let normal: Vec<Vec<f64>> = behaviours
+        .iter()
+        .filter(|b| !b.interference)
+        .map(|b| b.metrics.clone())
+        .collect();
+    let interference: Vec<&Vec<f64>> = behaviours
+        .iter()
+        .filter(|b| b.interference)
+        .map(|b| &b.metrics)
+        .collect();
+
+    let mixture = GaussianMixture::fit(&normal, k, 100, seed);
+    let mut thresholds = MetricThresholds::from_mixture(&mixture, sigma_multiplier);
+
+    // Shrink the thresholds until no interference point is matched by any
+    // normal cluster (the cannot-link constraint), or we hit the iteration cap.
+    let accepts = |t: &MetricThresholds| -> usize {
+        interference
+            .iter()
+            .filter(|p| {
+                mixture
+                    .components
+                    .iter()
+                    .any(|c| t.matches(&c.mean, p))
+            })
+            .count()
+    };
+    let mut violations = accepts(&thresholds);
+    let mut iters = 0;
+    while violations > 0 && iters < MAX_SHRINK_ITERS {
+        thresholds = thresholds.scaled(SHRINK_STEP);
+        violations = accepts(&thresholds);
+        iters += 1;
+    }
+
+    ConstrainedModel {
+        mixture,
+        thresholds,
+        residual_violations: violations,
+    }
+}
+
+impl ConstrainedModel {
+    /// True when `point` is accepted by some normal cluster under the learned
+    /// thresholds — i.e. the warning system would classify it as normal.
+    pub fn accepts(&self, point: &[f64]) -> bool {
+        self.mixture
+            .components
+            .iter()
+            .any(|c| self.thresholds.matches(&c.mean, point))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Normal behaviours around two operating points; interference far away
+    /// in one dimension (the "memory" axis, say).
+    fn dataset() -> Vec<LabelledBehaviour> {
+        let mut all = Vec::new();
+        for i in 0..30 {
+            let j = (i % 6) as f64 * 0.02;
+            all.push(LabelledBehaviour::normal(vec![1.0 + j, 2.0 - j, 0.2 + j]));
+            all.push(LabelledBehaviour::normal(vec![3.0 - j, 1.0 + j, 0.3 - j * 0.5]));
+        }
+        for i in 0..10 {
+            let j = (i % 5) as f64 * 0.05;
+            all.push(LabelledBehaviour::interference(vec![1.0 + j, 2.0 + j, 5.0 + j]));
+        }
+        all
+    }
+
+    #[test]
+    fn normal_points_are_accepted_and_interference_rejected() {
+        let model = fit_constrained(&dataset(), 2, 3.0, 7);
+        assert_eq!(model.residual_violations, 0);
+        assert!(model.accepts(&[1.0, 2.0, 0.2]));
+        assert!(model.accepts(&[3.0, 1.0, 0.3]));
+        assert!(!model.accepts(&[1.0, 2.0, 5.0]), "interference behaviour must not match");
+    }
+
+    #[test]
+    fn constraints_shrink_thresholds_when_needed() {
+        // Put interference close enough to a normal cluster that the default
+        // 3σ thresholds would swallow it; the constraint must tighten them.
+        let mut behaviours = dataset();
+        // A borderline interference point near cluster 1 but offset in dim 2.
+        behaviours.push(LabelledBehaviour::interference(vec![1.0, 2.0, 0.9]));
+        let unconstrained = fit_constrained(
+            &behaviours
+                .iter()
+                .filter(|b| !b.interference)
+                .cloned()
+                .collect::<Vec<_>>(),
+            2,
+            3.0,
+            7,
+        );
+        let constrained = fit_constrained(&behaviours, 2, 3.0, 7);
+        assert!(
+            constrained.thresholds.per_metric[2] <= unconstrained.thresholds.per_metric[2],
+            "constrained thresholds must be no looser"
+        );
+        assert!(!constrained.accepts(&[1.0, 2.0, 0.9]));
+    }
+
+    #[test]
+    fn all_interference_input_still_produces_a_model() {
+        let behaviours: Vec<LabelledBehaviour> = (0..5)
+            .map(|i| LabelledBehaviour::interference(vec![i as f64, 1.0]))
+            .collect();
+        let model = fit_constrained(&behaviours, 2, 3.0, 1);
+        // No normal data ⇒ empty mixture ⇒ nothing is ever accepted.
+        assert_eq!(model.mixture.k(), 0);
+        assert!(!model.accepts(&[0.0, 1.0]));
+    }
+
+    #[test]
+    fn residual_violations_reported_when_unseparable() {
+        // Interference points identical to normal points cannot be excluded.
+        let mut behaviours: Vec<LabelledBehaviour> = (0..20)
+            .map(|i| LabelledBehaviour::normal(vec![1.0 + (i % 3) as f64 * 0.01, 2.0]))
+            .collect();
+        behaviours.push(LabelledBehaviour::interference(vec![1.0, 2.0]));
+        let model = fit_constrained(&behaviours, 1, 3.0, 1);
+        assert!(model.residual_violations <= 1);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let m1 = fit_constrained(&dataset(), 2, 3.0, 99);
+        let m2 = fit_constrained(&dataset(), 2, 3.0, 99);
+        assert_eq!(m1.thresholds, m2.thresholds);
+        assert_eq!(m1.mixture.components, m2.mixture.components);
+    }
+}

@@ -1,0 +1,238 @@
+//! Random processes used by the evaluation: Zipf application popularity,
+//! Poisson and lognormal VM-arrival processes, and Pareto tail sampling.
+//!
+//! Figures 13 and 14 of the paper drive the profiling-farm queueing model
+//! with: (i) a Poisson VM-arrival process, (ii) a lognormal arrival process
+//! for the "burstier" scenario, and (iii) a Zipf/Pareto distribution of how
+//! many VMs run the same application (the global-information experiments,
+//! with tail index α from 1.0 to 2.5).  All samplers are seeded and
+//! deterministic for reproducibility.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp, LogNormal};
+
+/// Zipf distribution over ranks `1..=n` with exponent `alpha`.
+///
+/// Used to model application popularity: a handful of tenants run their code
+/// on a large number of VMs while the long tail runs a few VMs each (§5.5).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    probabilities: Vec<f64>,
+    cumulative: Vec<f64>,
+    alpha: f64,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` ranks with tail index `alpha > 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha > 0.0 && alpha.is_finite(), "Zipf exponent must be positive and finite");
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(alpha)).collect();
+        let total: f64 = weights.iter().sum();
+        let probabilities: Vec<f64> = weights.iter().map(|w| w / total).collect();
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for p in &probabilities {
+            acc += p;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point drift in the final bucket.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Self {
+            probabilities,
+            cumulative,
+            alpha,
+        }
+    }
+
+    /// Probability of rank `k` (1-based).
+    pub fn probability(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.probabilities.len(), "rank out of range");
+        self.probabilities[k - 1]
+    }
+
+    /// Samples a rank in `1..=n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("NaN in Zipf cdf"))
+        {
+            Ok(idx) => idx + 1,
+            Err(idx) => (idx + 1).min(self.probabilities.len()),
+        }
+    }
+
+    /// The tail index α the distribution was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.probabilities.len()
+    }
+
+    /// True when the distribution covers zero ranks (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.probabilities.is_empty()
+    }
+}
+
+/// Generates arrival times (seconds from 0) over a horizon for a Poisson
+/// process with the given mean arrivals per day.
+pub fn poisson_arrivals(
+    arrivals_per_day: f64,
+    horizon_seconds: f64,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(arrivals_per_day > 0.0, "arrival rate must be positive");
+    assert!(horizon_seconds > 0.0, "horizon must be positive");
+    let rate_per_second = arrivals_per_day / 86_400.0;
+    let exp = Exp::new(rate_per_second).expect("valid exponential rate");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut arrivals = Vec::new();
+    loop {
+        t += exp.sample(&mut rng);
+        if t > horizon_seconds {
+            break;
+        }
+        arrivals.push(t);
+    }
+    arrivals
+}
+
+/// Generates arrival times over a horizon with lognormally distributed
+/// inter-arrival gaps whose *mean* matches the requested daily rate.
+///
+/// `sigma` controls burstiness (the paper uses this to model "burstier
+/// workload behaviors", Fig. 14); larger sigma means heavier clumping.
+pub fn lognormal_arrivals(
+    arrivals_per_day: f64,
+    horizon_seconds: f64,
+    sigma: f64,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(arrivals_per_day > 0.0, "arrival rate must be positive");
+    assert!(horizon_seconds > 0.0, "horizon must be positive");
+    assert!(sigma > 0.0, "lognormal sigma must be positive");
+    let mean_gap = 86_400.0 / arrivals_per_day;
+    // For LogNormal(mu, sigma), mean = exp(mu + sigma^2 / 2); pick mu so the
+    // mean inter-arrival gap matches the Poisson case.
+    let mu = mean_gap.ln() - sigma * sigma / 2.0;
+    let dist = LogNormal::new(mu, sigma).expect("valid lognormal parameters");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    let mut arrivals = Vec::new();
+    loop {
+        t += dist.sample(&mut rng);
+        if t > horizon_seconds {
+            break;
+        }
+        arrivals.push(t);
+    }
+    arrivals
+}
+
+/// Squared coefficient of variation of the gaps between consecutive arrival
+/// times — a standard burstiness measure (1.0 for Poisson, larger for
+/// heavier-tailed processes).
+pub fn burstiness(arrivals: &[f64]) -> f64 {
+    if arrivals.len() < 3 {
+        return 0.0;
+    }
+    let gaps: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+    let mean = crate::stats::mean(&gaps);
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    crate::stats::variance(&gaps) / (mean * mean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_probabilities_sum_to_one_and_decay() {
+        let z = Zipf::new(100, 1.5);
+        let total: f64 = (1..=100).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.probability(1) > z.probability(2));
+        assert!(z.probability(2) > z.probability(50));
+    }
+
+    #[test]
+    fn zipf_higher_alpha_concentrates_mass_on_head() {
+        let light = Zipf::new(1000, 1.0);
+        let heavy = Zipf::new(1000, 2.5);
+        assert!(heavy.probability(1) > light.probability(1));
+    }
+
+    #[test]
+    fn zipf_samples_respect_rank_range_and_skew() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 51];
+        for _ in 0..20_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=50).contains(&k));
+            counts[k] += 1;
+        }
+        assert!(counts[1] > counts[10]);
+        assert!(counts[1] > counts[40]);
+    }
+
+    #[test]
+    fn poisson_arrival_count_is_close_to_rate() {
+        // 1000 VMs/day over 3 days should give roughly 3000 arrivals.
+        let arrivals = poisson_arrivals(1_000.0, 3.0 * 86_400.0, 42);
+        assert!((2_700..3_300).contains(&arrivals.len()), "got {}", arrivals.len());
+        assert!(arrivals.windows(2).all(|w| w[1] >= w[0]), "arrivals must be sorted");
+    }
+
+    #[test]
+    fn lognormal_matches_mean_rate_but_is_burstier() {
+        let poisson = poisson_arrivals(1_000.0, 3.0 * 86_400.0, 7);
+        let lognormal = lognormal_arrivals(1_000.0, 3.0 * 86_400.0, 2.0, 7);
+        // Similar volume...
+        let ratio = lognormal.len() as f64 / poisson.len() as f64;
+        assert!((0.6..1.4).contains(&ratio), "volume ratio {ratio}");
+        // ...but much burstier inter-arrival gaps.
+        assert!(burstiness(&lognormal) > burstiness(&poisson) * 1.5);
+    }
+
+    #[test]
+    fn arrival_processes_are_deterministic_per_seed() {
+        assert_eq!(
+            poisson_arrivals(100.0, 86_400.0, 5),
+            poisson_arrivals(100.0, 86_400.0, 5)
+        );
+        assert_ne!(
+            poisson_arrivals(100.0, 86_400.0, 5),
+            poisson_arrivals(100.0, 86_400.0, 6)
+        );
+    }
+
+    #[test]
+    fn burstiness_of_regular_sequence_is_zero() {
+        let regular: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(burstiness(&regular) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_zero_ranks() {
+        Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate must be positive")]
+    fn poisson_rejects_zero_rate() {
+        poisson_arrivals(0.0, 10.0, 1);
+    }
+}

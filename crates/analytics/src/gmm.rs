@@ -1,0 +1,311 @@
+//! Diagonal-covariance Gaussian-mixture model fitted by expectation-maximization.
+//!
+//! Section 4.1 of the paper: "We leverage the expectation-maximization
+//! clustering algorithm to produce interference-free clusters in
+//! N-dimensional space, where N is the number of low-level metrics that
+//! DeepDive uses.  In producing the clusters, the algorithm also defines the
+//! metric thresholds."  This module provides that algorithm; the threshold
+//! derivation lives in [`crate::thresholds`] and the constraint handling in
+//! [`crate::constrained`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::kmeans::KMeans;
+
+/// Variance floor: keeps degenerate (single-point) clusters from producing
+/// infinite densities and NaN responsibilities.
+const VARIANCE_FLOOR: f64 = 1e-6;
+
+/// One mixture component: a weight and an axis-aligned Gaussian.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Mixing weight (all weights sum to 1).
+    pub weight: f64,
+    /// Per-dimension mean.
+    pub mean: Vec<f64>,
+    /// Per-dimension variance (diagonal covariance).
+    pub variance: Vec<f64>,
+}
+
+impl Component {
+    /// Log probability density of `point` under this component (ignoring the
+    /// mixing weight).
+    pub fn log_density(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.mean.len(), "dimension mismatch in log_density");
+        let mut acc = 0.0;
+        for d in 0..point.len() {
+            let var = self.variance[d].max(VARIANCE_FLOOR);
+            let diff = point[d] - self.mean[d];
+            acc += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+        }
+        acc
+    }
+
+    /// Largest per-dimension deviation of `point` from the component mean,
+    /// measured in that dimension's standard deviations.
+    pub fn max_sigma_deviation(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.mean.len(), "dimension mismatch");
+        point
+            .iter()
+            .zip(self.mean.iter().zip(&self.variance))
+            .map(|(x, (m, v))| (x - m).abs() / v.max(VARIANCE_FLOOR).sqrt())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A fitted Gaussian-mixture model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaussianMixture {
+    /// The mixture components.
+    pub components: Vec<Component>,
+    /// Final per-point log-likelihood of the training data.
+    pub log_likelihood: f64,
+    /// Number of EM iterations actually performed.
+    pub iterations: usize,
+}
+
+impl GaussianMixture {
+    /// Fits `k` components to `points` with at most `max_iters` EM iterations.
+    ///
+    /// Initialization comes from a seeded k-means++ run, so the fit is
+    /// deterministic for a fixed `seed`.  `k` is clamped to the number of
+    /// points; empty input yields a model with no components.
+    pub fn fit(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Self {
+        if points.is_empty() || k == 0 {
+            return Self {
+                components: Vec::new(),
+                log_likelihood: 0.0,
+                iterations: 0,
+            };
+        }
+        let dims = points[0].len();
+        assert!(points.iter().all(|p| p.len() == dims), "ragged input to GaussianMixture::fit");
+        let k = k.min(points.len());
+        let _rng = StdRng::seed_from_u64(seed);
+
+        // Initialize means from k-means, variances from within-cluster spread.
+        let km = KMeans::fit(points, k, 25, seed);
+        let mut components: Vec<Component> = (0..k)
+            .map(|c| {
+                let members: Vec<&Vec<f64>> = points
+                    .iter()
+                    .zip(&km.assignments)
+                    .filter(|(_, &a)| a == c)
+                    .map(|(p, _)| p)
+                    .collect();
+                let weight = members.len().max(1) as f64 / points.len() as f64;
+                let mean = km.centroids[c].clone();
+                let mut variance = vec![VARIANCE_FLOOR; dims];
+                if members.len() > 1 {
+                    for d in 0..dims {
+                        let var = members
+                            .iter()
+                            .map(|p| (p[d] - mean[d]) * (p[d] - mean[d]))
+                            .sum::<f64>()
+                            / members.len() as f64;
+                        variance[d] = var.max(VARIANCE_FLOOR);
+                    }
+                }
+                Component {
+                    weight,
+                    mean,
+                    variance,
+                }
+            })
+            .collect();
+        normalize_weights(&mut components);
+
+        let mut log_likelihood = f64::NEG_INFINITY;
+        let mut iterations = 0;
+        for iter in 0..max_iters.max(1) {
+            iterations = iter + 1;
+            // E-step: responsibilities.
+            let mut resp = vec![vec![0.0_f64; k]; points.len()];
+            let mut new_ll = 0.0;
+            for (i, p) in points.iter().enumerate() {
+                let logs: Vec<f64> = components
+                    .iter()
+                    .map(|c| c.weight.max(1e-300).ln() + c.log_density(p))
+                    .collect();
+                let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let sum: f64 = logs.iter().map(|l| (l - max).exp()).sum();
+                new_ll += max + sum.ln();
+                for c in 0..k {
+                    resp[i][c] = (logs[c] - max).exp() / sum;
+                }
+            }
+            new_ll /= points.len() as f64;
+
+            // M-step.
+            for c in 0..k {
+                let nk: f64 = resp.iter().map(|r| r[c]).sum();
+                if nk < 1e-12 {
+                    continue;
+                }
+                components[c].weight = nk / points.len() as f64;
+                for d in 0..dims {
+                    let mean = points
+                        .iter()
+                        .zip(&resp)
+                        .map(|(p, r)| r[c] * p[d])
+                        .sum::<f64>()
+                        / nk;
+                    components[c].mean[d] = mean;
+                }
+                for d in 0..dims {
+                    let var = points
+                        .iter()
+                        .zip(&resp)
+                        .map(|(p, r)| {
+                            let diff = p[d] - components[c].mean[d];
+                            r[c] * diff * diff
+                        })
+                        .sum::<f64>()
+                        / nk;
+                    components[c].variance[d] = var.max(VARIANCE_FLOOR);
+                }
+            }
+            normalize_weights(&mut components);
+
+            if (new_ll - log_likelihood).abs() < 1e-8 {
+                log_likelihood = new_ll;
+                break;
+            }
+            log_likelihood = new_ll;
+        }
+
+        Self {
+            components,
+            log_likelihood,
+            iterations,
+        }
+    }
+
+    /// Index of the most likely component for `point` and its posterior
+    /// probability.
+    pub fn predict(&self, point: &[f64]) -> (usize, f64) {
+        assert!(!self.components.is_empty(), "predict on an empty mixture");
+        let logs: Vec<f64> = self
+            .components
+            .iter()
+            .map(|c| c.weight.max(1e-300).ln() + c.log_density(point))
+            .collect();
+        let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = logs.iter().map(|l| (l - max).exp()).sum();
+        let (best, best_log) = logs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN log density"))
+            .map(|(i, l)| (i, *l))
+            .expect("non-empty mixture");
+        (best, (best_log - max).exp() / sum)
+    }
+
+    /// Smallest max-σ deviation of `point` from any component: "how many
+    /// standard deviations away from the closest normal behaviour is this
+    /// observation, in its worst dimension?"
+    pub fn min_max_sigma_deviation(&self, point: &[f64]) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.max_sigma_deviation(point))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Number of mixture components.
+    pub fn k(&self) -> usize {
+        self.components.len()
+    }
+}
+
+fn normalize_weights(components: &mut [Component]) {
+    let total: f64 = components.iter().map(|c| c.weight).sum();
+    if total > 0.0 {
+        for c in components.iter_mut() {
+            c.weight /= total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            let j = (i % 7) as f64 * 0.05;
+            pts.push(vec![1.0 + j, 2.0 - j, 0.5 + j * 0.5]);
+            pts.push(vec![8.0 - j, 9.0 + j, 4.0 - j * 0.5]);
+        }
+        pts
+    }
+
+    #[test]
+    fn fits_two_separated_components() {
+        let model = GaussianMixture::fit(&blobs(), 2, 100, 3);
+        assert_eq!(model.k(), 2);
+        let (a, pa) = model.predict(&[1.0, 2.0, 0.5]);
+        let (b, pb) = model.predict(&[8.0, 9.0, 4.0]);
+        assert_ne!(a, b);
+        assert!(pa > 0.99 && pb > 0.99);
+        // Weights should be roughly balanced for balanced blobs.
+        for c in &model.components {
+            assert!((c.weight - 0.5).abs() < 0.1, "weight {}", c.weight);
+        }
+    }
+
+    #[test]
+    fn outlier_has_large_sigma_deviation() {
+        let model = GaussianMixture::fit(&blobs(), 2, 100, 3);
+        let inlier = model.min_max_sigma_deviation(&[1.0, 2.0, 0.5]);
+        let outlier = model.min_max_sigma_deviation(&[50.0, -30.0, 20.0]);
+        assert!(inlier < 5.0, "inlier deviation {inlier}");
+        assert!(outlier > 50.0, "outlier deviation {outlier}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let m1 = GaussianMixture::fit(&blobs(), 2, 100, 11);
+        let m2 = GaussianMixture::fit(&blobs(), 2, 100, 11);
+        assert_eq!(m1.components, m2.components);
+    }
+
+    #[test]
+    fn log_likelihood_improves_with_more_components_on_multimodal_data() {
+        let one = GaussianMixture::fit(&blobs(), 1, 100, 5);
+        let two = GaussianMixture::fit(&blobs(), 2, 100, 5);
+        assert!(two.log_likelihood > one.log_likelihood);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_model() {
+        let model = GaussianMixture::fit(&[], 3, 10, 1);
+        assert_eq!(model.k(), 0);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let model = GaussianMixture::fit(&blobs(), 3, 50, 9);
+        let total: f64 = model.components.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variances_respect_floor() {
+        let identical = vec![vec![2.0, 2.0]; 20];
+        let model = GaussianMixture::fit(&identical, 2, 50, 1);
+        for c in &model.components {
+            for v in &c.variance {
+                assert!(*v >= VARIANCE_FLOOR);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mixture")]
+    fn predict_on_empty_model_panics() {
+        let model = GaussianMixture::fit(&[], 2, 10, 1);
+        model.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Figure 5: observing many VMs running the same Data Analytics workload
+//! lets DeepDive tell which machines suffer network interference.
+
+use bench::fig5_global_information;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_figure() {
+    let points = fig5_global_information(3, 5);
+    println!("# Figure 5 — Data Analytics on nine PMs, iperf on three of them");
+    println!("pm,interfered,net_stall_s_per_gi,cpi");
+    for p in &points {
+        println!("{},{},{:.3},{:.3}", p.pm, p.interfered as u8, p.net_stalls, p.cpi);
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    print_figure();
+    let mut group = c.benchmark_group("fig05");
+    group.sample_size(10);
+    group.bench_function("nine_pm_analytics_cycle", |b| {
+        b.iter(|| fig5_global_information(3, 5));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

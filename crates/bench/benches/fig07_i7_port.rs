@@ -1,0 +1,31 @@
+//! Figure 7: the Core i7 / NUMA port still separates interference from
+//! normal behaviour (QPI / L3 / overall-CPI axes).
+
+use bench::fig7_i7_port;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn print_figure() {
+    let clusters = fig7_i7_port(9);
+    println!("# Figure 7 — Data Serving on the Core i7 (Nehalem) server");
+    println!("# separation score {:.2}", clusters.separation_score);
+    println!("setting,cpi,l3_pki,qpi_outstanding_pki,interference");
+    for p in &clusters.points {
+        println!(
+            "{},{:.3},{:.3},{:.3},{}",
+            p.setting, p.coords[0], p.coords[1], p.coords[2], p.interference as u8
+        );
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    print_figure();
+    let mut group = c.benchmark_group("fig07");
+    group.sample_size(10);
+    group.bench_function("i7_cluster_experiment", |b| {
+        b.iter(|| fig7_i7_port(9));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,334 @@
+//! The simulated datacenter: a set of physical machines, epoch stepping and
+//! VM migration.
+//!
+//! The cluster is the object the end-to-end DeepDive controller drives: each
+//! epoch it produces the full set of per-VM reports (counters for DeepDive,
+//! ground truth for the evaluation), and the placement manager calls
+//! [`Cluster::migrate`] when interference mitigation requires moving a VM.
+
+use rand::rngs::StdRng;
+
+use crate::migration::{estimate_migration, MigrationCost};
+use crate::pm::{PhysicalMachine, PmId, VmEpochReport};
+use crate::scheduler::Scheduler;
+use crate::vm::{Vm, VmId};
+use hwsim::MachineSpec;
+
+/// Errors returned by cluster operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The referenced VM does not exist anywhere in the cluster.
+    UnknownVm(VmId),
+    /// The referenced machine does not exist.
+    UnknownPm(PmId),
+    /// The destination machine rejected the VM (no capacity).
+    NoCapacity {
+        /// The VM that could not be placed.
+        vm: VmId,
+        /// The machine that rejected it.
+        pm: PmId,
+    },
+    /// The VM is already on the requested destination.
+    AlreadyPlaced {
+        /// The VM in question.
+        vm: VmId,
+        /// The machine it already occupies.
+        pm: PmId,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownVm(vm) => write!(f, "unknown VM {vm}"),
+            ClusterError::UnknownPm(pm) => write!(f, "unknown PM {pm}"),
+            ClusterError::NoCapacity { vm, pm } => write!(f, "{pm} has no capacity for {vm}"),
+            ClusterError::AlreadyPlaced { vm, pm } => write!(f, "{vm} is already on {pm}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// Network bandwidth available for migrations, MiB/s (1-Gb links, §5.1).
+const MIGRATION_BANDWIDTH_MB_PER_S: f64 = 100.0;
+/// Assumed page-dirtying rate of a busy cloud VM during migration, MiB/s.
+const MIGRATION_DIRTY_RATE_MB_PER_S: f64 = 20.0;
+
+/// The datacenter.
+pub struct Cluster {
+    machines: Vec<PhysicalMachine>,
+    epoch: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` identical machines with the given scheduler.
+    pub fn homogeneous(n: usize, spec: MachineSpec, scheduler: Scheduler) -> Self {
+        assert!(n > 0, "a cluster needs at least one machine");
+        let machines = (0..n)
+            .map(|i| PhysicalMachine::new(PmId(i as u64), spec.clone(), scheduler))
+            .collect();
+        Self { machines, epoch: 0 }
+    }
+
+    /// Creates a cluster from explicit machines.
+    pub fn from_machines(machines: Vec<PhysicalMachine>) -> Self {
+        assert!(!machines.is_empty(), "a cluster needs at least one machine");
+        Self { machines, epoch: 0 }
+    }
+
+    /// The machines, in id order.
+    pub fn machines(&self) -> &[PhysicalMachine] {
+        &self.machines
+    }
+
+    /// Mutable access to one machine.
+    pub fn machine_mut(&mut self, pm: PmId) -> Option<&mut PhysicalMachine> {
+        self.machines.iter_mut().find(|m| m.id == pm)
+    }
+
+    /// Shared access to one machine.
+    pub fn machine(&self, pm: PmId) -> Option<&PhysicalMachine> {
+        self.machines.iter().find(|m| m.id == pm)
+    }
+
+    /// Current epoch index (number of completed epochs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The machine currently hosting a VM.
+    pub fn locate(&self, vm: VmId) -> Option<PmId> {
+        self.machines.iter().find(|m| m.hosts(vm)).map(|m| m.id)
+    }
+
+    /// Total number of VMs across the cluster.
+    pub fn vm_count(&self) -> usize {
+        self.machines.iter().map(|m| m.vm_count()).sum()
+    }
+
+    /// Places a VM on a specific machine.
+    pub fn place_on(&mut self, pm: PmId, vm: Vm) -> Result<(), ClusterError> {
+        let vm_id = vm.id;
+        let machine = self
+            .machines
+            .iter_mut()
+            .find(|m| m.id == pm)
+            .ok_or(ClusterError::UnknownPm(pm))?;
+        machine
+            .try_add_vm(vm)
+            .map_err(|_| ClusterError::NoCapacity { vm: vm_id, pm })
+    }
+
+    /// Places a VM on the first machine with capacity (first-fit); returns
+    /// the chosen machine.
+    pub fn place_first_fit(&mut self, vm: Vm) -> Result<PmId, ClusterError> {
+        let vm_id = vm.id;
+        let mut vm = vm;
+        for machine in self.machines.iter_mut() {
+            match machine.try_add_vm(vm) {
+                Ok(()) => return Ok(machine.id),
+                Err(rejected) => vm = rejected,
+            }
+        }
+        Err(ClusterError::NoCapacity {
+            vm: vm_id,
+            pm: PmId(u64::MAX),
+        })
+    }
+
+    /// Advances every machine one epoch and returns all per-VM reports.
+    ///
+    /// `load_for` maps a VM to its offered load for this epoch (driven by the
+    /// trace substrate).
+    pub fn step_epoch(
+        &mut self,
+        load_for: &dyn Fn(VmId) -> f64,
+        rng: &mut StdRng,
+    ) -> Vec<VmEpochReport> {
+        let epoch = self.epoch;
+        let mut reports = Vec::new();
+        for machine in self.machines.iter_mut() {
+            reports.extend(machine.step_epoch(epoch, load_for, rng));
+        }
+        self.epoch += 1;
+        reports
+    }
+
+    /// Migrates a VM to the given destination machine, returning the
+    /// estimated migration cost.
+    pub fn migrate(&mut self, vm: VmId, to: PmId) -> Result<MigrationCost, ClusterError> {
+        let from = self.locate(vm).ok_or(ClusterError::UnknownVm(vm))?;
+        if from == to {
+            return Err(ClusterError::AlreadyPlaced { vm, pm: to });
+        }
+        if self.machine(to).is_none() {
+            return Err(ClusterError::UnknownPm(to));
+        }
+        let moved = self
+            .machine_mut(from)
+            .expect("source machine exists")
+            .remove_vm(vm)
+            .expect("vm located on source");
+        let memory_mb = moved.memory_mb;
+        match self.machine_mut(to).expect("destination exists").try_add_vm(moved) {
+            Ok(()) => Ok(estimate_migration(
+                memory_mb,
+                MIGRATION_DIRTY_RATE_MB_PER_S,
+                MIGRATION_BANDWIDTH_MB_PER_S,
+            )),
+            Err(rejected) => {
+                // Roll back: put the VM where it came from.
+                self.machine_mut(from)
+                    .expect("source machine exists")
+                    .try_add_vm(rejected)
+                    .expect("source still has room for its own VM");
+                Err(ClusterError::NoCapacity { vm, pm: to })
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("machines", &self.machines.len())
+            .field("vms", &self.vm_count())
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use workloads::{AppId, ClientEmulator, DataServing, MemoryStress};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    fn serving_vm(id: u64) -> Vm {
+        Vm::new(
+            VmId(id),
+            Box::new(DataServing::with_defaults(AppId(1))),
+            ClientEmulator::new(8_000.0, 4.0),
+        )
+    }
+
+    fn aggressor_vm(id: u64) -> Vm {
+        Vm::new(
+            VmId(id),
+            Box::new(MemoryStress::new(AppId(50), 512.0)),
+            ClientEmulator::new(1.0, 1.0),
+        )
+    }
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::homogeneous(n, MachineSpec::xeon_x5472(), Scheduler::default())
+    }
+
+    #[test]
+    fn placement_and_location_round_trip() {
+        let mut c = cluster(3);
+        c.place_on(PmId(1), serving_vm(10)).unwrap();
+        assert_eq!(c.locate(VmId(10)), Some(PmId(1)));
+        assert_eq!(c.vm_count(), 1);
+        assert_eq!(c.locate(VmId(11)), None);
+    }
+
+    #[test]
+    fn first_fit_fills_machines_in_order() {
+        let mut c = cluster(2);
+        // Each Xeon takes four 2-vCPU VMs.
+        for i in 0..5 {
+            c.place_first_fit(serving_vm(i)).unwrap();
+        }
+        assert_eq!(c.machine(PmId(0)).unwrap().vm_count(), 4);
+        assert_eq!(c.machine(PmId(1)).unwrap().vm_count(), 1);
+    }
+
+    #[test]
+    fn placement_errors_are_reported() {
+        let mut c = cluster(1);
+        assert_eq!(
+            c.place_on(PmId(9), serving_vm(1)),
+            Err(ClusterError::UnknownPm(PmId(9)))
+        );
+        for i in 0..4 {
+            c.place_on(PmId(0), serving_vm(i)).unwrap();
+        }
+        assert!(matches!(
+            c.place_on(PmId(0), serving_vm(99)),
+            Err(ClusterError::NoCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn step_epoch_reports_every_vm_and_advances_time() {
+        let mut c = cluster(2);
+        c.place_on(PmId(0), serving_vm(1)).unwrap();
+        c.place_on(PmId(1), serving_vm(2)).unwrap();
+        let reports = c.step_epoch(&|_| 0.7, &mut rng());
+        assert_eq!(reports.len(), 2);
+        assert_eq!(c.epoch(), 1);
+        let second = c.step_epoch(&|_| 0.7, &mut rng());
+        assert_eq!(second[0].epoch, 1);
+    }
+
+    #[test]
+    fn migration_moves_the_vm_and_reports_cost() {
+        let mut c = cluster(2);
+        c.place_on(PmId(0), serving_vm(1)).unwrap();
+        c.place_on(PmId(0), aggressor_vm(2)).unwrap();
+        let cost = c.migrate(VmId(2), PmId(1)).unwrap();
+        assert!(cost.total_seconds > 0.0);
+        assert_eq!(c.locate(VmId(2)), Some(PmId(1)));
+        assert_eq!(c.locate(VmId(1)), Some(PmId(0)));
+    }
+
+    #[test]
+    fn migration_to_full_machine_rolls_back() {
+        let mut c = cluster(2);
+        for i in 0..4 {
+            c.place_on(PmId(1), serving_vm(100 + i)).unwrap();
+        }
+        c.place_on(PmId(0), serving_vm(1)).unwrap();
+        let err = c.migrate(VmId(1), PmId(1)).unwrap_err();
+        assert!(matches!(err, ClusterError::NoCapacity { .. }));
+        // The VM must still be on its source machine after the failed move.
+        assert_eq!(c.locate(VmId(1)), Some(PmId(0)));
+    }
+
+    #[test]
+    fn migration_errors_for_unknown_or_same_destination() {
+        let mut c = cluster(2);
+        c.place_on(PmId(0), serving_vm(1)).unwrap();
+        assert_eq!(
+            c.migrate(VmId(9), PmId(1)),
+            Err(ClusterError::UnknownVm(VmId(9)))
+        );
+        assert_eq!(
+            c.migrate(VmId(1), PmId(0)),
+            Err(ClusterError::AlreadyPlaced { vm: VmId(1), pm: PmId(0) })
+        );
+        assert_eq!(
+            c.migrate(VmId(1), PmId(7)),
+            Err(ClusterError::UnknownPm(PmId(7)))
+        );
+    }
+
+    #[test]
+    fn interference_is_visible_in_cluster_reports() {
+        let mut c = cluster(1);
+        c.place_on(PmId(0), serving_vm(1)).unwrap();
+        let mut r = rng();
+        let baseline = c.step_epoch(&|_| 1.0, &mut r);
+        c.place_on(PmId(0), aggressor_vm(2)).unwrap();
+        let contended = c.step_epoch(&|_| 1.0, &mut r);
+        let victim_before = &baseline[0];
+        let victim_after = contended.iter().find(|r| r.vm_id == VmId(1)).unwrap();
+        assert!(victim_after.achieved_fraction < victim_before.achieved_fraction);
+    }
+}

@@ -1,0 +1,43 @@
+//! # cloudsim — virtualization substrate (the IaaS "cloud")
+//!
+//! The paper deploys DeepDive on a 10-server Xen testbed: VMs are pinned to
+//! dedicated core pairs, client traffic flows through a proxy that can
+//! duplicate requests towards a sandboxed clone, and the placement manager
+//! migrates VMs between physical machines (§4, §5.1).  None of that
+//! infrastructure exists here, so this crate provides the equivalent
+//! simulated objects:
+//!
+//! * [`vm`] — a virtual machine: identity, size, attached workload and
+//!   client emulator.
+//! * [`pm`] — a physical machine: a [`hwsim::MachineSpec`] plus the VMs
+//!   currently hosted on it; stepping an epoch resolves contention and
+//!   yields per-VM reports (counters + client-side ground truth).
+//! * [`scheduler`] — vCPU/cache-group placement policies (packed vs spread)
+//!   and admission checks.
+//! * [`cluster`] — the datacenter: a set of PMs, global epoch stepping and
+//!   VM migration.
+//! * [`proxy`] — records each VM's offered load / demand stream so it can be
+//!   replayed, mimicking the request-duplicating proxy of §4.2.
+//! * [`sandbox`] — the sandboxed environment: dedicated machines on which a
+//!   recorded demand stream is re-run in isolation (non-work-conserving,
+//!   nothing co-located).
+//! * [`migration`] — live-migration cost model.
+//!
+//! DeepDive (crate `deepdive`) consumes only the [`pm::VmEpochReport`]s'
+//! counter snapshots and app identities; the client observations and stall
+//! breakdowns in the same struct are evaluation-only ground truth.
+
+pub mod cluster;
+pub mod migration;
+pub mod pm;
+pub mod proxy;
+pub mod sandbox;
+pub mod scheduler;
+pub mod vm;
+
+pub use cluster::Cluster;
+pub use pm::{PhysicalMachine, PmId, VmEpochReport};
+pub use proxy::RequestProxy;
+pub use sandbox::Sandbox;
+pub use scheduler::{PlacementPolicy, Scheduler};
+pub use vm::{Vm, VmId};

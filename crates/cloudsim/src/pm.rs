@@ -1,0 +1,293 @@
+//! Physical machines: hosting VMs and stepping simulation epochs.
+//!
+//! A [`PhysicalMachine`] owns the VMs placed on it.  Each call to
+//! [`PhysicalMachine::step_epoch`] asks every hosted VM's workload for its
+//! intrinsic demand at the offered load, hands all demands to the hwsim
+//! contention resolver, and packages the result into one
+//! [`VmEpochReport`] per VM: the Table 1 counters DeepDive reads, plus the
+//! client-observed performance and ground-truth stall breakdown the
+//! evaluation uses for scoring.
+
+use hwsim::contention::{resolve_epoch, PlacedDemand, StallBreakdown};
+use hwsim::{CounterSnapshot, MachineSpec, ResourceDemand};
+use rand::rngs::StdRng;
+use workloads::{AppId, ClientObservation};
+
+use crate::scheduler::Scheduler;
+use crate::vm::{Vm, VmId};
+
+/// Unique identifier of a physical machine within the simulated datacenter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct PmId(pub u64);
+
+impl std::fmt::Display for PmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pm-{}", self.0)
+    }
+}
+
+/// Everything observed about one VM during one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmEpochReport {
+    /// The VM.
+    pub vm_id: VmId,
+    /// The machine that hosted it this epoch.
+    pub pm_id: PmId,
+    /// The application the VM runs (for DeepDive's global-information check).
+    pub app: AppId,
+    /// Epoch index at which the report was taken.
+    pub epoch: u64,
+    /// The offered load the VM received this epoch (0..=1 of its peak).
+    pub offered_load: f64,
+    /// The Table 1 counters — the only field the `deepdive` crate reads.
+    pub counters: CounterSnapshot,
+    /// The intrinsic demand the workload generated (recorded by the proxy so
+    /// the analyzer can replay it in the sandbox).
+    pub demand: ResourceDemand,
+    /// Fraction of the demanded work that completed (evaluation ground truth).
+    pub achieved_fraction: f64,
+    /// Client-visible performance (evaluation ground truth).
+    pub observation: ClientObservation,
+    /// Ground-truth stall breakdown (evaluation ground truth).
+    pub breakdown: StallBreakdown,
+}
+
+/// A physical machine hosting zero or more VMs.
+pub struct PhysicalMachine {
+    /// Machine identity.
+    pub id: PmId,
+    /// Hardware model.
+    pub spec: MachineSpec,
+    /// Placement/admission policy in force on this machine.
+    pub scheduler: Scheduler,
+    vms: Vec<Vm>,
+}
+
+impl PhysicalMachine {
+    /// Creates an empty machine.
+    pub fn new(id: PmId, spec: MachineSpec, scheduler: Scheduler) -> Self {
+        assert!(spec.is_well_formed(), "malformed machine spec");
+        Self {
+            id,
+            spec,
+            scheduler,
+            vms: Vec::new(),
+        }
+    }
+
+    /// The VMs currently hosted, in placement order.
+    pub fn vms(&self) -> &[Vm] {
+        &self.vms
+    }
+
+    /// Number of hosted VMs.
+    pub fn vm_count(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// True when the machine hosts the given VM.
+    pub fn hosts(&self, vm_id: VmId) -> bool {
+        self.vms.iter().any(|v| v.id == vm_id)
+    }
+
+    /// Attempts to place a VM on this machine; returns the VM back if the
+    /// scheduler rejects it (no capacity).
+    pub fn try_add_vm(&mut self, vm: Vm) -> Result<(), Vm> {
+        if self.scheduler.admits(&self.spec, &self.vms, &vm) {
+            self.vms.push(vm);
+            Ok(())
+        } else {
+            Err(vm)
+        }
+    }
+
+    /// Removes and returns a VM (for migration); `None` if it is not here.
+    pub fn remove_vm(&mut self, vm_id: VmId) -> Option<Vm> {
+        let idx = self.vms.iter().position(|v| v.id == vm_id)?;
+        Some(self.vms.remove(idx))
+    }
+
+    /// Unused core capacity.
+    pub fn free_cores(&self) -> usize {
+        let used: usize = self.vms.iter().map(|v| v.vcpus).sum();
+        self.spec.cores.saturating_sub(used)
+    }
+
+    /// Advances the machine one epoch.
+    ///
+    /// `load_for` maps each VM id to its offered load for this epoch (the
+    /// trace-driven client intensity); VMs missing from the map run at full
+    /// load.  Returns one report per hosted VM, in placement order.
+    pub fn step_epoch(
+        &mut self,
+        epoch: u64,
+        load_for: &dyn Fn(VmId) -> f64,
+        rng: &mut StdRng,
+    ) -> Vec<VmEpochReport> {
+        if self.vms.is_empty() {
+            return Vec::new();
+        }
+        // 1. Collect intrinsic demands from every workload.
+        let mut loads = Vec::with_capacity(self.vms.len());
+        let mut demands = Vec::with_capacity(self.vms.len());
+        for vm in self.vms.iter_mut() {
+            let load = load_for(vm.id).clamp(0.0, 1.0);
+            let demand = vm.workload.next_demand(load, rng);
+            loads.push(load);
+            demands.push(demand);
+        }
+        // 2. Resolve hardware contention for the whole machine.
+        let placements: Vec<PlacedDemand> = self
+            .vms
+            .iter()
+            .enumerate()
+            .zip(&demands)
+            .map(|((slot, vm), demand)| {
+                PlacedDemand::new(
+                    vm.id.0,
+                    demand.clone(),
+                    vm.vcpus,
+                    self.scheduler.cache_group_for_slot(&self.spec, slot),
+                )
+            })
+            .collect();
+        let outcomes = resolve_epoch(&self.spec, &placements);
+
+        // 3. Package per-VM reports.
+        self.vms
+            .iter()
+            .zip(demands)
+            .zip(loads)
+            .zip(outcomes)
+            .map(|(((vm, demand), load), outcome)| VmEpochReport {
+                vm_id: vm.id,
+                pm_id: self.id,
+                app: vm.app_id(),
+                epoch,
+                offered_load: load,
+                counters: outcome.counters,
+                demand,
+                achieved_fraction: outcome.achieved_fraction,
+                observation: vm.client.observe(load, outcome.achieved_fraction),
+                breakdown: outcome.breakdown,
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for PhysicalMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhysicalMachine")
+            .field("id", &self.id)
+            .field("spec", &self.spec.name)
+            .field("vms", &self.vms.iter().map(|v| v.id).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use workloads::{ClientEmulator, DataServing, MemoryStress};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn serving_vm(id: u64) -> Vm {
+        Vm::new(
+            VmId(id),
+            Box::new(DataServing::with_defaults(AppId(1))),
+            ClientEmulator::new(8_000.0, 4.0),
+        )
+    }
+
+    fn aggressor_vm(id: u64, ws_mb: f64) -> Vm {
+        Vm::new(
+            VmId(id),
+            Box::new(MemoryStress::new(AppId(999), ws_mb)),
+            ClientEmulator::new(1.0, 1.0),
+        )
+    }
+
+    fn machine() -> PhysicalMachine {
+        PhysicalMachine::new(PmId(0), MachineSpec::xeon_x5472(), Scheduler::default())
+    }
+
+    #[test]
+    fn empty_machine_steps_to_empty_report() {
+        let mut pm = machine();
+        assert!(pm.step_epoch(0, &|_| 1.0, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn admission_and_removal_round_trip() {
+        let mut pm = machine();
+        for i in 0..4 {
+            assert!(pm.try_add_vm(serving_vm(i)).is_ok());
+        }
+        // 8 cores consumed: a fifth 2-vCPU VM must be rejected.
+        assert!(pm.try_add_vm(serving_vm(4)).is_err());
+        assert_eq!(pm.vm_count(), 4);
+        assert_eq!(pm.free_cores(), 0);
+        let removed = pm.remove_vm(VmId(2)).expect("vm present");
+        assert_eq!(removed.id, VmId(2));
+        assert!(!pm.hosts(VmId(2)));
+        assert!(pm.try_add_vm(serving_vm(4)).is_ok());
+    }
+
+    #[test]
+    fn solo_vm_reports_healthy_performance() {
+        let mut pm = machine();
+        pm.try_add_vm(serving_vm(1)).unwrap();
+        let reports = pm.step_epoch(0, &|_| 0.8, &mut rng());
+        assert_eq!(reports.len(), 1);
+        let r = &reports[0];
+        assert_eq!(r.vm_id, VmId(1));
+        assert_eq!(r.pm_id, PmId(0));
+        assert!(r.achieved_fraction > 0.9);
+        assert!(r.counters.is_well_formed());
+        assert!(r.observation.latency_ms < 8.0);
+    }
+
+    #[test]
+    fn colocated_aggressor_degrades_the_victim() {
+        let mut solo = machine();
+        solo.try_add_vm(serving_vm(1)).unwrap();
+        let solo_reports = solo.step_epoch(0, &|_| 1.0, &mut rng());
+
+        let mut shared = machine();
+        shared.try_add_vm(serving_vm(1)).unwrap();
+        shared.try_add_vm(aggressor_vm(2, 512.0)).unwrap();
+        let shared_reports = shared.step_epoch(0, &|_| 1.0, &mut rng());
+
+        let baseline = &solo_reports[0];
+        let victim = &shared_reports[0];
+        assert!(victim.achieved_fraction < baseline.achieved_fraction);
+        assert!(victim.observation.latency_ms > baseline.observation.latency_ms);
+        // Normalized cache-miss signature moves, which is what DeepDive sees.
+        let n_base = baseline.counters.normalized_per_kilo_instruction();
+        let n_victim = victim.counters.normalized_per_kilo_instruction();
+        assert!(n_victim.l2_lines_in > n_base.l2_lines_in);
+    }
+
+    #[test]
+    fn per_vm_loads_are_honoured() {
+        let mut pm = machine();
+        pm.try_add_vm(serving_vm(1)).unwrap();
+        pm.try_add_vm(serving_vm(2)).unwrap();
+        let reports = pm.step_epoch(0, &|id| if id == VmId(1) { 1.0 } else { 0.2 }, &mut rng());
+        assert!(reports[0].demand.instructions > 3.0 * reports[1].demand.instructions);
+        assert!((reports[0].offered_load - 1.0).abs() < 1e-12);
+        assert!((reports[1].offered_load - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reports_carry_the_epoch_index() {
+        let mut pm = machine();
+        pm.try_add_vm(serving_vm(1)).unwrap();
+        let reports = pm.step_epoch(17, &|_| 1.0, &mut rng());
+        assert_eq!(reports[0].epoch, 17);
+    }
+}

@@ -1,0 +1,191 @@
+//! The sandboxed environment.
+//!
+//! "DeepDive clones the VM under test in a sandboxed environment that uses
+//! non-work-conserving schedulers to tightly control the resource allocation"
+//! (§4.2).  The clone, fed the duplicated request stream by the proxy, then
+//! produces the *isolation* counters the analyzer compares against
+//! production.
+//!
+//! Here a sandbox is a small pool of dedicated physical machines (the paper
+//! shows a handful suffice, §5.5).  Running an analysis occupies one machine
+//! for as long as the replayed window lasts; the pool size therefore bounds
+//! how many concurrent analyses can run, which is exactly the quantity the
+//! queueing experiments of Figs. 12–14 study.
+
+use hwsim::contention::{resolve_epoch, PlacedDemand};
+use hwsim::{CounterSnapshot, MachineSpec, ResourceDemand};
+
+use crate::vm::VmId;
+
+/// Result of replaying one VM's recorded demand stream in isolation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IsolationRun {
+    /// The VM whose behaviour was reproduced.
+    pub vm_id: VmId,
+    /// Per-epoch counters observed in isolation (same order as the replayed
+    /// demands).
+    pub counters: Vec<CounterSnapshot>,
+    /// Per-epoch achieved fractions in isolation.
+    pub achieved_fractions: Vec<f64>,
+    /// Wall-clock seconds of sandbox time the analysis consumed (cloning
+    /// overhead plus one second per replayed epoch).
+    pub profiling_seconds: f64,
+}
+
+impl IsolationRun {
+    /// Sum of instructions retired across the replayed window.
+    pub fn total_instructions(&self) -> f64 {
+        self.counters.iter().map(|c| c.inst_retired).sum()
+    }
+
+    /// Element-wise average of the per-epoch counters.
+    pub fn mean_counters(&self) -> CounterSnapshot {
+        if self.counters.is_empty() {
+            return CounterSnapshot::zero();
+        }
+        let sum = self
+            .counters
+            .iter()
+            .fold(CounterSnapshot::zero(), |acc, c| acc.add(c));
+        sum.scale(1.0 / self.counters.len() as f64)
+    }
+}
+
+/// A pool of dedicated profiling machines.
+#[derive(Debug, Clone)]
+pub struct Sandbox {
+    /// Hardware model of the profiling machines (same as production, so that
+    /// isolation counters are directly comparable).
+    pub spec: MachineSpec,
+    /// Number of machines in the pool.
+    pub machines: usize,
+    /// Fixed overhead per analysis for cloning the VM and warming it up, in
+    /// seconds (the paper notes cloning time is "typically small compared to
+    /// the frequency of invocation").
+    pub clone_overhead_seconds: f64,
+}
+
+impl Sandbox {
+    /// Creates a sandbox pool.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty or the overhead is negative.
+    pub fn new(spec: MachineSpec, machines: usize, clone_overhead_seconds: f64) -> Self {
+        assert!(machines > 0, "sandbox needs at least one machine");
+        assert!(clone_overhead_seconds >= 0.0, "clone overhead cannot be negative");
+        assert!(spec.is_well_formed(), "malformed sandbox machine spec");
+        Self {
+            spec,
+            machines,
+            clone_overhead_seconds,
+        }
+    }
+
+    /// Convenience constructor matching the paper's testbed: Xeon machines
+    /// and a 30-second cloning overhead.
+    pub fn xeon_pool(machines: usize) -> Self {
+        Self::new(MachineSpec::xeon_x5472(), machines, 30.0)
+    }
+
+    /// Replays a recorded demand stream for `vm_id` on an idle sandbox
+    /// machine and returns the isolation counters.
+    ///
+    /// The clone runs exactly the duplicated workload, alone, with the
+    /// non-work-conserving scheduler — i.e. nothing else contends with it.
+    pub fn run_in_isolation(&self, vm_id: VmId, demands: &[ResourceDemand], vcpus: usize) -> IsolationRun {
+        assert!(vcpus > 0, "clone needs at least one vCPU");
+        let mut counters = Vec::with_capacity(demands.len());
+        let mut fractions = Vec::with_capacity(demands.len());
+        for demand in demands {
+            let outcome = resolve_epoch(
+                &self.spec,
+                &[PlacedDemand::new(vm_id.0, demand.clone(), vcpus, 0)],
+            );
+            let o = &outcome[0];
+            counters.push(o.counters);
+            fractions.push(o.achieved_fraction);
+        }
+        IsolationRun {
+            vm_id,
+            counters,
+            achieved_fractions: fractions,
+            profiling_seconds: self.clone_overhead_seconds + demands.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::ResourceDemand;
+
+    fn demand() -> ResourceDemand {
+        ResourceDemand::builder()
+            .instructions(2.0e9)
+            .working_set_mb(8.0)
+            .l1_mpki(25.0)
+            .llc_mpki_solo(1.0)
+            .parallelism(2.0)
+            .build()
+    }
+
+    #[test]
+    fn isolation_run_replays_every_epoch() {
+        let sandbox = Sandbox::xeon_pool(4);
+        let demands = vec![demand(); 5];
+        let run = sandbox.run_in_isolation(VmId(3), &demands, 2);
+        assert_eq!(run.vm_id, VmId(3));
+        assert_eq!(run.counters.len(), 5);
+        assert_eq!(run.achieved_fractions.len(), 5);
+        assert!(run.achieved_fractions.iter().all(|f| *f > 0.9));
+        assert!((run.profiling_seconds - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolation_counters_reflect_uncontended_execution() {
+        // The same demand resolved alongside an aggressor in "production"
+        // must retire fewer instructions than the sandbox replay.
+        let sandbox = Sandbox::xeon_pool(1);
+        let run = sandbox.run_in_isolation(VmId(1), &[demand()], 2);
+        let aggressor = ResourceDemand::builder()
+            .instructions(2.5e9)
+            .working_set_mb(512.0)
+            .l1_mpki(70.0)
+            .llc_mpki_solo(40.0)
+            .locality(0.0)
+            .parallelism(2.0)
+            .build();
+        let production = resolve_epoch(
+            &sandbox.spec,
+            &[
+                PlacedDemand::new(1, demand(), 2, 0),
+                PlacedDemand::new(2, aggressor, 2, 0),
+            ],
+        );
+        assert!(production[0].counters.inst_retired < run.counters[0].inst_retired);
+    }
+
+    #[test]
+    fn mean_counters_average_the_window() {
+        let sandbox = Sandbox::xeon_pool(1);
+        let run = sandbox.run_in_isolation(VmId(1), &[demand(), demand()], 2);
+        let mean = run.mean_counters();
+        assert!((mean.inst_retired - run.counters[0].inst_retired).abs() < 1e-3);
+        assert!(run.total_instructions() > mean.inst_retired);
+    }
+
+    #[test]
+    fn empty_replay_yields_empty_run() {
+        let sandbox = Sandbox::xeon_pool(1);
+        let run = sandbox.run_in_isolation(VmId(1), &[], 2);
+        assert!(run.counters.is_empty());
+        assert_eq!(run.mean_counters(), CounterSnapshot::zero());
+        assert_eq!(run.total_instructions(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn empty_pool_rejected() {
+        Sandbox::new(MachineSpec::xeon_x5472(), 0, 1.0);
+    }
+}

@@ -1,0 +1,572 @@
+//! The end-to-end DeepDive controller.
+//!
+//! This module wires the warning system, the interference analyzer and the
+//! placement manager into the loop of Figure 2: every epoch it receives the
+//! cluster's per-VM reports, feeds counters to the warning system, invokes
+//! the analyzer when a behaviour cannot be explained, updates the behaviour
+//! repository with whatever the analyzer verified, and — when interference
+//! is confirmed — asks the placement manager for a destination and migrates
+//! the culprit VM.
+//!
+//! The controller also keeps the bookkeeping the evaluation needs: number of
+//! analyzer invocations, confirmed detections, false alarms, migrations and
+//! accumulated profiling time (Figs. 8 and 12).
+
+use std::collections::{HashMap, VecDeque};
+
+use cloudsim::cluster::ClusterError;
+use cloudsim::pm::VmEpochReport;
+use cloudsim::{Cluster, PmId, RequestProxy, Sandbox, VmId};
+use hwsim::CounterSnapshot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use workloads::AppId;
+
+use crate::analyzer::{AnalysisResult, InterferenceAnalyzer};
+use crate::cpi_stack::Resource;
+use crate::metrics::BehaviorVector;
+use crate::placement::{CandidateMachine, PlacementManager, ResidentVm};
+use crate::repository::BehaviorRepository;
+use crate::synthetic::SyntheticBenchmark;
+use crate::warning::{WarningConfig, WarningDecision, WarningSystem};
+
+/// Configuration of the end-to-end controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeepDiveConfig {
+    /// Operator-defined performance threshold: degradations above this are
+    /// treated as interference worth acting on (§4.2).
+    pub performance_threshold: f64,
+    /// Warning-system configuration.
+    pub warning: WarningConfig,
+    /// Number of recent epochs replayed in the sandbox per analysis.
+    pub analysis_window: usize,
+    /// Epochs to wait after analyzing a VM before analyzing it again
+    /// (a simple controller against oscillating invocations, §4.4).
+    pub analysis_cooldown: u64,
+    /// Epochs to wait before re-analyzing a VM whose interference was just
+    /// *confirmed*.  Re-confirming an ongoing episode is pure overhead, so
+    /// this is typically several times the ordinary cooldown.
+    pub confirmed_cooldown: u64,
+    /// Whether confirmed interference triggers an automatic migration.
+    pub auto_migrate: bool,
+    /// Maximum predicted interference accepted at a migration destination.
+    pub acceptable_destination_interference: f64,
+    /// Whether the global-information check may consult peer VMs running the
+    /// same application (disable to reproduce the "local only" curves).
+    pub use_global_information: bool,
+    /// Training samples for the synthetic benchmark (trained lazily on the
+    /// first placement decision).
+    pub synthetic_training_samples: usize,
+    /// RNG seed for the synthetic benchmark training.
+    pub seed: u64,
+}
+
+impl Default for DeepDiveConfig {
+    fn default() -> Self {
+        Self {
+            performance_threshold: 0.15,
+            warning: WarningConfig::default(),
+            analysis_window: 5,
+            analysis_cooldown: 30,
+            confirmed_cooldown: 60,
+            auto_migrate: true,
+            acceptable_destination_interference: 0.15,
+            use_global_information: true,
+            synthetic_training_samples: 150,
+            seed: 0xDEE9,
+        }
+    }
+}
+
+/// Counters the evaluation harness reads after (or during) a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeepDiveStats {
+    /// Epoch-level warning evaluations performed.
+    pub evaluations: u64,
+    /// Analyzer invocations (bootstrap + suspected interference).
+    pub analyzer_invocations: u64,
+    /// Analyses that confirmed interference above the threshold.
+    pub interference_confirmed: u64,
+    /// Analyses that turned out to be false alarms (workload changes).
+    pub false_alarms: u64,
+    /// Migrations executed.
+    pub migrations: u64,
+    /// Total sandbox/profiling time consumed, in seconds (Fig. 12's y-axis).
+    pub profiling_seconds: f64,
+    /// Behaviours accepted via the global-information check.
+    pub global_matches: u64,
+}
+
+/// Events the controller emits each epoch, for logging and for the benches'
+/// detection-rate accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EpochEvent {
+    /// The analyzer ran for a VM and produced a result.
+    Analyzed {
+        /// The VM that was analyzed.
+        vm: VmId,
+        /// What the warning system said to trigger the analysis.
+        trigger: WarningDecision,
+        /// The analyzer's verdict.
+        result: AnalysisResult,
+    },
+    /// A VM was migrated to mitigate confirmed interference.
+    Migrated {
+        /// The migrated VM.
+        vm: VmId,
+        /// Source machine.
+        from: PmId,
+        /// Destination machine.
+        to: PmId,
+        /// The culprit resource that motivated the move.
+        culprit: Resource,
+    },
+    /// A migration was recommended but could not be executed.
+    MigrationSkipped {
+        /// The VM that should have moved.
+        vm: VmId,
+        /// Why the migration did not happen.
+        reason: String,
+    },
+}
+
+/// The end-to-end DeepDive system.
+pub struct DeepDive {
+    config: DeepDiveConfig,
+    warning: WarningSystem,
+    analyzer: InterferenceAnalyzer,
+    repository: BehaviorRepository,
+    proxy: RequestProxy,
+    sandbox: Sandbox,
+    placement: PlacementManager,
+    synthetic: Option<SyntheticBenchmark>,
+    stats: DeepDiveStats,
+    recent_counters: HashMap<VmId, VecDeque<CounterSnapshot>>,
+    cooldown_until: HashMap<VmId, u64>,
+    rng: StdRng,
+}
+
+impl DeepDive {
+    /// Creates the controller with a sandbox pool for the analyzer.
+    pub fn new(config: DeepDiveConfig, sandbox: Sandbox) -> Self {
+        let analyzer = InterferenceAnalyzer::new(sandbox.spec.clone(), config.performance_threshold);
+        let placement = PlacementManager::new(
+            sandbox.spec.clone(),
+            config.acceptable_destination_interference,
+        );
+        let warning = WarningSystem::new(config.warning.clone());
+        let rng = StdRng::seed_from_u64(config.seed);
+        Self {
+            config,
+            warning,
+            analyzer,
+            repository: BehaviorRepository::new(),
+            proxy: RequestProxy::with_default_window(),
+            sandbox,
+            placement,
+            synthetic: None,
+            stats: DeepDiveStats::default(),
+            recent_counters: HashMap::new(),
+            cooldown_until: HashMap::new(),
+            rng,
+        }
+    }
+
+    /// The running statistics.
+    pub fn stats(&self) -> DeepDiveStats {
+        self.stats
+    }
+
+    /// The behaviour repository (read access for the evaluation).
+    pub fn repository(&self) -> &BehaviorRepository {
+        &self.repository
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DeepDiveConfig {
+        &self.config
+    }
+
+    /// True when the warning system still treats this application
+    /// conservatively (no learned clusters yet).
+    pub fn in_conservative_mode(&self, app: AppId) -> bool {
+        self.warning.in_conservative_mode(app)
+    }
+
+    /// Processes one epoch of cluster reports: Algorithm 1 for every VM, and
+    /// Algorithm 2 (plus placement) for whatever the warning system escalates.
+    pub fn process_epoch(
+        &mut self,
+        cluster: &mut Cluster,
+        reports: &[VmEpochReport],
+    ) -> Vec<EpochEvent> {
+        let mut events = Vec::new();
+        if reports.is_empty() {
+            return events;
+        }
+        let epoch = reports[0].epoch;
+
+        // Record the duplicated request streams and the counter history.
+        self.proxy.record_reports(reports);
+        for r in reports {
+            let history = self.recent_counters.entry(r.vm_id).or_default();
+            history.push_back(r.counters);
+            while history.len() > self.config.analysis_window {
+                history.pop_front();
+            }
+        }
+
+        // Current behaviour of every VM, grouped by application (the global
+        // information the warning system may consult).
+        let behaviors: HashMap<VmId, BehaviorVector> = reports
+            .iter()
+            .map(|r| (r.vm_id, BehaviorVector::from_counters(&r.counters)))
+            .collect();
+        let mut by_app: HashMap<AppId, Vec<VmId>> = HashMap::new();
+        for r in reports {
+            by_app.entry(r.app).or_default().push(r.vm_id);
+        }
+
+        for report in reports {
+            self.stats.evaluations += 1;
+            let behavior = &behaviors[&report.vm_id];
+            // Skip idle VMs: an empty behaviour carries no signal.
+            if report.counters.inst_retired <= 0.0 {
+                continue;
+            }
+            self.warning.refresh_model(report.app, &self.repository);
+            let peers: Vec<BehaviorVector> = if self.config.use_global_information {
+                by_app[&report.app]
+                    .iter()
+                    .filter(|id| **id != report.vm_id)
+                    .map(|id| behaviors[id].clone())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let decision = self.warning.evaluate(report.app, behavior, &peers);
+            match decision {
+                WarningDecision::NormalLocal => {}
+                WarningDecision::NormalGlobal => {
+                    // Workload change shared across the application's VMs:
+                    // extend the set of known behaviours without profiling.
+                    self.stats.global_matches += 1;
+                    self.repository.record_normal(report.app, behavior.clone(), epoch);
+                }
+                WarningDecision::SuspectInterference | WarningDecision::Bootstrap => {
+                    if self
+                        .cooldown_until
+                        .get(&report.vm_id)
+                        .is_some_and(|until| epoch < *until)
+                    {
+                        continue;
+                    }
+                    let result = self.run_analysis(report);
+                    let cooldown = if result.interference_confirmed {
+                        self.config.confirmed_cooldown.max(self.config.analysis_cooldown)
+                    } else {
+                        self.config.analysis_cooldown
+                    };
+                    self.cooldown_until.insert(report.vm_id, epoch + cooldown);
+                    events.push(EpochEvent::Analyzed {
+                        vm: report.vm_id,
+                        trigger: decision,
+                        result: result.clone(),
+                    });
+                    if result.interference_confirmed {
+                        if let Some(culprit) = result.culprit {
+                            if self.config.auto_migrate {
+                                events.extend(self.mitigate(cluster, reports, report, culprit));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        events
+    }
+
+    /// Runs the interference analyzer for one VM and updates the repository.
+    fn run_analysis(&mut self, report: &VmEpochReport) -> AnalysisResult {
+        self.stats.analyzer_invocations += 1;
+        let window: Vec<CounterSnapshot> = self
+            .recent_counters
+            .get(&report.vm_id)
+            .map(|h| h.iter().copied().collect())
+            .unwrap_or_else(|| vec![report.counters]);
+        let mut replay = self
+            .proxy
+            .replay_last(report.vm_id, self.config.analysis_window);
+        if replay.is_empty() {
+            replay.push(report.demand.clone());
+        }
+        let result = self.analyzer.analyze(
+            report.vm_id,
+            &window,
+            &replay,
+            &self.sandbox,
+            2,
+        );
+        self.stats.profiling_seconds += result.profiling_seconds;
+        // Every isolation epoch is a verified normal behaviour — the set S
+        // the analyzer hands the warning system (§4.1).
+        for behavior in &result.isolation_behaviors {
+            self.repository
+                .record_normal(report.app, behavior.clone(), report.epoch);
+        }
+        if result.interference_confirmed {
+            self.stats.interference_confirmed += 1;
+            self.repository.record_interference(
+                report.app,
+                result.production_behavior.clone(),
+                report.epoch,
+            );
+        } else {
+            self.stats.false_alarms += 1;
+            // A false alarm means the production behaviour is genuinely
+            // normal (e.g. a workload change): learn it.
+            self.repository
+                .record_normal(report.app, result.production_behavior.clone(), report.epoch);
+        }
+        result
+    }
+
+    /// Mitigates confirmed interference on the machine hosting `victim`.
+    fn mitigate(
+        &mut self,
+        cluster: &mut Cluster,
+        reports: &[VmEpochReport],
+        victim: &VmEpochReport,
+        culprit: Resource,
+    ) -> Vec<EpochEvent> {
+        let mut events = Vec::new();
+        let pm = victim.pm_id;
+        // Residents of the afflicted machine, from this epoch's reports.
+        let residents: Vec<ResidentVm> = reports
+            .iter()
+            .filter(|r| r.pm_id == pm)
+            .map(|r| ResidentVm {
+                vm_id: r.vm_id,
+                counters: r.counters,
+                behavior: BehaviorVector::from_counters(&r.counters),
+                demand: r.demand.clone(),
+                vcpus: 2,
+            })
+            .collect();
+        if residents.len() < 2 {
+            events.push(EpochEvent::MigrationSkipped {
+                vm: victim.vm_id,
+                reason: "no co-located VM to migrate away".to_string(),
+            });
+            return events;
+        }
+        // Candidate destinations: every other machine, with its residents'
+        // latest demands.
+        let candidates: Vec<CandidateMachine> = cluster
+            .machines()
+            .iter()
+            .filter(|m| m.id != pm)
+            .map(|m| CandidateMachine {
+                pm_id: m.id,
+                resident_demands: reports
+                    .iter()
+                    .filter(|r| r.pm_id == m.id)
+                    .map(|r| r.demand.clone())
+                    .collect(),
+                free_cores: m.free_cores(),
+            })
+            .collect();
+        if candidates.is_empty() {
+            events.push(EpochEvent::MigrationSkipped {
+                vm: victim.vm_id,
+                reason: "no candidate destination machine".to_string(),
+            });
+            return events;
+        }
+
+        // Train the synthetic benchmark lazily, once per server type.
+        if self.synthetic.is_none() {
+            let samples = self.config.synthetic_training_samples;
+            let seed = self.config.seed;
+            let _ = &mut self.rng;
+            self.synthetic = Some(SyntheticBenchmark::train(
+                self.sandbox.spec.clone(),
+                samples,
+                seed,
+            ));
+        }
+        let benchmark = self.synthetic.as_ref().expect("benchmark trained above");
+
+        let decision = self.placement.decide(&residents, culprit, &candidates, benchmark);
+        match decision.destination {
+            Some(destination) => match cluster.migrate(decision.vm_to_migrate, destination) {
+                Ok(_cost) => {
+                    self.stats.migrations += 1;
+                    events.push(EpochEvent::Migrated {
+                        vm: decision.vm_to_migrate,
+                        from: pm,
+                        to: destination,
+                        culprit,
+                    });
+                }
+                Err(ClusterError::NoCapacity { .. }) => {
+                    events.push(EpochEvent::MigrationSkipped {
+                        vm: decision.vm_to_migrate,
+                        reason: "destination ran out of capacity".to_string(),
+                    });
+                }
+                Err(e) => {
+                    events.push(EpochEvent::MigrationSkipped {
+                        vm: decision.vm_to_migrate,
+                        reason: e.to_string(),
+                    });
+                }
+            },
+            None => {
+                events.push(EpochEvent::MigrationSkipped {
+                    vm: decision.vm_to_migrate,
+                    reason: "every candidate destination would interfere too much".to_string(),
+                });
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudsim::Scheduler;
+    use hwsim::MachineSpec;
+    use workloads::{ClientEmulator, DataServing, MemoryStress};
+
+    fn serving_vm(id: u64, app: u64) -> cloudsim::Vm {
+        cloudsim::Vm::new(
+            VmId(id),
+            Box::new(DataServing::with_defaults(AppId(app))),
+            ClientEmulator::new(8_000.0, 4.0),
+        )
+    }
+
+    fn aggressor_vm(id: u64) -> cloudsim::Vm {
+        cloudsim::Vm::new(
+            VmId(id),
+            Box::new(MemoryStress::new(AppId(900), 512.0)),
+            ClientEmulator::new(1.0, 1.0),
+        )
+    }
+
+    fn controller(auto_migrate: bool) -> DeepDive {
+        let config = DeepDiveConfig {
+            auto_migrate,
+            synthetic_training_samples: 80,
+            ..Default::default()
+        };
+        DeepDive::new(config, Sandbox::xeon_pool(4))
+    }
+
+    /// Runs `epochs` epochs and returns all events.
+    fn run(
+        cluster: &mut Cluster,
+        deepdive: &mut DeepDive,
+        epochs: usize,
+        load: f64,
+        rng: &mut StdRng,
+    ) -> Vec<EpochEvent> {
+        let mut events = Vec::new();
+        for _ in 0..epochs {
+            let reports = cluster.step_epoch(&|_| load, rng);
+            events.extend(deepdive.process_epoch(cluster, &reports));
+        }
+        events
+    }
+
+    #[test]
+    fn bootstrap_learns_then_goes_quiet() {
+        let mut cluster = Cluster::homogeneous(1, MachineSpec::xeon_x5472(), Scheduler::default());
+        cluster.place_on(PmId(0), serving_vm(1, 1)).unwrap();
+        let mut dd = controller(false);
+        let mut rng = StdRng::seed_from_u64(2);
+        run(&mut cluster, &mut dd, 60, 0.8, &mut rng);
+        let stats = dd.stats();
+        assert!(stats.analyzer_invocations >= 1, "bootstrap must invoke the analyzer");
+        assert!(stats.interference_confirmed == 0, "no interference was present");
+        assert!(!dd.in_conservative_mode(AppId(1)), "clusters should be learned by now");
+        // Once learned, further quiet epochs must not trigger the analyzer.
+        let before = dd.stats().analyzer_invocations;
+        run(&mut cluster, &mut dd, 40, 0.8, &mut rng);
+        let after = dd.stats().analyzer_invocations;
+        assert!(after - before <= 1, "learned behaviour keeps firing the analyzer");
+    }
+
+    #[test]
+    fn injected_interference_is_detected_and_mitigated() {
+        let mut cluster = Cluster::homogeneous(2, MachineSpec::xeon_x5472(), Scheduler::default());
+        cluster.place_on(PmId(0), serving_vm(1, 1)).unwrap();
+        let mut dd = controller(true);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Learn normal behaviour first.
+        run(&mut cluster, &mut dd, 50, 0.8, &mut rng);
+        let confirmed_before = dd.stats().interference_confirmed;
+        // Inject a cache aggressor next to the victim.
+        cluster.place_on(PmId(0), aggressor_vm(99)).unwrap();
+        let events = run(&mut cluster, &mut dd, 40, 0.8, &mut rng);
+        let stats = dd.stats();
+        assert!(
+            stats.interference_confirmed > confirmed_before,
+            "interference was never confirmed: {stats:?}"
+        );
+        // The aggressor (most aggressive on the culprit resource) must have
+        // been migrated to the idle machine.
+        let migrated = events.iter().any(|e| matches!(e, EpochEvent::Migrated { vm, to, .. } if *vm == VmId(99) && *to == PmId(1)));
+        assert!(migrated, "aggressor was not migrated: {events:?}");
+        assert_eq!(cluster.locate(VmId(99)), Some(PmId(1)));
+        assert_eq!(cluster.locate(VmId(1)), Some(PmId(0)));
+    }
+
+    #[test]
+    fn profiling_time_accumulates_only_when_analyzer_runs() {
+        let mut cluster = Cluster::homogeneous(1, MachineSpec::xeon_x5472(), Scheduler::default());
+        cluster.place_on(PmId(0), serving_vm(1, 1)).unwrap();
+        let mut dd = controller(false);
+        let mut rng = StdRng::seed_from_u64(4);
+        run(&mut cluster, &mut dd, 40, 0.8, &mut rng);
+        let after_learning = dd.stats().profiling_seconds;
+        assert!(after_learning > 0.0);
+        run(&mut cluster, &mut dd, 40, 0.8, &mut rng);
+        let later = dd.stats().profiling_seconds;
+        // Nearly flat once normal behaviour is known (Fig. 12's plateau).
+        assert!(later - after_learning <= after_learning * 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn global_information_suppresses_analyses_for_shared_load_changes() {
+        // Nine VMs of the same app across machines; a qualitative load shift
+        // hits all of them at once.  With global information the analyzer
+        // should be invoked far fewer times than nine.
+        let mut cluster = Cluster::homogeneous(5, MachineSpec::xeon_x5472(), Scheduler::default());
+        for i in 0..9 {
+            cluster.place_first_fit(serving_vm(i, 1)).unwrap();
+        }
+        let mut dd = controller(false);
+        let mut rng = StdRng::seed_from_u64(5);
+        run(&mut cluster, &mut dd, 40, 0.8, &mut rng);
+        let before = dd.stats();
+        // A qualitative change: load jumps for every instance simultaneously.
+        run(&mut cluster, &mut dd, 10, 0.3, &mut rng);
+        let after = dd.stats();
+        assert!(
+            after.global_matches > before.global_matches
+                || after.analyzer_invocations - before.analyzer_invocations < 9,
+            "global information had no effect: {after:?}"
+        );
+    }
+
+    #[test]
+    fn stats_start_at_zero() {
+        let dd = controller(true);
+        assert_eq!(dd.stats(), DeepDiveStats::default());
+        assert!(dd.repository().known_apps().is_empty());
+    }
+}

@@ -1,0 +1,75 @@
+//! # deepdive — transparent interference detection and management
+//!
+//! This crate is the reproduction of the paper's contribution: a system that
+//! identifies and manages performance interference between co-located VMs
+//! using nothing but low-level metrics (hardware counters and I/O stall
+//! statistics), with no application cooperation.
+//!
+//! The three components mirror §4 of the paper:
+//!
+//! * the **warning system** ([`warning`]) runs continuously and cheaply in
+//!   the VMM: it normalizes each VM's counters by instructions retired,
+//!   matches them against previously learned *normal behaviour* clusters
+//!   (local information) and against the behaviour of other VMs running the
+//!   same application (global information), and escalates only genuinely
+//!   unexplained deviations;
+//! * the **interference analyzer** ([`analyzer`]) is the expensive
+//!   ground-truth path: it clones the suspect VM into a sandbox, replays the
+//!   duplicated request stream, compares instructions retired in production
+//!   vs. isolation to estimate the degradation, and attributes it to a
+//!   culprit resource with an augmented CPI stack ([`cpi_stack`]);
+//! * the **placement manager** ([`placement`]) mitigates confirmed
+//!   interference: it picks the VM most aggressive on the culprit resource,
+//!   predicts — using a regression-trained synthetic benchmark
+//!   ([`synthetic`]) — how that VM would interfere on each candidate
+//!   destination machine, and migrates it to the best one.
+//!
+//! [`controller`] wires the three together into the end-to-end loop driven
+//! by the cluster simulator, and [`repository`] stores the learned
+//! behaviours (≈5 KB per VM per day, §5.5).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cloudsim::{Cluster, Sandbox, Scheduler, Vm, VmId, PmId};
+//! use deepdive::controller::{DeepDive, DeepDiveConfig};
+//! use hwsim::MachineSpec;
+//! use rand::SeedableRng;
+//! use workloads::{AppId, ClientEmulator, DataServing, MemoryStress};
+//!
+//! // A one-machine cloud with a victim and a cache-thrashing aggressor.
+//! let mut cluster = Cluster::homogeneous(2, MachineSpec::xeon_x5472(), Scheduler::default());
+//! cluster.place_on(PmId(0), Vm::new(
+//!     VmId(1),
+//!     Box::new(DataServing::with_defaults(AppId(1))),
+//!     ClientEmulator::new(8_000.0, 4.0),
+//! )).unwrap();
+//!
+//! let mut deepdive = DeepDive::new(DeepDiveConfig::default(), Sandbox::xeon_pool(2));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//!
+//! // Learn normal behaviour for a while...
+//! for _ in 0..30 {
+//!     let reports = cluster.step_epoch(&|_| 0.8, &mut rng);
+//!     deepdive.process_epoch(&mut cluster, &reports);
+//! }
+//! // ...then interference can be injected and will be detected and mitigated.
+//! ```
+
+pub mod analyzer;
+pub mod controller;
+pub mod cpi_stack;
+pub mod metrics;
+pub mod placement;
+pub mod repository;
+pub mod synthetic;
+pub mod warning;
+
+pub use analyzer::{AnalysisResult, InterferenceAnalyzer};
+pub use controller::{DeepDive, DeepDiveConfig, DeepDiveStats};
+pub use cpi_stack::{CpiStack, Resource};
+pub use metrics::BehaviorVector;
+pub use placement::{PlacementDecision, PlacementManager};
+pub use repository::BehaviorRepository;
+pub use synthetic::{SyntheticBenchmark, SyntheticClone};
+pub use warning::{WarningDecision, WarningSystem};

@@ -1,0 +1,434 @@
+//! The VM-placement manager (§4.3).
+//!
+//! Once the analyzer confirms interference and names a culprit resource, the
+//! placement manager:
+//!
+//! 1. selects the VM that uses the culprit resource most aggressively on the
+//!    affected machine (the paper's default mitigation policy),
+//! 2. runs a synthetic clone of that VM on every candidate destination
+//!    machine — *without* migrating anything — to predict how much
+//!    interference the move would cause there, and
+//! 3. recommends the destination with the least predicted interference, or
+//!    nothing if every candidate would be worse than an operator-set limit.
+//!
+//! Candidate evaluation works on the candidates' most recent per-VM demand
+//! snapshots: placing the clone's demand next to them and resolving one
+//! epoch of contention is exactly "running the benchmark for a short time on
+//! another machine (with other VMs present)".
+
+use cloudsim::{PmId, VmId};
+use hwsim::contention::{resolve_epoch, PlacedDemand};
+use hwsim::{CounterSnapshot, MachineSpec, ResourceDemand};
+use serde::{Deserialize, Serialize};
+
+use crate::cpi_stack::Resource;
+use crate::metrics::BehaviorVector;
+use crate::synthetic::SyntheticBenchmark;
+
+/// A VM on the interference-afflicted machine, as seen by the placement
+/// manager: its latest counters (for the aggressiveness ranking) and its
+/// latest behaviour (for the synthetic clone).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidentVm {
+    /// The VM.
+    pub vm_id: VmId,
+    /// Its most recent counter snapshot.
+    pub counters: CounterSnapshot,
+    /// Its most recent normalized behaviour.
+    pub behavior: BehaviorVector,
+    /// Its most recent intrinsic demand (used when the VM stays put and a
+    /// clone is evaluated next to it).
+    pub demand: ResourceDemand,
+    /// vCPUs allocated to the VM.
+    pub vcpus: usize,
+}
+
+/// A candidate destination machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateMachine {
+    /// The machine.
+    pub pm_id: PmId,
+    /// Latest demands of the VMs already hosted there.
+    pub resident_demands: Vec<ResourceDemand>,
+    /// Free cores available for the incoming VM.
+    pub free_cores: usize,
+}
+
+/// Predicted outcome of migrating the aggressor to one candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidatePrediction {
+    /// The candidate machine.
+    pub pm_id: PmId,
+    /// Predicted interference on the destination: the largest fractional
+    /// slowdown among the clone and the VMs already resident there.
+    pub predicted_interference: f64,
+}
+
+/// The placement manager's recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementDecision {
+    /// The VM selected for migration (most aggressive on the culprit).
+    pub vm_to_migrate: VmId,
+    /// The chosen destination, or `None` when every candidate would suffer
+    /// more than the acceptable interference limit.
+    pub destination: Option<PmId>,
+    /// Predictions for every evaluated candidate (sorted by machine id).
+    pub predictions: Vec<CandidatePrediction>,
+}
+
+/// The placement manager.
+#[derive(Debug, Clone)]
+pub struct PlacementManager {
+    /// Machine model of the candidate destinations.
+    pub spec: MachineSpec,
+    /// Maximum predicted interference the manager accepts at a destination.
+    pub acceptable_interference: f64,
+}
+
+impl PlacementManager {
+    /// Creates a placement manager.
+    ///
+    /// # Panics
+    /// Panics if the acceptable-interference limit is not a fraction in
+    /// `(0, 1]`.
+    pub fn new(spec: MachineSpec, acceptable_interference: f64) -> Self {
+        assert!(
+            acceptable_interference > 0.0 && acceptable_interference <= 1.0,
+            "acceptable interference must be a fraction in (0, 1]"
+        );
+        Self {
+            spec,
+            acceptable_interference,
+        }
+    }
+
+    /// Ranks a VM's aggressiveness on a resource from its normalized
+    /// behaviour.
+    ///
+    /// Normalizing by instructions retired matters here: when a shared
+    /// resource saturates, every co-located VM ends up with roughly the same
+    /// *absolute* throughput on that resource (they share it), so absolute
+    /// counters cannot tell victim from culprit.  Per-instruction pressure
+    /// can: the aggressor hammers the resource on every instruction it
+    /// retires, the victim does not.
+    pub fn aggressiveness(behavior: &BehaviorVector, resource: Resource) -> f64 {
+        // Dimension indices follow `metrics::DIMENSION_NAMES`.
+        match resource {
+            Resource::Core => behavior.values[0],        // cpi
+            Resource::CacheMemory => behavior.values[2], // llc_lines_in_pki
+            Resource::MemoryBus => behavior.values[6],   // bus_outstanding_pki
+            Resource::Disk => behavior.values[8],        // disk_stall_s_per_gi
+            Resource::Network => behavior.values[9],     // net_stall_s_per_gi
+        }
+    }
+
+    /// Selects the most aggressive VM on the culprit resource.
+    ///
+    /// # Panics
+    /// Panics if `residents` is empty.
+    pub fn select_aggressor(residents: &[ResidentVm], culprit: Resource) -> VmId {
+        assert!(!residents.is_empty(), "no resident VMs to choose from");
+        residents
+            .iter()
+            .max_by(|a, b| {
+                Self::aggressiveness(&a.behavior, culprit)
+                    .partial_cmp(&Self::aggressiveness(&b.behavior, culprit))
+                    .expect("finite aggressiveness")
+            })
+            .map(|v| v.vm_id)
+            .expect("non-empty residents")
+    }
+
+    /// Predicts the interference the aggressor's synthetic clone would cause
+    /// on one candidate machine: place the clone next to the candidate's
+    /// residents, resolve one epoch, and report the worst fractional
+    /// slowdown relative to each workload running uncontended.
+    pub fn predict_on_candidate(
+        &self,
+        clone_demand: &ResourceDemand,
+        clone_vcpus: usize,
+        candidate: &CandidateMachine,
+    ) -> f64 {
+        // Baselines: every demand resolved alone on an idle machine.
+        let solo_fraction = |demand: &ResourceDemand, vcpus: usize| -> f64 {
+            resolve_epoch(&self.spec, &[PlacedDemand::new(0, demand.clone(), vcpus, 0)])[0]
+                .achieved_fraction
+        };
+
+        let mut placements = Vec::with_capacity(candidate.resident_demands.len() + 1);
+        let mut baselines = Vec::with_capacity(candidate.resident_demands.len() + 1);
+        for (i, demand) in candidate.resident_demands.iter().enumerate() {
+            placements.push(PlacedDemand::new(
+                i as u64,
+                demand.clone(),
+                2,
+                (i / 2) % self.spec.cache_groups().max(1),
+            ));
+            baselines.push(solo_fraction(demand, 2));
+        }
+        let clone_slot = placements.len();
+        placements.push(PlacedDemand::new(
+            u64::MAX,
+            clone_demand.clone(),
+            clone_vcpus,
+            (clone_slot / 2) % self.spec.cache_groups().max(1),
+        ));
+        baselines.push(solo_fraction(clone_demand, clone_vcpus));
+
+        let outcomes = resolve_epoch(&self.spec, &placements);
+        outcomes
+            .iter()
+            .zip(&baselines)
+            .map(|(o, &solo)| {
+                if solo <= 0.0 {
+                    0.0
+                } else {
+                    ((solo - o.achieved_fraction) / solo).max(0.0)
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Full placement decision for a confirmed interference case.
+    ///
+    /// * `residents` — the VMs on the afflicted machine.
+    /// * `culprit` — the resource the analyzer blamed.
+    /// * `candidates` — possible destination machines (the afflicted machine
+    ///   itself must not be among them).
+    /// * `benchmark` — the trained synthetic benchmark for this server type.
+    pub fn decide(
+        &self,
+        residents: &[ResidentVm],
+        culprit: Resource,
+        candidates: &[CandidateMachine],
+        benchmark: &SyntheticBenchmark,
+    ) -> PlacementDecision {
+        let aggressor_id = Self::select_aggressor(residents, culprit);
+        let aggressor = residents
+            .iter()
+            .find(|r| r.vm_id == aggressor_id)
+            .expect("aggressor is a resident");
+
+        // Build the synthetic clone that mimics the aggressor.
+        let clone_inputs = benchmark.mimic(&aggressor.behavior);
+        let clone_demand = clone_inputs.demand();
+
+        let mut predictions: Vec<CandidatePrediction> = candidates
+            .iter()
+            .filter(|c| c.free_cores >= aggressor.vcpus)
+            .map(|c| CandidatePrediction {
+                pm_id: c.pm_id,
+                predicted_interference: self.predict_on_candidate(&clone_demand, aggressor.vcpus, c),
+            })
+            .collect();
+        predictions.sort_by_key(|p| p.pm_id);
+
+        let destination = predictions
+            .iter()
+            .min_by(|a, b| {
+                a.predicted_interference
+                    .partial_cmp(&b.predicted_interference)
+                    .expect("finite predictions")
+            })
+            .filter(|p| p.predicted_interference <= self.acceptable_interference)
+            .map(|p| p.pm_id);
+
+        PlacementDecision {
+            vm_to_migrate: aggressor_id,
+            destination,
+            predictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwsim::ResourceDemand;
+    use workloads::AppId;
+
+    fn counters_with(llc: f64, net_stall: f64, disk_stall: f64) -> CounterSnapshot {
+        CounterSnapshot {
+            cpu_unhalted: 3.0e9,
+            inst_retired: 2.0e9,
+            l2_lines_in: llc,
+            net_stall_seconds: net_stall,
+            disk_stall_seconds: disk_stall,
+            bus_tran_any: llc,
+            ..CounterSnapshot::zero()
+        }
+    }
+
+    fn quiet_demand() -> ResourceDemand {
+        ResourceDemand::builder()
+            .instructions(1.0e9)
+            .working_set_mb(4.0)
+            .l1_mpki(12.0)
+            .llc_mpki_solo(0.5)
+            .parallelism(2.0)
+            .build()
+    }
+
+    fn busy_memory_demand() -> ResourceDemand {
+        ResourceDemand::builder()
+            .instructions(2.5e9)
+            .working_set_mb(512.0)
+            .l1_mpki(70.0)
+            .llc_mpki_solo(45.0)
+            .locality(0.0)
+            .parallelism(2.0)
+            .build()
+    }
+
+    fn resident(id: u64, counters: CounterSnapshot) -> ResidentVm {
+        ResidentVm {
+            vm_id: VmId(id),
+            behavior: BehaviorVector::from_counters(&counters),
+            counters,
+            demand: quiet_demand(),
+            vcpus: 2,
+        }
+    }
+
+    fn manager() -> PlacementManager {
+        PlacementManager::new(MachineSpec::xeon_x5472(), 0.15)
+    }
+
+    #[test]
+    fn aggressor_selection_follows_the_culprit_resource() {
+        let cache_hog = resident(1, counters_with(5.0e7, 0.0, 0.0));
+        let net_hog = resident(2, counters_with(1.0e6, 0.6, 0.0));
+        let disk_hog = resident(3, counters_with(1.0e6, 0.0, 0.7));
+        let residents = vec![cache_hog, net_hog, disk_hog];
+        assert_eq!(
+            PlacementManager::select_aggressor(&residents, Resource::CacheMemory),
+            VmId(1)
+        );
+        assert_eq!(
+            PlacementManager::select_aggressor(&residents, Resource::Network),
+            VmId(2)
+        );
+        assert_eq!(
+            PlacementManager::select_aggressor(&residents, Resource::Disk),
+            VmId(3)
+        );
+    }
+
+    #[test]
+    fn prediction_is_low_on_an_empty_machine_and_high_on_a_loaded_one() {
+        let m = manager();
+        let clone_demand = busy_memory_demand();
+        let empty = CandidateMachine {
+            pm_id: PmId(1),
+            resident_demands: vec![],
+            free_cores: 8,
+        };
+        let loaded = CandidateMachine {
+            pm_id: PmId(2),
+            resident_demands: vec![busy_memory_demand(), quiet_demand()],
+            free_cores: 4,
+        };
+        let empty_pred = m.predict_on_candidate(&clone_demand, 2, &empty);
+        let loaded_pred = m.predict_on_candidate(&clone_demand, 2, &loaded);
+        assert!(empty_pred < 0.05, "empty machine prediction {empty_pred}");
+        assert!(loaded_pred > empty_pred, "loaded {loaded_pred} vs empty {empty_pred}");
+    }
+
+    #[test]
+    fn decision_prefers_the_least_interfering_destination() {
+        let m = manager();
+        let benchmark = SyntheticBenchmark::train(MachineSpec::xeon_x5472(), 120, 3);
+        // The aggressor is a cache hog; the victim is quiet.
+        let spec = MachineSpec::xeon_x5472();
+        let contended = resolve_epoch(
+            &spec,
+            &[
+                PlacedDemand::new(1, quiet_demand(), 2, 0),
+                PlacedDemand::new(2, busy_memory_demand(), 2, 0),
+            ],
+        );
+        let residents = vec![
+            ResidentVm {
+                vm_id: VmId(1),
+                counters: contended[0].counters,
+                behavior: BehaviorVector::from_counters(&contended[0].counters),
+                demand: quiet_demand(),
+                vcpus: 2,
+            },
+            ResidentVm {
+                vm_id: VmId(2),
+                counters: contended[1].counters,
+                behavior: BehaviorVector::from_counters(&contended[1].counters),
+                demand: busy_memory_demand(),
+                vcpus: 2,
+            },
+        ];
+        let candidates = vec![
+            CandidateMachine {
+                pm_id: PmId(10),
+                resident_demands: vec![busy_memory_demand(), busy_memory_demand()],
+                free_cores: 4,
+            },
+            CandidateMachine {
+                pm_id: PmId(11),
+                resident_demands: vec![],
+                free_cores: 8,
+            },
+        ];
+        let decision = m.decide(&residents, Resource::CacheMemory, &candidates, &benchmark);
+        assert_eq!(decision.vm_to_migrate, VmId(2), "the cache hog must be selected");
+        assert_eq!(decision.destination, Some(PmId(11)), "the idle machine wins");
+        assert_eq!(decision.predictions.len(), 2);
+    }
+
+    #[test]
+    fn decision_declines_when_every_candidate_is_bad() {
+        let m = PlacementManager::new(MachineSpec::xeon_x5472(), 0.01);
+        let benchmark = SyntheticBenchmark::train(MachineSpec::xeon_x5472(), 120, 3);
+        let residents = vec![resident(1, counters_with(5.0e7, 0.0, 0.0))];
+        let candidates = vec![CandidateMachine {
+            pm_id: PmId(10),
+            resident_demands: vec![busy_memory_demand(), busy_memory_demand(), busy_memory_demand()],
+            free_cores: 2,
+        }];
+        let decision = m.decide(&residents, Resource::CacheMemory, &candidates, &benchmark);
+        assert_eq!(decision.destination, None);
+    }
+
+    #[test]
+    fn candidates_without_capacity_are_skipped() {
+        let m = manager();
+        let benchmark = SyntheticBenchmark::train(MachineSpec::xeon_x5472(), 120, 3);
+        let residents = vec![resident(1, counters_with(5.0e7, 0.0, 0.0))];
+        let candidates = vec![CandidateMachine {
+            pm_id: PmId(10),
+            resident_demands: vec![quiet_demand()],
+            free_cores: 0,
+        }];
+        let decision = m.decide(&residents, Resource::CacheMemory, &candidates, &benchmark);
+        assert!(decision.predictions.is_empty());
+        assert_eq!(decision.destination, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no resident VMs")]
+    fn empty_residents_rejected() {
+        PlacementManager::select_aggressor(&[], Resource::Disk);
+    }
+
+    #[test]
+    #[should_panic(expected = "acceptable interference")]
+    fn invalid_limit_rejected() {
+        PlacementManager::new(MachineSpec::xeon_x5472(), 0.0);
+    }
+
+    #[test]
+    fn synthetic_clone_uses_app_namespace_for_identity() {
+        // Smoke-check that the clone built by the benchmark carries the app
+        // identity it was asked to impersonate.
+        let benchmark = SyntheticBenchmark::train(MachineSpec::xeon_x5472(), 120, 3);
+        let target = BehaviorVector::from_counters(&counters_with(5.0e7, 0.0, 0.0));
+        let clone = benchmark.clone_for(AppId(42), &target);
+        assert_eq!(workloads::Workload::app_id(&clone), AppId(42));
+    }
+}

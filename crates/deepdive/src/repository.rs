@@ -1,0 +1,276 @@
+//! The VM-behaviour repository.
+//!
+//! "In the absence of interference, the analyzer updates the repository of
+//! VM behaviors with this new information" (§4).  The repository is keyed by
+//! application (VMs running the same code share behaviours — that is what
+//! makes the global information check and the Zipf scalability results work)
+//! and stores two kinds of entries: verified *normal* behaviours, which seed
+//! the warning system's clusters, and *interference* behaviours, which
+//! become cannot-link constraints.
+//!
+//! Section 5.5 notes the footprint is tiny — "less than 5 KB to record the
+//! VM's behavior for the whole day" even for a VM analyzed hourly — and this
+//! module exposes the same accounting so the memory-overhead table can be
+//! regenerated.
+
+use std::collections::HashMap;
+
+use analytics::constrained::LabelledBehaviour;
+use serde::{Deserialize, Serialize};
+use workloads::AppId;
+
+use crate::metrics::BehaviorVector;
+
+/// A stored behaviour together with its label.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredBehavior {
+    /// The normalized behaviour vector.
+    pub behavior: BehaviorVector,
+    /// True when the analyzer confirmed this behaviour was interference.
+    pub interference: bool,
+    /// Epoch at which the behaviour was recorded.
+    pub epoch: u64,
+}
+
+/// Per-application behaviour store.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppBehaviors {
+    entries: Vec<StoredBehavior>,
+}
+
+impl AppBehaviors {
+    /// Verified-normal behaviours only.
+    pub fn normals(&self) -> Vec<&BehaviorVector> {
+        self.entries
+            .iter()
+            .filter(|e| !e.interference)
+            .map(|e| &e.behavior)
+            .collect()
+    }
+
+    /// Confirmed-interference behaviours only.
+    pub fn interference(&self) -> Vec<&BehaviorVector> {
+        self.entries
+            .iter()
+            .filter(|e| e.interference)
+            .map(|e| &e.behavior)
+            .collect()
+    }
+
+    /// All entries as labelled points for the constrained clustering code.
+    pub fn labelled(&self) -> Vec<LabelledBehaviour> {
+        self.entries
+            .iter()
+            .map(|e| LabelledBehaviour {
+                metrics: e.behavior.to_vec(),
+                interference: e.interference,
+            })
+            .collect()
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The repository: per-application behaviour history.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BehaviorRepository {
+    apps: HashMap<u64, AppBehaviors>,
+    /// Maximum entries retained per application (oldest evicted first).
+    capacity_per_app: usize,
+}
+
+/// Default retention: at one verified behaviour per hour this is roughly two
+/// weeks of history, well under the 5 KB/day budget of §5.5.
+pub const DEFAULT_CAPACITY_PER_APP: usize = 512;
+
+impl BehaviorRepository {
+    /// Creates an empty repository with the default per-application capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY_PER_APP)
+    }
+
+    /// Creates an empty repository with an explicit per-application capacity.
+    ///
+    /// # Panics
+    /// Panics if the capacity is zero.
+    pub fn with_capacity(capacity_per_app: usize) -> Self {
+        assert!(capacity_per_app > 0, "capacity must be positive");
+        Self {
+            apps: HashMap::new(),
+            capacity_per_app,
+        }
+    }
+
+    /// Records a verified-normal behaviour for an application.
+    pub fn record_normal(&mut self, app: AppId, behavior: BehaviorVector, epoch: u64) {
+        self.record(app, behavior, false, epoch);
+    }
+
+    /// Records a confirmed-interference behaviour for an application.
+    pub fn record_interference(&mut self, app: AppId, behavior: BehaviorVector, epoch: u64) {
+        self.record(app, behavior, true, epoch);
+    }
+
+    fn record(&mut self, app: AppId, behavior: BehaviorVector, interference: bool, epoch: u64) {
+        debug_assert!(behavior.is_well_formed(), "storing malformed behaviour");
+        let store = self.apps.entry(app.0).or_default();
+        store.entries.push(StoredBehavior {
+            behavior,
+            interference,
+            epoch,
+        });
+        while store.entries.len() > self.capacity_per_app {
+            store.entries.remove(0);
+        }
+    }
+
+    /// Behaviours known for an application (empty store if never seen).
+    pub fn behaviors(&self, app: AppId) -> AppBehaviors {
+        self.apps.get(&app.0).cloned().unwrap_or_default()
+    }
+
+    /// Number of verified-normal behaviours for an application.
+    pub fn normal_count(&self, app: AppId) -> usize {
+        self.apps
+            .get(&app.0)
+            .map(|s| s.entries.iter().filter(|e| !e.interference).count())
+            .unwrap_or(0)
+    }
+
+    /// True when the application has never been analyzed.
+    pub fn is_unknown(&self, app: AppId) -> bool {
+        self.apps.get(&app.0).map(|s| s.is_empty()).unwrap_or(true)
+    }
+
+    /// Applications with at least one stored behaviour.
+    pub fn known_apps(&self) -> Vec<AppId> {
+        let mut apps: Vec<AppId> = self.apps.keys().map(|k| AppId(*k)).collect();
+        apps.sort();
+        apps
+    }
+
+    /// Approximate in-memory footprint of one application's history, in
+    /// bytes (behaviour payload + label + epoch).  This is the quantity the
+    /// paper bounds at "less than 5 KB ... for the whole day" (§5.5).
+    pub fn footprint_bytes(&self, app: AppId) -> usize {
+        self.apps
+            .get(&app.0)
+            .map(|s| {
+                s.entries
+                    .iter()
+                    .map(|e| e.behavior.footprint_bytes() + std::mem::size_of::<bool>() + std::mem::size_of::<u64>())
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Total footprint across all applications, in bytes.
+    pub fn total_footprint_bytes(&self) -> usize {
+        self.known_apps()
+            .iter()
+            .map(|a| self.footprint_bytes(*a))
+            .sum()
+    }
+
+    /// Serializes the repository to JSON (the durable NoSQL-store stand-in).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("repository serializes")
+    }
+
+    /// Restores a repository from JSON produced by [`Self::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::DIMENSIONS;
+
+    fn behavior(v: f64) -> BehaviorVector {
+        BehaviorVector::from_vec(&vec![v; DIMENSIONS])
+    }
+
+    #[test]
+    fn records_and_separates_normal_from_interference() {
+        let mut repo = BehaviorRepository::new();
+        let app = AppId(3);
+        assert!(repo.is_unknown(app));
+        repo.record_normal(app, behavior(1.0), 0);
+        repo.record_normal(app, behavior(1.1), 1);
+        repo.record_interference(app, behavior(9.0), 2);
+        assert!(!repo.is_unknown(app));
+        assert_eq!(repo.normal_count(app), 2);
+        let stored = repo.behaviors(app);
+        assert_eq!(stored.normals().len(), 2);
+        assert_eq!(stored.interference().len(), 1);
+        assert_eq!(stored.labelled().len(), 3);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_entries() {
+        let mut repo = BehaviorRepository::with_capacity(3);
+        let app = AppId(1);
+        for i in 0..5 {
+            repo.record_normal(app, behavior(i as f64), i);
+        }
+        let stored = repo.behaviors(app);
+        assert_eq!(stored.len(), 3);
+        assert_eq!(stored.normals()[0].values[0], 2.0);
+    }
+
+    #[test]
+    fn unknown_apps_report_empty_behaviors() {
+        let repo = BehaviorRepository::new();
+        assert!(repo.behaviors(AppId(9)).is_empty());
+        assert_eq!(repo.normal_count(AppId(9)), 0);
+        assert_eq!(repo.footprint_bytes(AppId(9)), 0);
+    }
+
+    #[test]
+    fn daily_footprint_stays_under_paper_budget() {
+        // A VM experiencing interference every hour stores 24 behaviours per
+        // day; the paper bounds this at 5 KB (§5.5).
+        let mut repo = BehaviorRepository::new();
+        let app = AppId(7);
+        for hour in 0..24 {
+            repo.record_normal(app, behavior(hour as f64), hour * 3_600);
+        }
+        let bytes = repo.footprint_bytes(app);
+        assert!(bytes < 5 * 1024, "daily footprint {bytes} bytes exceeds 5 KB");
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn known_apps_are_sorted_and_complete() {
+        let mut repo = BehaviorRepository::new();
+        repo.record_normal(AppId(5), behavior(1.0), 0);
+        repo.record_normal(AppId(2), behavior(1.0), 0);
+        assert_eq!(repo.known_apps(), vec![AppId(2), AppId(5)]);
+        assert_eq!(repo.total_footprint_bytes(), repo.footprint_bytes(AppId(2)) + repo.footprint_bytes(AppId(5)));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_contents() {
+        let mut repo = BehaviorRepository::new();
+        repo.record_normal(AppId(1), behavior(1.5), 3);
+        repo.record_interference(AppId(1), behavior(8.0), 4);
+        let restored = BehaviorRepository::from_json(&repo.to_json()).unwrap();
+        assert_eq!(restored.behaviors(AppId(1)), repo.behaviors(AppId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        BehaviorRepository::with_capacity(0);
+    }
+}

@@ -1,0 +1,295 @@
+//! The warning system (§4.1, Algorithm 1).
+//!
+//! The warning system is DeepDive's cheap, always-on first line: every epoch
+//! it reads each VM's normalized behaviour and decides between three
+//! outcomes that mirror Figure 3 of the paper:
+//!
+//! * the behaviour falls inside a learned *normal* cluster — no action
+//!   (Fig. 3a);
+//! * the behaviour is new, but most other VMs running the same application
+//!   moved the same way at the same time — a workload change, extend the
+//!   set of normal behaviours and do not escalate (Fig. 3b);
+//! * the behaviour is far from both — suspect interference and invoke the
+//!   analyzer (Fig. 3c).
+//!
+//! Clusters and per-metric thresholds `MT` come from the constrained EM fit
+//! in the `analytics` crate, re-fit whenever the repository gains new
+//! verified behaviours.  Before any verified behaviour exists the system
+//! runs in the paper's *conservative mode*: everything escalates, which
+//! bootstraps learning and guarantees no interference goes undetected.
+
+use std::collections::HashMap;
+
+use analytics::constrained::{fit_constrained, ConstrainedModel};
+use workloads::AppId;
+
+use crate::metrics::BehaviorVector;
+use crate::repository::BehaviorRepository;
+
+/// Outcome of the warning system's per-epoch check for one VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarningDecision {
+    /// Behaviour matches a learned normal cluster (Fig. 3a).
+    NormalLocal,
+    /// Behaviour is new but shared by most peers running the same code —
+    /// treated as a workload change (Fig. 3b).
+    NormalGlobal,
+    /// Behaviour is unexplained: invoke the interference analyzer (Fig. 3c).
+    SuspectInterference,
+    /// No knowledge about this application yet: conservative mode, invoke the
+    /// analyzer to start learning.
+    Bootstrap,
+}
+
+impl WarningDecision {
+    /// True when the decision requires invoking the interference analyzer.
+    pub fn triggers_analyzer(&self) -> bool {
+        matches!(self, WarningDecision::SuspectInterference | WarningDecision::Bootstrap)
+    }
+}
+
+/// Configuration of the warning system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarningConfig {
+    /// Number of mixture components fitted per application.
+    pub clusters_per_app: usize,
+    /// σ-multiplier used to derive the metric thresholds `MT`.
+    pub sigma_multiplier: f64,
+    /// Minimum number of verified normal behaviours before leaving
+    /// conservative mode.
+    pub min_behaviors_for_clustering: usize,
+    /// Fraction of peers that must exhibit the same new behaviour for the
+    /// global check to call it a workload change.
+    pub global_quorum: f64,
+    /// Maximum relative deviation between this VM's behaviour and a peer's
+    /// for them to count as "behaving similarly".
+    pub global_similarity: f64,
+    /// Seed for the clustering initialization.
+    pub seed: u64,
+}
+
+impl Default for WarningConfig {
+    fn default() -> Self {
+        Self {
+            clusters_per_app: 3,
+            sigma_multiplier: 3.0,
+            min_behaviors_for_clustering: 8,
+            global_quorum: 0.6,
+            global_similarity: 0.25,
+            seed: 0xDEE9_D1DE,
+        }
+    }
+}
+
+/// The warning system: per-application cluster models plus the decision
+/// procedure of Algorithm 1.
+#[derive(Debug)]
+pub struct WarningSystem {
+    config: WarningConfig,
+    models: HashMap<u64, ConstrainedModel>,
+    /// Number of repository entries the model for each app was fitted on,
+    /// used to decide when a re-fit is needed.
+    fitted_on: HashMap<u64, usize>,
+}
+
+impl WarningSystem {
+    /// Creates a warning system with the given configuration.
+    pub fn new(config: WarningConfig) -> Self {
+        assert!(config.clusters_per_app > 0, "need at least one cluster");
+        assert!(config.sigma_multiplier > 0.0, "sigma multiplier must be positive");
+        assert!((0.0..=1.0).contains(&config.global_quorum), "quorum must be a fraction");
+        Self {
+            config,
+            models: HashMap::new(),
+            fitted_on: HashMap::new(),
+        }
+    }
+
+    /// Creates a warning system with the default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(WarningConfig::default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &WarningConfig {
+        &self.config
+    }
+
+    /// Re-fits the cluster model for an application from the repository if
+    /// the repository has grown since the last fit.
+    pub fn refresh_model(&mut self, app: AppId, repository: &BehaviorRepository) {
+        let behaviors = repository.behaviors(app);
+        let n = behaviors.len();
+        if n < self.config.min_behaviors_for_clustering {
+            self.models.remove(&app.0);
+            self.fitted_on.remove(&app.0);
+            return;
+        }
+        if self.fitted_on.get(&app.0) == Some(&n) {
+            return; // Model is current.
+        }
+        let model = fit_constrained(
+            &behaviors.labelled(),
+            self.config.clusters_per_app,
+            self.config.sigma_multiplier,
+            self.config.seed ^ app.0,
+        );
+        self.models.insert(app.0, model);
+        self.fitted_on.insert(app.0, n);
+    }
+
+    /// True when the application is still in conservative (bootstrap) mode.
+    pub fn in_conservative_mode(&self, app: AppId) -> bool {
+        !self.models.contains_key(&app.0)
+    }
+
+    /// Algorithm 1: classifies one VM's current behaviour.
+    ///
+    /// * `behavior` — the VM's normalized behaviour this epoch.
+    /// * `peers` — the current behaviours of *other* VMs running the same
+    ///   application (across all PMs), used for the global check.
+    pub fn evaluate(
+        &self,
+        app: AppId,
+        behavior: &BehaviorVector,
+        peers: &[BehaviorVector],
+    ) -> WarningDecision {
+        let Some(model) = self.models.get(&app.0) else {
+            return WarningDecision::Bootstrap;
+        };
+        // Local check: does the behaviour match a learned normal cluster
+        // within the per-metric thresholds MT?
+        if model.accepts(&behavior.to_vec()) {
+            return WarningDecision::NormalLocal;
+        }
+        // Global check: are most peers deviating in the same way right now?
+        if !peers.is_empty() {
+            let similar = peers
+                .iter()
+                .filter(|p| behavior.max_relative_deviation(p) <= self.config.global_similarity)
+                .count();
+            let quorum = (peers.len() as f64 * self.config.global_quorum).ceil() as usize;
+            if similar >= quorum.max(1) {
+                return WarningDecision::NormalGlobal;
+            }
+        }
+        WarningDecision::SuspectInterference
+    }
+
+    /// Number of applications with a fitted (non-conservative) model.
+    pub fn modeled_apps(&self) -> usize {
+        self.models.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::DIMENSIONS;
+
+    fn behavior(cpi: f64, llc: f64) -> BehaviorVector {
+        let mut v = vec![0.5; DIMENSIONS];
+        v[0] = cpi;
+        v[2] = llc;
+        BehaviorVector::from_vec(&v)
+    }
+
+    /// Repository with a tight cluster of normal behaviours around
+    /// (cpi=1.5, llc=0.5) and one labelled interference point far away.
+    fn trained_repository(app: AppId) -> BehaviorRepository {
+        let mut repo = BehaviorRepository::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.01;
+            repo.record_normal(app, behavior(1.5 + jitter, 0.5 + jitter), i);
+        }
+        repo.record_interference(app, behavior(4.0, 6.0), 99);
+        repo
+    }
+
+    #[test]
+    fn unknown_app_starts_in_conservative_mode() {
+        let ws = WarningSystem::with_defaults();
+        let d = ws.evaluate(AppId(1), &behavior(1.5, 0.5), &[]);
+        assert_eq!(d, WarningDecision::Bootstrap);
+        assert!(d.triggers_analyzer());
+        assert!(ws.in_conservative_mode(AppId(1)));
+    }
+
+    #[test]
+    fn learned_behaviour_is_accepted_locally() {
+        let app = AppId(1);
+        let repo = trained_repository(app);
+        let mut ws = WarningSystem::with_defaults();
+        ws.refresh_model(app, &repo);
+        assert!(!ws.in_conservative_mode(app));
+        let d = ws.evaluate(app, &behavior(1.51, 0.52), &[]);
+        assert_eq!(d, WarningDecision::NormalLocal);
+        assert!(!d.triggers_analyzer());
+    }
+
+    #[test]
+    fn interference_like_behaviour_is_escalated() {
+        let app = AppId(1);
+        let repo = trained_repository(app);
+        let mut ws = WarningSystem::with_defaults();
+        ws.refresh_model(app, &repo);
+        let d = ws.evaluate(app, &behavior(4.0, 6.0), &[]);
+        assert_eq!(d, WarningDecision::SuspectInterference);
+    }
+
+    #[test]
+    fn global_quorum_downgrades_shared_deviations_to_workload_change() {
+        let app = AppId(1);
+        let repo = trained_repository(app);
+        let mut ws = WarningSystem::with_defaults();
+        ws.refresh_model(app, &repo);
+        // A new behaviour well outside the learned clusters...
+        let new_behavior = behavior(2.6, 1.8);
+        // ...but most peers look exactly the same right now (a request-mix
+        // change hitting every instance of the application).
+        let peers = vec![behavior(2.62, 1.81), behavior(2.58, 1.79), behavior(2.61, 1.8)];
+        assert_eq!(
+            ws.evaluate(app, &new_behavior, &peers),
+            WarningDecision::NormalGlobal
+        );
+        // If only a minority of peers deviates the same way, it is suspicious.
+        let minority = vec![behavior(2.6, 1.8), behavior(1.5, 0.5), behavior(1.5, 0.5)];
+        assert_eq!(
+            ws.evaluate(app, &new_behavior, &minority),
+            WarningDecision::SuspectInterference
+        );
+    }
+
+    #[test]
+    fn refresh_is_a_no_op_until_new_data_arrives() {
+        let app = AppId(1);
+        let repo = trained_repository(app);
+        let mut ws = WarningSystem::with_defaults();
+        ws.refresh_model(app, &repo);
+        let before = ws.modeled_apps();
+        ws.refresh_model(app, &repo);
+        assert_eq!(ws.modeled_apps(), before);
+    }
+
+    #[test]
+    fn too_few_behaviours_keep_conservative_mode() {
+        let app = AppId(2);
+        let mut repo = BehaviorRepository::new();
+        for i in 0..3 {
+            repo.record_normal(app, behavior(1.5, 0.5), i);
+        }
+        let mut ws = WarningSystem::with_defaults();
+        ws.refresh_model(app, &repo);
+        assert!(ws.in_conservative_mode(app));
+        assert_eq!(ws.evaluate(app, &behavior(1.5, 0.5), &[]), WarningDecision::Bootstrap);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_rejected() {
+        WarningSystem::new(WarningConfig {
+            clusters_per_app: 0,
+            ..Default::default()
+        });
+    }
+}

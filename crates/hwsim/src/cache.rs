@@ -1,0 +1,248 @@
+//! Shared last-level-cache contention model.
+//!
+//! The paper's canonical interference example is two VMs that "thrash in the
+//! shared hardware cache when running together, but fit nicely in it when
+//! each is running in isolation" (§1).  This module reproduces that effect:
+//! VMs mapped to the same cache group compete for its capacity in proportion
+//! to their access intensity, and a VM whose occupancy falls below what it
+//! enjoyed alone sees its miss rate inflate.
+//!
+//! The model is deliberately simple — a proportional-occupancy partition with
+//! a locality-weighted linear miss inflation — but it has the three
+//! properties DeepDive's detection logic depends on:
+//!
+//! 1. running alone reproduces the solo miss rate exactly,
+//! 2. adding a co-runner never *decreases* a VM's miss rate, and
+//! 3. the inflation is monotone in the co-runners' access intensity and
+//!    working-set size.
+
+use crate::demand::ResourceDemand;
+
+/// Per-VM result of resolving one cache group for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheOutcome {
+    /// Effective shared-cache occupancy in MiB.
+    pub occupancy_mb: f64,
+    /// Effective misses per kilo-instruction after contention.
+    pub effective_mpki: f64,
+    /// The miss rate the VM would see running alone on this machine.
+    pub solo_mpki: f64,
+}
+
+impl CacheOutcome {
+    /// Ratio of contended to solo miss rate (1.0 = no inflation).
+    pub fn miss_inflation(&self) -> f64 {
+        if self.solo_mpki <= 0.0 {
+            if self.effective_mpki > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        } else {
+            self.effective_mpki / self.solo_mpki
+        }
+    }
+}
+
+/// Resolves shared-cache contention for all demands mapped to one cache group.
+///
+/// `cache_mb` is the capacity of the group.  The slice may be empty (returns
+/// an empty vector) or contain a single demand (returns the solo behaviour).
+pub fn resolve_cache_group(cache_mb: f64, demands: &[&ResourceDemand]) -> Vec<CacheOutcome> {
+    assert!(cache_mb > 0.0, "cache capacity must be positive");
+    if demands.is_empty() {
+        return Vec::new();
+    }
+
+    // Access intensity: how hard each VM pushes on the shared cache.  L1
+    // misses per kilo-instruction times the instruction volume gives the
+    // number of shared-cache accesses this epoch.
+    let intensities: Vec<f64> = demands
+        .iter()
+        .map(|d| (d.l1_mpki / 1_000.0 * d.instructions).max(0.0))
+        .collect();
+
+    let occupancies = partition_capacity(cache_mb, demands, &intensities);
+
+    demands
+        .iter()
+        .zip(&occupancies)
+        .map(|(d, &occ)| {
+            let solo_occ = d.working_set_mb.min(cache_mb);
+            let solo_mpki = d.llc_mpki_solo;
+            let effective_mpki = if solo_occ <= 0.0 || occ >= solo_occ {
+                solo_mpki
+            } else {
+                // Fraction of the working set the VM can no longer keep
+                // resident compared to running alone.
+                let lost = 1.0 - occ / solo_occ;
+                // Accesses that used to hit in the shared cache and now miss.
+                // High temporal locality shields the VM: the hot fraction of
+                // its accesses keeps hitting even in a smaller occupancy.
+                let hitting_mpki = (d.l1_mpki - solo_mpki).max(0.0);
+                let extra = hitting_mpki * lost * (1.0 - d.locality);
+                (solo_mpki + extra).min(d.l1_mpki)
+            };
+            CacheOutcome {
+                occupancy_mb: occ,
+                effective_mpki,
+                solo_mpki,
+            }
+        })
+        .collect()
+}
+
+/// Splits the cache capacity across VMs proportionally to access intensity,
+/// without giving any VM more than its working set.  Surplus from VMs whose
+/// working sets are smaller than their proportional share is redistributed to
+/// the remaining VMs (two passes are sufficient for a fixed point because the
+/// set of capped VMs only grows).
+fn partition_capacity(cache_mb: f64, demands: &[&ResourceDemand], intensities: &[f64]) -> Vec<f64> {
+    let n = demands.len();
+    let mut occupancy = vec![0.0_f64; n];
+    let mut capped = vec![false; n];
+    let mut remaining = cache_mb;
+
+    // Iterate until no newly-capped VM appears (at most n rounds).
+    for _ in 0..n.max(1) {
+        let active: Vec<usize> = (0..n).filter(|&i| !capped[i]).collect();
+        if active.is_empty() || remaining <= 0.0 {
+            break;
+        }
+        let total_intensity: f64 = active.iter().map(|&i| intensities[i]).sum();
+        let mut newly_capped = false;
+        for &i in &active {
+            let share = if total_intensity > 0.0 {
+                remaining * intensities[i] / total_intensity
+            } else {
+                remaining / active.len() as f64
+            };
+            let want = demands[i].working_set_mb;
+            if want <= share {
+                occupancy[i] = want;
+                capped[i] = true;
+                newly_capped = true;
+            }
+        }
+        if newly_capped {
+            remaining = cache_mb - occupancy.iter().sum::<f64>();
+            continue;
+        }
+        // No one capped: hand out the proportional shares and finish.
+        for &i in &active {
+            occupancy[i] = if total_intensity > 0.0 {
+                remaining * intensities[i] / total_intensity
+            } else {
+                remaining / active.len() as f64
+            };
+        }
+        return occupancy;
+    }
+    // Give any still-unassigned VMs an even split of what is left.
+    let leftover: Vec<usize> = (0..n).filter(|&i| !capped[i] && occupancy[i] == 0.0).collect();
+    if !leftover.is_empty() {
+        let each = (cache_mb - occupancy.iter().sum::<f64>()).max(0.0) / leftover.len() as f64;
+        for i in leftover {
+            occupancy[i] = each.min(demands[i].working_set_mb);
+        }
+    }
+    occupancy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::ResourceDemand;
+
+    fn vm(ws_mb: f64, l1_mpki: f64, llc_mpki: f64, locality: f64) -> ResourceDemand {
+        ResourceDemand::builder()
+            .instructions(1.0e9)
+            .working_set_mb(ws_mb)
+            .l1_mpki(l1_mpki)
+            .llc_mpki_solo(llc_mpki)
+            .locality(locality)
+            .build()
+    }
+
+    #[test]
+    fn empty_group_resolves_to_nothing() {
+        assert!(resolve_cache_group(12.0, &[]).is_empty());
+    }
+
+    #[test]
+    fn solo_vm_sees_solo_miss_rate() {
+        let d = vm(8.0, 20.0, 1.0, 0.5);
+        let out = resolve_cache_group(12.0, &[&d]);
+        assert_eq!(out.len(), 1);
+        assert!((out[0].effective_mpki - 1.0).abs() < 1e-12);
+        assert!((out[0].miss_inflation() - 1.0).abs() < 1e-12);
+        assert!((out[0].occupancy_mb - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_small_working_sets_fit_without_inflation() {
+        let a = vm(4.0, 20.0, 1.0, 0.5);
+        let b = vm(4.0, 20.0, 1.0, 0.5);
+        let out = resolve_cache_group(12.0, &[&a, &b]);
+        for o in &out {
+            assert!((o.effective_mpki - 1.0).abs() < 1e-9, "no thrash expected: {:?}", o);
+        }
+    }
+
+    #[test]
+    fn aggressor_inflates_victim_miss_rate() {
+        let victim = vm(8.0, 25.0, 1.0, 0.5);
+        let aggressor = vm(512.0, 40.0, 30.0, 0.0);
+        let solo = resolve_cache_group(12.0, &[&victim]);
+        let together = resolve_cache_group(12.0, &[&victim, &aggressor]);
+        assert!(
+            together[0].effective_mpki > solo[0].effective_mpki,
+            "victim must miss more next to the aggressor"
+        );
+        assert!(together[0].effective_mpki <= victim.l1_mpki);
+        // The aggressor already missed everywhere alone; co-location cannot
+        // make it much worse than its own L1 miss stream.
+        assert!(together[1].effective_mpki <= aggressor.l1_mpki + 1e-9);
+    }
+
+    #[test]
+    fn higher_locality_shields_the_victim() {
+        let aggressor = vm(512.0, 40.0, 30.0, 0.0);
+        let low_locality = vm(8.0, 25.0, 1.0, 0.1);
+        let high_locality = vm(8.0, 25.0, 1.0, 0.9);
+        let low = resolve_cache_group(12.0, &[&low_locality, &aggressor]);
+        let high = resolve_cache_group(12.0, &[&high_locality, &aggressor]);
+        assert!(low[0].effective_mpki > high[0].effective_mpki);
+    }
+
+    #[test]
+    fn occupancy_never_exceeds_capacity_or_working_set() {
+        let a = vm(6.0, 30.0, 2.0, 0.4);
+        let b = vm(20.0, 10.0, 3.0, 0.6);
+        let c = vm(3.0, 50.0, 1.0, 0.2);
+        let out = resolve_cache_group(12.0, &[&a, &b, &c]);
+        let total: f64 = out.iter().map(|o| o.occupancy_mb).sum();
+        assert!(total <= 12.0 + 1e-9, "total occupancy {total} exceeds capacity");
+        for (o, d) in out.iter().zip([&a, &b, &c]) {
+            assert!(o.occupancy_mb <= d.working_set_mb + 1e-9);
+            assert!(o.occupancy_mb >= 0.0);
+        }
+    }
+
+    #[test]
+    fn inflation_is_monotone_in_aggressor_intensity() {
+        let victim = vm(8.0, 25.0, 1.0, 0.5);
+        let mild = vm(64.0, 10.0, 8.0, 0.0);
+        let harsh = vm(512.0, 60.0, 40.0, 0.0);
+        let with_mild = resolve_cache_group(12.0, &[&victim, &mild]);
+        let with_harsh = resolve_cache_group(12.0, &[&victim, &harsh]);
+        assert!(with_harsh[0].effective_mpki >= with_mild[0].effective_mpki);
+    }
+
+    #[test]
+    #[should_panic(expected = "cache capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let d = vm(1.0, 1.0, 1.0, 0.5);
+        resolve_cache_group(0.0, &[&d]);
+    }
+}

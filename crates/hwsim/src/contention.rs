@@ -1,0 +1,432 @@
+//! Epoch resolver: combines the cache, bus, disk, NIC and core models into a
+//! single answer per VM — how much work completed, where the cycles went, and
+//! what the Table 1 counters read.
+//!
+//! This is the boundary between the "hardware" and everything above it:
+//!
+//! * workload models produce [`crate::demand::ResourceDemand`]s,
+//! * the virtualization substrate (`cloudsim`) decides which demands share a
+//!   machine, which cores and which cache group each VM gets, and
+//! * DeepDive (`deepdive`) sees only the [`crate::counters::CounterSnapshot`]
+//!   this resolver emits.
+//!
+//! The resolver also returns a ground-truth [`StallBreakdown`] per VM, which
+//! the evaluation harness uses to validate the analyzer's *estimated*
+//! CPI-stack attribution (Fig. 6) without DeepDive ever reading it.
+
+use crate::cache::resolve_cache_group;
+use crate::core::core_cycles;
+use crate::counters::CounterSnapshot;
+use crate::demand::ResourceDemand;
+use crate::disk::resolve_disk;
+use crate::machine::MachineSpec;
+use crate::membus::resolve_bus;
+use crate::nic::resolve_nic;
+use crate::{CACHE_LINE_BYTES, EPOCH_SECONDS};
+
+/// Fraction of memory references that are loads (vs. stores); used only to
+/// derive the `mem_load` counter from the memory-reference rate.
+const LOAD_FRACTION: f64 = 0.7;
+
+/// A VM's demand placed on specific machine resources for one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedDemand {
+    /// Caller-defined identifier (e.g. the VM id within the cluster).
+    pub vm_id: u64,
+    /// The intrinsic demand for this epoch.
+    pub demand: ResourceDemand,
+    /// Number of physical cores dedicated to the VM (vCPUs are pinned, §5.1).
+    pub vcpus: usize,
+    /// Index of the shared-cache group the VM's cores belong to.
+    pub cache_group: usize,
+}
+
+impl PlacedDemand {
+    /// Convenience constructor.
+    pub fn new(vm_id: u64, demand: ResourceDemand, vcpus: usize, cache_group: usize) -> Self {
+        Self {
+            vm_id,
+            demand,
+            vcpus,
+            cache_group,
+        }
+    }
+}
+
+/// Ground-truth decomposition of where a VM's epoch time went, in seconds.
+///
+/// The component names mirror Fig. 6 of the paper: in-core execution,
+/// shared-cache-miss (memory) stalls, interconnect queueing stalls, and I/O
+/// stalls.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StallBreakdown {
+    /// Seconds executing instructions and hitting private caches ("Core").
+    pub core_seconds: f64,
+    /// Seconds stalled on shared-cache misses at the uncontended memory
+    /// latency ("L2 miss").
+    pub llc_miss_seconds: f64,
+    /// Additional seconds stalled because the memory interconnect was
+    /// congested ("FSB"/"QPI").
+    pub bus_queue_seconds: f64,
+    /// Seconds stalled waiting on the disk.
+    pub disk_seconds: f64,
+    /// Seconds stalled waiting on the network.
+    pub net_seconds: f64,
+}
+
+impl StallBreakdown {
+    /// Total busy-plus-stalled seconds the demanded work requires.
+    pub fn total(&self) -> f64 {
+        self.core_seconds
+            + self.llc_miss_seconds
+            + self.bus_queue_seconds
+            + self.disk_seconds
+            + self.net_seconds
+    }
+
+    /// Stalled cycles per instruction for each component, given a clock and
+    /// an instruction count — the unit used in Fig. 6.
+    pub fn per_instruction_cycles(&self, clock_hz: f64, instructions: f64) -> [f64; 4] {
+        if instructions <= 0.0 {
+            return [0.0; 4];
+        }
+        let to_cpi = clock_hz / instructions;
+        [
+            self.core_seconds * to_cpi,
+            self.llc_miss_seconds * to_cpi,
+            self.bus_queue_seconds * to_cpi,
+            (self.disk_seconds + self.net_seconds) * to_cpi,
+        ]
+    }
+}
+
+/// Everything the hardware reports about one VM after one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochOutcome {
+    /// The caller-defined VM identifier from the placement.
+    pub vm_id: u64,
+    /// The Table 1 counters for this VM over the epoch.
+    pub counters: CounterSnapshot,
+    /// Fraction of the demanded work that completed (1.0 = kept up with the
+    /// offered load).  This is the client-visible ground truth the
+    /// evaluation uses; DeepDive itself never reads it.
+    pub achieved_fraction: f64,
+    /// Instructions the workload wanted to retire this epoch.
+    pub demanded_instructions: f64,
+    /// Ground-truth time breakdown for the *demanded* work.
+    pub breakdown: StallBreakdown,
+}
+
+/// Resolves one epoch of execution for every VM placed on a machine.
+///
+/// The returned vector is index-aligned with `placements`.
+///
+/// # Panics
+/// Panics if the machine spec or any demand is malformed, or if a placement
+/// names a cache group the machine does not have.
+pub fn resolve_epoch(spec: &MachineSpec, placements: &[PlacedDemand]) -> Vec<EpochOutcome> {
+    resolve_epoch_with_duration(spec, placements, EPOCH_SECONDS)
+}
+
+/// Same as [`resolve_epoch`] but with an explicit epoch duration in seconds.
+pub fn resolve_epoch_with_duration(
+    spec: &MachineSpec,
+    placements: &[PlacedDemand],
+    epoch_seconds: f64,
+) -> Vec<EpochOutcome> {
+    assert!(spec.is_well_formed(), "malformed machine spec: {:?}", spec.name);
+    assert!(epoch_seconds > 0.0, "epoch must have positive duration");
+    for p in placements {
+        assert!(
+            p.demand.is_well_formed(),
+            "malformed demand for VM {}: {:?}",
+            p.vm_id,
+            p.demand
+        );
+        assert!(
+            p.cache_group < spec.cache_groups(),
+            "VM {} placed on cache group {} but machine has {}",
+            p.vm_id,
+            p.cache_group,
+            spec.cache_groups()
+        );
+        assert!(p.vcpus > 0, "VM {} placed with zero vCPUs", p.vm_id);
+    }
+    if placements.is_empty() {
+        return Vec::new();
+    }
+
+    // --- Shared cache: resolve each cache group independently. -------------
+    let mut effective_mpki = vec![0.0_f64; placements.len()];
+    for group in 0..spec.cache_groups() {
+        let members: Vec<usize> = placements
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.cache_group == group)
+            .map(|(i, _)| i)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let demands: Vec<&ResourceDemand> = members.iter().map(|&i| &placements[i].demand).collect();
+        let outcomes = resolve_cache_group(spec.shared_cache_mb, &demands);
+        for (slot, outcome) in members.iter().zip(outcomes) {
+            effective_mpki[*slot] = outcome.effective_mpki;
+        }
+    }
+
+    // --- Memory interconnect: machine-wide shared channel. -----------------
+    let llc_misses: Vec<f64> = placements
+        .iter()
+        .zip(&effective_mpki)
+        .map(|(p, &mpki)| mpki / 1_000.0 * p.demand.instructions)
+        .collect();
+    let ifetch_misses: Vec<f64> = placements
+        .iter()
+        .map(|p| p.demand.ifetch_mpki / 1_000.0 * p.demand.instructions)
+        .collect();
+    let bus_traffic_mb: f64 = llc_misses
+        .iter()
+        .zip(&ifetch_misses)
+        .map(|(&d, &i)| (d + i) * CACHE_LINE_BYTES / (1024.0 * 1024.0))
+        .sum();
+    let bus = resolve_bus(spec.memory_bandwidth_mbps, bus_traffic_mb, epoch_seconds);
+
+    // --- Disk and NIC: machine-wide shared devices. -------------------------
+    let demand_refs: Vec<&ResourceDemand> = placements.iter().map(|p| &p.demand).collect();
+    let disk = resolve_disk(spec.disk_seq_mbps, spec.disk_rand_mbps, &demand_refs, epoch_seconds);
+    let nic = resolve_nic(spec.nic_mbps, &demand_refs, epoch_seconds);
+
+    // --- Per-VM assembly. ----------------------------------------------------
+    placements
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let d = &p.demand;
+            let core = core_cycles(d.instructions, d.base_cpi, d.branch_mpki);
+
+            let llc_accesses = d.l1_mpki / 1_000.0 * d.instructions;
+            let llc_miss = llc_misses[i];
+            let llc_hit = (llc_accesses - llc_miss).max(0.0);
+
+            // Off-core stall cycles: shared-cache hits at the LLC latency,
+            // misses at the memory latency, and the interconnect queueing
+            // surcharge on top of every miss.
+            let llc_hit_cycles = llc_hit * spec.shared_cache_hit_cycles;
+            let llc_miss_cycles = llc_miss * spec.memory_latency_cycles;
+            let bus_queue_cycles = llc_miss * spec.memory_latency_cycles * bus.queueing_overhead();
+
+            let parallelism = d.parallelism.max(1.0).min(p.vcpus as f64);
+            let to_seconds = |cycles: f64| cycles / (spec.clock_hz * parallelism);
+
+            let breakdown = StallBreakdown {
+                core_seconds: to_seconds(core.total()),
+                llc_miss_seconds: to_seconds(llc_hit_cycles + llc_miss_cycles),
+                bus_queue_seconds: to_seconds(bus_queue_cycles),
+                disk_seconds: disk[i].stall_seconds,
+                net_seconds: nic[i].stall_seconds,
+            };
+
+            let needed = breakdown.total();
+            let achieved_fraction = if needed <= 0.0 {
+                1.0
+            } else {
+                (epoch_seconds / needed).min(1.0)
+            };
+
+            // Scale all event counts by the fraction of the demanded work
+            // that actually completed within the epoch.
+            let f = achieved_fraction;
+            let inst_retired = d.instructions * f;
+            let cpu_cycles =
+                (core.total() + llc_hit_cycles + llc_miss_cycles + bus_queue_cycles) * f;
+            let counters = CounterSnapshot {
+                cpu_unhalted: cpu_cycles,
+                inst_retired,
+                l1d_repl: llc_accesses * f,
+                l2_ifetch: d.ifetch_mpki / 1_000.0 * d.instructions * f,
+                l2_lines_in: llc_miss * f,
+                mem_load: d.mem_refs_per_instr * inst_retired * LOAD_FRACTION,
+                resource_stalls: (llc_hit_cycles + llc_miss_cycles + bus_queue_cycles) * f,
+                bus_tran_any: (llc_miss + ifetch_misses[i]) * f,
+                bus_trans_ifetch: ifetch_misses[i] * f,
+                bus_tran_brd: llc_miss * f,
+                bus_req_out: llc_miss * spec.memory_latency_cycles * bus.latency_multiplier * f,
+                br_miss_pred: d.branch_mpki / 1_000.0 * inst_retired,
+                disk_stall_seconds: disk[i].stall_seconds * f.min(disk[i].completed_fraction).max(0.0).min(1.0),
+                net_stall_seconds: nic[i].stall_seconds * f.min(1.0),
+            };
+            debug_assert!(counters.is_well_formed(), "produced malformed counters: {counters:?}");
+
+            EpochOutcome {
+                vm_id: p.vm_id,
+                counters,
+                achieved_fraction,
+                demanded_instructions: d.instructions,
+                breakdown,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_victim() -> ResourceDemand {
+        ResourceDemand::builder()
+            .instructions(2.0e9)
+            .working_set_mb(8.0)
+            .l1_mpki(25.0)
+            .llc_mpki_solo(1.0)
+            .locality(0.3)
+            .parallelism(2.0)
+            .build()
+    }
+
+    fn cache_aggressor() -> ResourceDemand {
+        ResourceDemand::builder()
+            .instructions(2.0e9)
+            .working_set_mb(512.0)
+            .l1_mpki(50.0)
+            .llc_mpki_solo(35.0)
+            .locality(0.0)
+            .parallelism(2.0)
+            .build()
+    }
+
+    fn io_aggressor() -> ResourceDemand {
+        ResourceDemand::builder()
+            .instructions(2.0e8)
+            .disk_read_mb(80.0)
+            .disk_seq_fraction(1.0)
+            .net_tx_mb(100.0)
+            .build()
+    }
+
+    #[test]
+    fn empty_placement_resolves_to_nothing() {
+        let spec = MachineSpec::xeon_x5472();
+        assert!(resolve_epoch(&spec, &[]).is_empty());
+    }
+
+    #[test]
+    fn solo_vm_on_idle_machine_keeps_up() {
+        let spec = MachineSpec::xeon_x5472();
+        let out = resolve_epoch(&spec, &[PlacedDemand::new(1, cache_victim(), 2, 0)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].vm_id, 1);
+        assert!(out[0].achieved_fraction > 0.9, "fraction {}", out[0].achieved_fraction);
+        assert!(out[0].counters.is_well_formed());
+        assert!(out[0].counters.inst_retired > 0.0);
+    }
+
+    #[test]
+    fn cache_interference_reduces_retired_instructions_and_grows_stalls() {
+        let spec = MachineSpec::xeon_x5472();
+        let solo = resolve_epoch(&spec, &[PlacedDemand::new(1, cache_victim(), 2, 0)]);
+        let shared = resolve_epoch(
+            &spec,
+            &[
+                PlacedDemand::new(1, cache_victim(), 2, 0),
+                PlacedDemand::new(2, cache_aggressor(), 2, 0),
+            ],
+        );
+        assert!(shared[0].counters.inst_retired < solo[0].counters.inst_retired);
+        assert!(
+            shared[0].breakdown.llc_miss_seconds > solo[0].breakdown.llc_miss_seconds,
+            "LLC stall must grow under cache interference"
+        );
+        // Normalized miss rate (per retired instruction) must also rise —
+        // this is the signal the warning system clusters on.
+        let n_solo = solo[0].counters.normalized_per_kilo_instruction();
+        let n_shared = shared[0].counters.normalized_per_kilo_instruction();
+        assert!(n_shared.l2_lines_in > n_solo.l2_lines_in);
+    }
+
+    #[test]
+    fn separate_cache_groups_isolate_cache_interference() {
+        let spec = MachineSpec::xeon_x5472();
+        let same = resolve_epoch(
+            &spec,
+            &[
+                PlacedDemand::new(1, cache_victim(), 2, 0),
+                PlacedDemand::new(2, cache_aggressor(), 2, 0),
+            ],
+        );
+        let split = resolve_epoch(
+            &spec,
+            &[
+                PlacedDemand::new(1, cache_victim(), 2, 0),
+                PlacedDemand::new(2, cache_aggressor(), 2, 1),
+            ],
+        );
+        assert!(
+            split[0].counters.inst_retired >= same[0].counters.inst_retired,
+            "moving the aggressor to another cache group must not hurt the victim more"
+        );
+    }
+
+    #[test]
+    fn io_interference_grows_net_and_disk_stalls() {
+        let spec = MachineSpec::xeon_x5472();
+        let victim = ResourceDemand::builder()
+            .instructions(1.0e9)
+            .disk_read_mb(20.0)
+            .net_tx_mb(40.0)
+            .parallelism(2.0)
+            .build();
+        let solo = resolve_epoch(&spec, &[PlacedDemand::new(1, victim.clone(), 2, 0)]);
+        let shared = resolve_epoch(
+            &spec,
+            &[
+                PlacedDemand::new(1, victim, 2, 0),
+                PlacedDemand::new(2, io_aggressor(), 2, 1),
+            ],
+        );
+        assert!(shared[0].counters.disk_stall_seconds >= solo[0].counters.disk_stall_seconds);
+        assert!(shared[0].counters.net_stall_seconds >= solo[0].counters.net_stall_seconds);
+    }
+
+    #[test]
+    fn achieved_fraction_is_bounded() {
+        let spec = MachineSpec::xeon_x5472();
+        let heavy = ResourceDemand::builder()
+            .instructions(1.0e11)
+            .working_set_mb(1024.0)
+            .l1_mpki(60.0)
+            .llc_mpki_solo(40.0)
+            .disk_read_mb(500.0)
+            .net_tx_mb(500.0)
+            .build();
+        let out = resolve_epoch(&spec, &[PlacedDemand::new(1, heavy, 2, 0)]);
+        assert!(out[0].achieved_fraction > 0.0);
+        assert!(out[0].achieved_fraction < 1.0);
+        assert!(out[0].counters.is_well_formed());
+    }
+
+    #[test]
+    fn breakdown_per_instruction_cycles_has_four_components() {
+        let spec = MachineSpec::xeon_x5472();
+        let out = resolve_epoch(&spec, &[PlacedDemand::new(1, cache_victim(), 2, 0)]);
+        let cpis = out[0]
+            .breakdown
+            .per_instruction_cycles(spec.clock_hz, out[0].demanded_instructions);
+        assert!(cpis.iter().all(|c| c.is_finite() && *c >= 0.0));
+        assert!(cpis[0] > 0.0, "core component must be non-zero for a CPU-bound VM");
+    }
+
+    #[test]
+    #[should_panic(expected = "cache group")]
+    fn invalid_cache_group_is_rejected() {
+        let spec = MachineSpec::xeon_x5472();
+        resolve_epoch(&spec, &[PlacedDemand::new(1, cache_victim(), 2, 99)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vCPUs")]
+    fn zero_vcpus_is_rejected() {
+        let spec = MachineSpec::xeon_x5472();
+        resolve_epoch(&spec, &[PlacedDemand::new(1, cache_victim(), 0, 0)]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the DeepDive reproduction workspace.
+//!
+//! This root package exists so that the repository-level `examples/` and
+//! `tests/` directories can exercise every crate through one dependency.  It
+//! simply re-exports the workspace crates; see the individual crates for the
+//! actual functionality:
+//!
+//! * [`hwsim`] — physical-machine / performance-counter substrate,
+//! * [`workloads`] — cloud and stress workload models,
+//! * [`cloudsim`] — VMs, PMs, cluster, sandbox and migration,
+//! * [`analytics`] — clustering, regression and distributions,
+//! * [`traces`] — load-intensity, interference and arrival traces,
+//! * [`deepdive`] — the warning system, interference analyzer and placement
+//!   manager (the paper's contribution),
+//! * [`queueing`] — the profiling-farm queueing simulator.
+
+pub use analytics;
+pub use cloudsim;
+pub use deepdive;
+pub use hwsim;
+pub use queueing;
+pub use traces;
+pub use workloads;

@@ -1,0 +1,197 @@
+//! Cross-crate integration tests: the full DeepDive pipeline driven through
+//! the public API, from counter collection to detection, attribution and
+//! migration.
+
+use cloudsim::{Cluster, PmId, Sandbox, Scheduler, Vm, VmId};
+use deepdive::controller::{DeepDive, DeepDiveConfig, EpochEvent};
+use deepdive::cpi_stack::Resource;
+use hwsim::MachineSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::{AppId, ClientEmulator, DataAnalytics, DataServing, MemoryStress, NetworkStress};
+
+fn serving_vm(id: u64) -> Vm {
+    Vm::new(
+        VmId(id),
+        Box::new(DataServing::with_defaults(AppId(1))),
+        ClientEmulator::new(8_000.0, 4.0),
+    )
+}
+
+fn run_epochs(
+    cluster: &mut Cluster,
+    deepdive: &mut DeepDive,
+    epochs: usize,
+    load: f64,
+    rng: &mut StdRng,
+) -> Vec<EpochEvent> {
+    let mut events = Vec::new();
+    for _ in 0..epochs {
+        let reports = cluster.step_epoch(&|_| load, rng);
+        events.extend(deepdive.process_epoch(cluster, &reports));
+    }
+    events
+}
+
+#[test]
+fn quiet_cloud_never_migrates_and_profiling_flattens() {
+    let mut cluster = Cluster::homogeneous(3, MachineSpec::xeon_x5472(), Scheduler::default());
+    for i in 0..3 {
+        cluster.place_first_fit(serving_vm(i)).unwrap();
+    }
+    let mut deepdive = DeepDive::new(DeepDiveConfig::default(), Sandbox::xeon_pool(2));
+    let mut rng = StdRng::seed_from_u64(1);
+    run_epochs(&mut cluster, &mut deepdive, 60, 0.7, &mut rng);
+    let mid = deepdive.stats();
+    run_epochs(&mut cluster, &mut deepdive, 60, 0.7, &mut rng);
+    let end = deepdive.stats();
+
+    assert_eq!(end.migrations, 0, "no interference, no migration");
+    assert_eq!(end.interference_confirmed, 0);
+    // Once normal behaviour is learned, the analyzer goes (nearly) silent —
+    // the Fig. 12 plateau.
+    assert!(
+        end.analyzer_invocations - mid.analyzer_invocations <= 2,
+        "analyzer kept firing on a quiet cloud: {end:?}"
+    );
+}
+
+#[test]
+fn cache_aggressor_is_detected_attributed_and_migrated_away() {
+    let mut cluster = Cluster::homogeneous(2, MachineSpec::xeon_x5472(), Scheduler::default());
+    cluster.place_on(PmId(0), serving_vm(1)).unwrap();
+    let mut deepdive = DeepDive::new(
+        DeepDiveConfig {
+            synthetic_training_samples: 100,
+            ..DeepDiveConfig::default()
+        },
+        Sandbox::xeon_pool(2),
+    );
+    let mut rng = StdRng::seed_from_u64(2);
+    run_epochs(&mut cluster, &mut deepdive, 50, 0.8, &mut rng);
+
+    cluster
+        .place_on(
+            PmId(0),
+            Vm::new(
+                VmId(99),
+                Box::new(MemoryStress::new(AppId(900), 512.0)),
+                ClientEmulator::new(1.0, 1.0),
+            ),
+        )
+        .unwrap();
+    let events = run_epochs(&mut cluster, &mut deepdive, 40, 0.8, &mut rng);
+
+    // Detection with a memory-subsystem culprit.
+    let confirmed: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            EpochEvent::Analyzed { vm, result, .. }
+                if *vm == VmId(1) && result.interference_confirmed =>
+            {
+                Some(result.clone())
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(!confirmed.is_empty(), "interference on the victim was never confirmed");
+    assert!(confirmed.iter().all(|r| matches!(
+        r.culprit,
+        Some(Resource::CacheMemory) | Some(Resource::MemoryBus)
+    )));
+
+    // Mitigation: the aggressor — not the victim — moves to the idle machine.
+    assert_eq!(cluster.locate(VmId(99)), Some(PmId(1)));
+    assert_eq!(cluster.locate(VmId(1)), Some(PmId(0)));
+    assert!(deepdive.stats().migrations >= 1);
+
+    // And once the aggressor is gone, the victim's performance recovers.
+    let reports = cluster.step_epoch(&|_| 0.8, &mut rng);
+    let victim = reports.iter().find(|r| r.vm_id == VmId(1)).unwrap();
+    assert!(victim.achieved_fraction > 0.9, "victim still degraded after mitigation");
+}
+
+#[test]
+fn network_interference_on_analytics_is_attributed_to_the_network() {
+    let mut cluster = Cluster::homogeneous(2, MachineSpec::xeon_x5472(), Scheduler::default());
+    cluster
+        .place_on(
+            PmId(0),
+            Vm::new(
+                VmId(1),
+                Box::new(DataAnalytics::worker(AppId(3))),
+                ClientEmulator::new(40.0, 400.0),
+            ),
+        )
+        .unwrap();
+    let mut deepdive = DeepDive::new(
+        DeepDiveConfig {
+            auto_migrate: false,
+            analysis_cooldown: 5,
+            ..DeepDiveConfig::default()
+        },
+        Sandbox::xeon_pool(2),
+    );
+    let mut rng = StdRng::seed_from_u64(3);
+    // Learn through several full map/shuffle/reduce cycles.
+    run_epochs(&mut cluster, &mut deepdive, 60, 0.9, &mut rng);
+
+    cluster
+        .place_on(
+            PmId(0),
+            Vm::new(
+                VmId(88),
+                Box::new(NetworkStress::new(AppId(901), 700.0)),
+                ClientEmulator::new(1.0, 1.0),
+            ),
+        )
+        .unwrap();
+    let events = run_epochs(&mut cluster, &mut deepdive, 36, 0.9, &mut rng);
+    let culprits: Vec<Resource> = events
+        .iter()
+        .filter_map(|e| match e {
+            EpochEvent::Analyzed { vm, result, .. }
+                if *vm == VmId(1) && result.interference_confirmed =>
+            {
+                result.culprit
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(
+        culprits.iter().any(|c| *c == Resource::Network),
+        "network was never blamed; culprits seen: {culprits:?}"
+    );
+}
+
+#[test]
+fn global_information_reduces_analyzer_invocations_for_shared_load_shifts() {
+    // The same application on many VMs across machines; a simultaneous load
+    // shift should not trigger per-VM analyses when global info is enabled.
+    let build = |use_global: bool| {
+        let mut cluster = Cluster::homogeneous(4, MachineSpec::xeon_x5472(), Scheduler::default());
+        for i in 0..8 {
+            cluster.place_first_fit(serving_vm(i)).unwrap();
+        }
+        let mut deepdive = DeepDive::new(
+            DeepDiveConfig {
+                use_global_information: use_global,
+                auto_migrate: false,
+                ..DeepDiveConfig::default()
+            },
+            Sandbox::xeon_pool(2),
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        run_epochs(&mut cluster, &mut deepdive, 40, 0.8, &mut rng);
+        let before = deepdive.stats().analyzer_invocations;
+        // Simultaneous, qualitative load shift on every instance.
+        run_epochs(&mut cluster, &mut deepdive, 15, 0.25, &mut rng);
+        deepdive.stats().analyzer_invocations - before
+    };
+    let with_global = build(true);
+    let without_global = build(false);
+    assert!(
+        with_global <= without_global,
+        "global information should never need more analyses ({with_global} vs {without_global})"
+    );
+}

@@ -1,0 +1,164 @@
+//! Integration tests asserting the paper's headline qualitative claims,
+//! using the same experiment harness the benches print (crate `bench`).
+//!
+//! Absolute numbers are not expected to match the authors' testbed; the
+//! assertions target the *shape* of each result: what is detected, who is
+//! blamed, who wins and by roughly how much.
+
+use bench::{
+    fig10_synthetic_accuracy, fig11_placement_robustness, fig12_profiling_overhead,
+    fig8_detection, CloudWorkload,
+};
+use deepdive::synthetic::SyntheticBenchmark;
+use hwsim::MachineSpec;
+use queueing::scenarios::{paper_fractions, reaction_time_curve, ScenarioConfig};
+
+#[test]
+fn fig8_no_false_negatives_and_false_positives_decline() {
+    // §5.2: "DeepDive always detected the injected interference" and "the
+    // false positive rate quickly decreases as DeepDive learns".
+    for workload in CloudWorkload::ALL {
+        let result = fig8_detection(workload, 21);
+        assert_eq!(
+            result.missed_episodes, 0,
+            "{}: some qualifying episodes were never detected",
+            workload.name()
+        );
+        let day1 = &result.days[0];
+        let day3 = &result.days[2];
+        assert!(
+            day3.false_positive_rate <= day1.false_positive_rate,
+            "{}: false positive rate did not decline (day1 {:.2}, day3 {:.2})",
+            workload.name(),
+            day1.false_positive_rate,
+            day3.false_positive_rate
+        );
+        for day in &result.days {
+            assert!(
+                (day.detection_rate - 1.0).abs() < 1e-9 || day.episodes == 0,
+                "{}: detection rate below 100% on day {}",
+                workload.name(),
+                day.day
+            );
+        }
+    }
+}
+
+#[test]
+fn fig10_synthetic_clone_tracks_real_degradation() {
+    // §5.4: median estimation error 8%, average 10% — we allow a looser but
+    // still tight bound on the simulator.
+    let benchmark = SyntheticBenchmark::train(MachineSpec::xeon_x5472(), 200, 7);
+    let mut errors = Vec::new();
+    for workload in CloudWorkload::ALL {
+        for p in fig10_synthetic_accuracy(workload, &benchmark, 13) {
+            errors.push((p.real_degradation - p.synthetic_degradation).abs());
+        }
+    }
+    errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = errors[errors.len() / 2];
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    assert!(median < 0.15, "median synthetic-clone error {median}");
+    assert!(mean < 0.20, "mean synthetic-clone error {mean}");
+}
+
+#[test]
+fn fig11_deepdive_finds_the_best_destination_without_migrating() {
+    let benchmark = SyntheticBenchmark::train(MachineSpec::xeon_x5472(), 200, 7);
+    let r = fig11_placement_robustness(&benchmark, 17);
+    assert!(r.chosen_pm.is_some());
+    // The chosen destination must be (essentially) the best one, and clearly
+    // better than the average and worst placements.
+    assert!(
+        r.deepdive_choice <= r.best + 0.05,
+        "DeepDive's choice suffers {:.1}% vs best {:.1}%",
+        r.deepdive_choice * 100.0,
+        r.best * 100.0
+    );
+    assert!(r.deepdive_choice <= r.average);
+    assert!(r.worst >= r.best);
+}
+
+#[test]
+fn fig12_deepdive_profiles_far_less_than_the_naive_baselines() {
+    let r = fig12_profiling_overhead(21);
+    let total_deepdive = *r.deepdive.last().unwrap();
+    let total_baseline5 = *r.baseline_5.last().unwrap();
+    let total_baseline20 = *r.baseline_20.last().unwrap();
+    assert!(
+        total_deepdive < total_baseline20,
+        "DeepDive ({total_deepdive:.1} min) should beat even Baseline-20% ({total_baseline20:.1} min)"
+    );
+    assert!(total_baseline20 <= total_baseline5, "looser thresholds must profile less");
+    // The Fig. 12 plateau: most of DeepDive's profiling happens on day 1.
+    let day1 = r.deepdive[23];
+    assert!(
+        total_deepdive - day1 <= day1 + 1.0,
+        "profiling kept accumulating after day 1 (day1 {day1:.1}, total {total_deepdive:.1})"
+    );
+}
+
+#[test]
+fn fig13_four_servers_meet_the_papers_reaction_target() {
+    // §5.5: "only four profiling servers provide reaction time within four
+    // minutes, even under an aggressive rate of 20% of VMs undergoing
+    // interference."
+    let curve = reaction_time_curve(
+        &ScenarioConfig {
+            servers: 4,
+            ..Default::default()
+        },
+        &[0.2],
+    );
+    let minutes = curve[0]
+        .mean_reaction_minutes
+        .expect("four servers must be stable at a 20% interference rate");
+    assert!(minutes <= 5.0, "mean reaction time {minutes:.1} min");
+}
+
+#[test]
+fn fig13_global_information_roughly_halves_the_needed_farm() {
+    // §5.5: global information "allows DeepDive to further reduce the number
+    // of profiling servers required (by a factor of two)".  Check that at a
+    // high interference rate, 2 servers with global information cover at
+    // least as much of the sweep as 4 servers without it.
+    let fractions = paper_fractions();
+    let stable = |servers: usize, popularity: Option<(usize, f64)>| {
+        reaction_time_curve(
+            &ScenarioConfig {
+                servers,
+                popularity,
+                ..Default::default()
+            },
+            &fractions,
+        )
+        .iter()
+        .filter(|p| p.mean_reaction_minutes.is_some())
+        .count()
+    };
+    let four_local = stable(4, None);
+    let two_global = stable(2, Some((200, 2.0)));
+    assert!(
+        two_global + 1 >= four_local,
+        "2 servers with global info cover {two_global} points vs {four_local} for 4 servers local-only"
+    );
+}
+
+#[test]
+fn fig14_bursty_arrivals_still_need_under_ten_servers() {
+    // §5.5: "fewer than 10 dedicated profiling machines are required, even
+    // under this extreme new-VM arrival scenario."
+    let curve = reaction_time_curve(
+        &ScenarioConfig {
+            servers: 8,
+            arrival_model: traces::ArrivalModel::Lognormal { sigma: 2.0 },
+            popularity: Some((200, 1.5)),
+            ..Default::default()
+        },
+        &[0.2, 0.6, 1.0],
+    );
+    assert!(
+        curve.iter().all(|p| p.mean_reaction_minutes.is_some()),
+        "8 servers should remain stable across the sweep under bursty arrivals"
+    );
+}
