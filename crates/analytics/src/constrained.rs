@@ -94,12 +94,7 @@ pub fn fit_constrained(
     let accepts = |t: &MetricThresholds| -> usize {
         interference
             .iter()
-            .filter(|p| {
-                mixture
-                    .components
-                    .iter()
-                    .any(|c| t.matches(&c.mean, p))
-            })
+            .filter(|p| mixture.components.iter().any(|c| t.matches(&c.mean, p)))
             .count()
     };
     let mut violations = accepts(&thresholds);
@@ -139,11 +134,19 @@ mod tests {
         for i in 0..30 {
             let j = (i % 6) as f64 * 0.02;
             all.push(LabelledBehaviour::normal(vec![1.0 + j, 2.0 - j, 0.2 + j]));
-            all.push(LabelledBehaviour::normal(vec![3.0 - j, 1.0 + j, 0.3 - j * 0.5]));
+            all.push(LabelledBehaviour::normal(vec![
+                3.0 - j,
+                1.0 + j,
+                0.3 - j * 0.5,
+            ]));
         }
         for i in 0..10 {
             let j = (i % 5) as f64 * 0.05;
-            all.push(LabelledBehaviour::interference(vec![1.0 + j, 2.0 + j, 5.0 + j]));
+            all.push(LabelledBehaviour::interference(vec![
+                1.0 + j,
+                2.0 + j,
+                5.0 + j,
+            ]));
         }
         all
     }
@@ -154,7 +157,10 @@ mod tests {
         assert_eq!(model.residual_violations, 0);
         assert!(model.accepts(&[1.0, 2.0, 0.2]));
         assert!(model.accepts(&[3.0, 1.0, 0.3]));
-        assert!(!model.accepts(&[1.0, 2.0, 5.0]), "interference behaviour must not match");
+        assert!(
+            !model.accepts(&[1.0, 2.0, 5.0]),
+            "interference behaviour must not match"
+        );
     }
 
     #[test]

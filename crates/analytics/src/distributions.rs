@@ -27,7 +27,10 @@ impl Zipf {
     /// Builds a Zipf distribution over `n` ranks with tail index `alpha > 0`.
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(alpha > 0.0 && alpha.is_finite(), "Zipf exponent must be positive and finite");
+        assert!(
+            alpha > 0.0 && alpha.is_finite(),
+            "Zipf exponent must be positive and finite"
+        );
         let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(alpha)).collect();
         let total: f64 = weights.iter().sum();
         let probabilities: Vec<f64> = weights.iter().map(|w| w / total).collect();
@@ -84,11 +87,7 @@ impl Zipf {
 
 /// Generates arrival times (seconds from 0) over a horizon for a Poisson
 /// process with the given mean arrivals per day.
-pub fn poisson_arrivals(
-    arrivals_per_day: f64,
-    horizon_seconds: f64,
-    seed: u64,
-) -> Vec<f64> {
+pub fn poisson_arrivals(arrivals_per_day: f64, horizon_seconds: f64, seed: u64) -> Vec<f64> {
     assert!(arrivals_per_day > 0.0, "arrival rate must be positive");
     assert!(horizon_seconds > 0.0, "horizon must be positive");
     let rate_per_second = arrivals_per_day / 86_400.0;
@@ -191,8 +190,15 @@ mod tests {
     fn poisson_arrival_count_is_close_to_rate() {
         // 1000 VMs/day over 3 days should give roughly 3000 arrivals.
         let arrivals = poisson_arrivals(1_000.0, 3.0 * 86_400.0, 42);
-        assert!((2_700..3_300).contains(&arrivals.len()), "got {}", arrivals.len());
-        assert!(arrivals.windows(2).all(|w| w[1] >= w[0]), "arrivals must be sorted");
+        assert!(
+            (2_700..3_300).contains(&arrivals.len()),
+            "got {}",
+            arrivals.len()
+        );
+        assert!(
+            arrivals.windows(2).all(|w| w[1] >= w[0]),
+            "arrivals must be sorted"
+        );
     }
 
     #[test]

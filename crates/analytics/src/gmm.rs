@@ -32,11 +32,15 @@ impl Component {
     /// Log probability density of `point` under this component (ignoring the
     /// mixing weight).
     pub fn log_density(&self, point: &[f64]) -> f64 {
-        assert_eq!(point.len(), self.mean.len(), "dimension mismatch in log_density");
+        assert_eq!(
+            point.len(),
+            self.mean.len(),
+            "dimension mismatch in log_density"
+        );
         let mut acc = 0.0;
-        for d in 0..point.len() {
-            let var = self.variance[d].max(VARIANCE_FLOOR);
-            let diff = point[d] - self.mean[d];
+        for ((&p, &m), &v) in point.iter().zip(&self.mean).zip(&self.variance) {
+            let var = v.max(VARIANCE_FLOOR);
+            let diff = p - m;
             acc += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
         }
         acc
@@ -80,7 +84,10 @@ impl GaussianMixture {
             };
         }
         let dims = points[0].len();
-        assert!(points.iter().all(|p| p.len() == dims), "ragged input to GaussianMixture::fit");
+        assert!(
+            points.iter().all(|p| p.len() == dims),
+            "ragged input to GaussianMixture::fit"
+        );
         let k = k.min(points.len());
         let _rng = StdRng::seed_from_u64(seed);
 

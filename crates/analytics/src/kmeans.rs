@@ -38,7 +38,10 @@ impl KMeans {
             };
         }
         let dims = points[0].len();
-        assert!(points.iter().all(|p| p.len() == dims), "ragged input to KMeans::fit");
+        assert!(
+            points.iter().all(|p| p.len() == dims),
+            "ragged input to KMeans::fit"
+        );
         let k = k.min(points.len());
         let mut rng = StdRng::seed_from_u64(seed);
 
@@ -175,7 +178,11 @@ mod tests {
         let a = model.predict(&[0.0, 0.0]).0;
         let b = model.predict(&[10.0, 10.0]).0;
         assert_ne!(a, b);
-        assert!(model.inertia < 1.0, "inertia {} too large for tight blobs", model.inertia);
+        assert!(
+            model.inertia < 1.0,
+            "inertia {} too large for tight blobs",
+            model.inertia
+        );
     }
 
     #[test]

@@ -31,8 +31,15 @@ impl LinearRegression {
     /// # Panics
     /// Panics on empty or ragged data, or when row counts differ.
     pub fn fit(inputs: &[Vec<f64>], outputs: &[Vec<f64>], lambda: f64) -> Self {
-        assert!(!inputs.is_empty(), "regression requires at least one sample");
-        assert_eq!(inputs.len(), outputs.len(), "inputs/outputs row count mismatch");
+        assert!(
+            !inputs.is_empty(),
+            "regression requires at least one sample"
+        );
+        assert_eq!(
+            inputs.len(),
+            outputs.len(),
+            "inputs/outputs row count mismatch"
+        );
         let n = inputs.len();
         let p = inputs[0].len();
         let q = outputs[0].len();
@@ -50,11 +57,12 @@ impl LinearRegression {
             let y = &outputs[row];
             let aug = |i: usize| if i < p { x[i] } else { 1.0 };
             for i in 0..d {
-                for j in 0..d {
-                    xtx[i][j] += aug(i) * aug(j);
+                let ai = aug(i);
+                for (j, cell) in xtx[i].iter_mut().enumerate() {
+                    *cell += ai * aug(j);
                 }
-                for k in 0..q {
-                    xty[i][k] += aug(i) * y[k];
+                for (cell, &yv) in xty[i].iter_mut().zip(y) {
+                    *cell += ai * yv;
                 }
             }
         }
@@ -84,7 +92,11 @@ impl LinearRegression {
 
     /// Predicts the output vector for one input vector.
     pub fn predict(&self, input: &[f64]) -> Vec<f64> {
-        assert_eq!(input.len(), self.input_dims, "dimension mismatch in predict");
+        assert_eq!(
+            input.len(),
+            self.input_dims,
+            "dimension mismatch in predict"
+        );
         self.weights
             .iter()
             .zip(&self.intercepts)
@@ -119,7 +131,12 @@ fn solve_multi(a: &mut [Vec<f64>], b: &mut [Vec<f64>]) -> Vec<Vec<f64>> {
     for col in 0..d {
         // Pivot.
         let pivot_row = (col..d)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("NaN pivot"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("NaN pivot")
+            })
             .expect("non-empty system");
         a.swap(col, pivot_row);
         b.swap(col, pivot_row);
@@ -127,6 +144,8 @@ fn solve_multi(a: &mut [Vec<f64>], b: &mut [Vec<f64>]) -> Vec<Vec<f64>> {
         // A singular pivot means a redundant dimension; nudge it to keep the
         // solve well-defined (equivalent to extra ridge on that direction).
         let pivot = if pivot.abs() < 1e-12 { 1e-12 } else { pivot };
+        let a_pivot_row = a[col].clone();
+        let b_pivot_row = b[col].clone();
         for row in 0..d {
             if row == col {
                 continue;
@@ -135,19 +154,21 @@ fn solve_multi(a: &mut [Vec<f64>], b: &mut [Vec<f64>]) -> Vec<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
-            for k in col..d {
-                let v = a[col][k];
-                a[row][k] -= factor * v;
+            for (dst, &v) in a[row][col..].iter_mut().zip(&a_pivot_row[col..]) {
+                *dst -= factor * v;
             }
-            for k in 0..q {
-                let v = b[col][k];
-                b[row][k] -= factor * v;
+            for (dst, &v) in b[row].iter_mut().zip(&b_pivot_row) {
+                *dst -= factor * v;
             }
         }
     }
     (0..d)
         .map(|i| {
-            let pivot = if a[i][i].abs() < 1e-12 { 1e-12 } else { a[i][i] };
+            let pivot = if a[i][i].abs() < 1e-12 {
+                1e-12
+            } else {
+                a[i][i]
+            };
             (0..q).map(|k| b[i][k] / pivot).collect()
         })
         .collect()
@@ -170,12 +191,21 @@ pub fn invert_inputs(
         assert!(lo <= hi, "invalid bound ({lo}, {hi})");
     }
 
+    // Normalize each output dimension by the target's magnitude (with a
+    // floor for near-zero targets) so that dimensions of very different
+    // scales — e.g. stall cycles per kilo-instruction (~10³) next to I/O
+    // stall seconds (~10⁻²) — contribute comparably to the residual.
+    let max_abs = target.iter().fold(0.0_f64, |m, t| m.max(t.abs()));
+    let floor = (1e-3 * max_abs).max(1e-9);
     let error = |x: &[f64]| -> f64 {
         model
             .predict(x)
             .iter()
             .zip(target)
-            .map(|(p, t)| (p - t) * (p - t))
+            .map(|(p, t)| {
+                let r = (p - t) / t.abs().max(floor);
+                r * r
+            })
             .sum()
     };
 

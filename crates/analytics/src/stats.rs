@@ -94,7 +94,9 @@ pub fn column_std_devs(rows: &[Vec<f64>]) -> Vec<f64> {
             sums[d] += diff * diff;
         }
     }
-    sums.iter().map(|s| (s / rows.len() as f64).sqrt()).collect()
+    sums.iter()
+        .map(|s| (s / rows.len() as f64).sqrt())
+        .collect()
 }
 
 /// Z-score normalizer fitted on a training set and applied to new vectors.
@@ -123,7 +125,11 @@ impl ZScore {
 
     /// Transforms a single vector into z-scores.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
-        assert_eq!(row.len(), self.means.len(), "dimension mismatch in ZScore::transform");
+        assert_eq!(
+            row.len(),
+            self.means.len(),
+            "dimension mismatch in ZScore::transform"
+        );
         row.iter()
             .zip(self.means.iter().zip(&self.stds))
             .map(|(v, (m, s))| (v - m) / s)

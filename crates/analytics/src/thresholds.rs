@@ -55,12 +55,11 @@ impl MetricThresholds {
             .unwrap_or(0);
         let mut per_metric = vec![ABSOLUTE_FLOOR; dims];
         for c in &mixture.components {
-            for d in 0..dims {
-                let sigma = c.variance[d].sqrt();
-                let threshold = (sigma * sigma_multiplier)
-                    .max(c.mean[d].abs() * RELATIVE_FLOOR)
-                    + ABSOLUTE_FLOOR;
-                per_metric[d] = per_metric[d].max(threshold);
+            for (slot, (&var, &mean)) in per_metric.iter_mut().zip(c.variance.iter().zip(&c.mean)) {
+                let sigma = var.sqrt();
+                let threshold =
+                    (sigma * sigma_multiplier).max(mean.abs() * RELATIVE_FLOOR) + ABSOLUTE_FLOOR;
+                *slot = slot.max(threshold);
             }
         }
         Self {
@@ -84,7 +83,11 @@ impl MetricThresholds {
     /// Algorithm 1.
     pub fn matches(&self, center: &[f64], point: &[f64]) -> bool {
         assert_eq!(center.len(), point.len(), "dimension mismatch in matches");
-        assert_eq!(center.len(), self.per_metric.len(), "threshold dimension mismatch");
+        assert_eq!(
+            center.len(),
+            self.per_metric.len(),
+            "threshold dimension mismatch"
+        );
         center
             .iter()
             .zip(point)

@@ -8,7 +8,11 @@ fn print_figure() {
     println!("# Figure 4 — metric-space clusters (L1 / L2 / memory-stall, per kilo-instruction)");
     for workload in CloudWorkload::ALL {
         let clusters = fig4_metric_clusters(workload, 3);
-        println!("## {} (separation score {:.2})", workload.name(), clusters.separation_score);
+        println!(
+            "## {} (separation score {:.2})",
+            workload.name(),
+            clusters.separation_score
+        );
         println!("setting,l1_pki,llc_pki,stall_pki,interference");
         for p in &clusters.points {
             println!(

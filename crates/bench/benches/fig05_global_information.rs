@@ -9,7 +9,10 @@ fn print_figure() {
     println!("# Figure 5 — Data Analytics on nine PMs, iperf on three of them");
     println!("pm,interfered,net_stall_s_per_gi,cpi");
     for p in &points {
-        println!("{},{},{:.3},{:.3}", p.pm, p.interfered as u8, p.net_stalls, p.cpi);
+        println!(
+            "{},{},{:.3},{:.3}",
+            p.pm, p.interfered as u8, p.net_stalls, p.cpi
+        );
     }
 }
 

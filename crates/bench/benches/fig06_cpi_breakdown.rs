@@ -10,7 +10,10 @@ fn print_figure() {
     for workload in CloudWorkload::ALL {
         for scenario in Fig6Scenario::ALL {
             let cell = fig6_cpi_breakdown(workload, scenario, 7);
-            for (env, stack) in [("isolation", cell.isolation), ("production", cell.production)] {
+            for (env, stack) in [
+                ("isolation", cell.isolation),
+                ("production", cell.production),
+            ] {
                 println!(
                     "{},{},{},{:.3},{:.3},{:.3},{:.3},{}",
                     cell.workload,

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn print_figure() {
     println!("# Figure 8 — detection and false-positive rates over three trace days");
-    println!("workload,day,detection_rate_pct,false_positive_rate_pct,episodes,analyzer_invocations");
+    println!(
+        "workload,day,detection_rate_pct,false_positive_rate_pct,episodes,analyzer_invocations"
+    );
     for workload in CloudWorkload::ALL {
         let result = fig8_detection(workload, 21);
         for d in &result.days {
@@ -20,7 +22,11 @@ fn print_figure() {
                 d.invocations
             );
         }
-        println!("# {}: missed episodes = {}", workload.name(), result.missed_episodes);
+        println!(
+            "# {}: missed episodes = {}",
+            workload.name(),
+            result.missed_episodes
+        );
     }
 }
 

@@ -24,7 +24,11 @@ fn print_figure() {
     }
     let mean = errors.iter().sum::<f64>() / errors.len() as f64;
     let worst = errors.iter().cloned().fold(0.0, f64::max);
-    println!("# mean absolute error {:.1}% (paper: <5%), worst {:.1}% (paper: <10%)", mean * 100.0, worst * 100.0);
+    println!(
+        "# mean absolute error {:.1}% (paper: <5%), worst {:.1}% (paper: <10%)",
+        mean * 100.0,
+        worst * 100.0
+    );
 }
 
 fn bench_kernel(c: &mut Criterion) {

@@ -8,7 +8,9 @@ use hwsim::MachineSpec;
 
 fn print_figure(benchmark: &SyntheticBenchmark) {
     println!("# Figure 10 — real VM vs synthetic clone degradation");
-    println!("workload,stress_intensity,real_degradation_pct,synthetic_degradation_pct,abs_error_pct");
+    println!(
+        "workload,stress_intensity,real_degradation_pct,synthetic_degradation_pct,abs_error_pct"
+    );
     let mut errors = Vec::new();
     for workload in CloudWorkload::ALL {
         for p in fig10_synthetic_accuracy(workload, benchmark, 13) {
@@ -27,7 +29,11 @@ fn print_figure(benchmark: &SyntheticBenchmark) {
     errors.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let median = errors[errors.len() / 2];
     let mean = errors.iter().sum::<f64>() / errors.len() as f64;
-    println!("# median error {:.1}% (paper: 8%), mean error {:.1}% (paper: 10%)", median * 100.0, mean * 100.0);
+    println!(
+        "# median error {:.1}% (paper: 8%), mean error {:.1}% (paper: 10%)",
+        median * 100.0,
+        mean * 100.0
+    );
 }
 
 fn bench_kernel(c: &mut Criterion) {

@@ -12,11 +12,19 @@ fn print_curves() {
     println!("servers,interference_fraction,mean_reaction_min");
     for servers in [2usize, 4, 8, 16] {
         let curve = reaction_time_curve(
-            &ScenarioConfig { servers, arrival_model: lognormal, popularity: None, ..Default::default() },
+            &ScenarioConfig {
+                servers,
+                arrival_model: lognormal,
+                popularity: None,
+                ..Default::default()
+            },
             &fractions,
         );
         for p in &curve {
-            let value = p.mean_reaction_minutes.map(|m| format!("{m:.2}")).unwrap_or_else(|| "unstable".into());
+            let value = p
+                .mean_reaction_minutes
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_else(|| "unstable".into());
             println!("{},{:.1},{}", servers, p.interference_fraction, value);
         }
     }
@@ -24,11 +32,19 @@ fn print_curves() {
     println!("servers,interference_fraction,mean_reaction_min");
     for servers in [2usize, 4, 8, 16] {
         let curve = reaction_time_curve(
-            &ScenarioConfig { servers, arrival_model: lognormal, popularity: Some((200, 1.5)), ..Default::default() },
+            &ScenarioConfig {
+                servers,
+                arrival_model: lognormal,
+                popularity: Some((200, 1.5)),
+                ..Default::default()
+            },
             &fractions,
         );
         for p in &curve {
-            let value = p.mean_reaction_minutes.map(|m| format!("{m:.2}")).unwrap_or_else(|| "unstable".into());
+            let value = p
+                .mean_reaction_minutes
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_else(|| "unstable".into());
             println!("{},{:.1},{}", servers, p.interference_fraction, value);
         }
     }
@@ -42,11 +58,19 @@ fn print_curves() {
         ("1.0", Some((200, 1.0))),
     ] {
         let curve = reaction_time_curve(
-            &ScenarioConfig { servers: 4, arrival_model: lognormal, popularity, ..Default::default() },
+            &ScenarioConfig {
+                servers: 4,
+                arrival_model: lognormal,
+                popularity,
+                ..Default::default()
+            },
             &fractions,
         );
         for p in &curve {
-            let value = p.mean_reaction_minutes.map(|m| format!("{m:.2}")).unwrap_or_else(|| "unstable".into());
+            let value = p
+                .mean_reaction_minutes
+                .map(|m| format!("{m:.2}"))
+                .unwrap_or_else(|| "unstable".into());
             println!("{},{:.1},{}", label, p.interference_fraction, value);
         }
     }

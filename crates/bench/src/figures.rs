@@ -74,7 +74,10 @@ pub fn fig1_ec2_motivation(seed: u64) -> Vec<Fig1Point> {
             aggressor_placed = false;
         }
         let reports = cluster.step_epoch(&|_| 0.7, &mut rng);
-        let victim = reports.iter().find(|r| r.vm_id == VmId(1)).expect("victim report");
+        let victim = reports
+            .iter()
+            .find(|r| r.vm_id == VmId(1))
+            .expect("victim report");
         points.push(Fig1Point {
             hour,
             throughput_rps: victim.observation.throughput_rps,
@@ -127,8 +130,8 @@ fn separation_score(points: &[MetricPoint]) -> f64 {
     let centroid = |g: &Vec<&MetricPoint>| -> [f64; 3] {
         let mut c = [0.0; 3];
         for p in g {
-            for d in 0..3 {
-                c[d] += p.coords[d];
+            for (cd, &pv) in c.iter_mut().zip(&p.coords) {
+                *cd += pv;
             }
         }
         for v in c.iter_mut() {
@@ -474,7 +477,8 @@ pub fn fig6_cpi_breakdown(workload: CloudWorkload, scenario: Fig6Scenario, seed:
     }
     // Production run with the scenario aggressor.
     let mut prod = victim_cluster(workload, 1);
-    prod.place_on(PmId(0), scenario.aggressor(workload)).expect("capacity");
+    prod.place_on(PmId(0), scenario.aggressor(workload))
+        .expect("capacity");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut prod_counters = Vec::new();
     for _ in 0..epochs {
@@ -573,17 +577,17 @@ pub fn fig8_detection(workload: CloudWorkload, seed: u64) -> Fig8Result {
         let day = hour / 24;
         let t = hour as u64 * 3_600;
         let load = trace.load_at_hour(hour);
-        let active_episode = schedule
-            .episodes
-            .iter()
-            .position(|e| e.contains(t));
+        let active_episode = schedule.episodes.iter().position(|e| e.contains(t));
         match active_episode {
             Some(idx) => {
                 if !aggressor_placed {
                     let intensity = schedule.episodes[idx].intensity;
                     let victim_home = cluster.locate(VmId(1)).expect("victim is placed");
                     cluster
-                        .place_on(victim_home, StressKind::Memory.vm(99, 0.5 + 0.5 * intensity))
+                        .place_on(
+                            victim_home,
+                            StressKind::Memory.vm(99, 0.5 + 0.5 * intensity),
+                        )
                         .expect("capacity for the aggressor");
                     aggressor_placed = true;
                 }
@@ -712,7 +716,7 @@ pub fn fig12_profiling_overhead(seed: u64) -> Fig12Result {
     let schedule = InterferenceSchedule::generate(3, 3, 2 * 3_600, 4 * 3_600, seed ^ 0xEC2);
     let per_invocation_minutes = 35.0 / 60.0;
     let thresholds = [0.05, 0.10, 0.20];
-    let mut baselines = vec![Vec::with_capacity(72); 3];
+    let mut baselines: Vec<Vec<f64>> = (0..3).map(|_| Vec::with_capacity(72)).collect();
     let mut cumulative = [0.0_f64; 3];
     let mut previous_throughput: Option<f64> = None;
     for hour in 0..72usize {
@@ -720,7 +724,11 @@ pub fn fig12_profiling_overhead(seed: u64) -> Fig12Result {
         let load = trace.load_at_hour(hour);
         // Client-visible throughput this hour (degraded when an episode is
         // active, mirroring the live run).
-        let degradation = if schedule.intensity_at(t) > 0.0 { 0.35 } else { 0.0 };
+        let degradation = if schedule.intensity_at(t) > 0.0 {
+            0.35
+        } else {
+            0.0
+        };
         let throughput = 8_000.0 * load * (1.0 - degradation);
         if let Some(prev) = previous_throughput {
             let variation = (throughput - prev).abs() / prev.max(1.0);
@@ -782,7 +790,8 @@ pub fn fig9_degradation_accuracy(workload: CloudWorkload, seed: u64) -> Vec<Fig9
 
         // Production run with the aggressor.
         let mut prod = victim_cluster(workload, 1);
-        prod.place_on(PmId(0), stress.vm(99, intensity)).expect("capacity");
+        prod.place_on(PmId(0), stress.vm(99, intensity))
+            .expect("capacity");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut proxy = RequestProxy::new(window);
         let mut counters = Vec::new();
@@ -845,7 +854,7 @@ pub fn fig10_synthetic_accuracy(
     let demand = wl.next_demand(1.0, &mut rng);
     let solo = resolve_epoch(&spec, &[PlacedDemand::new(1, demand.clone(), 2, 0)]);
     let behavior = BehaviorVector::from_counters(&solo[0].counters);
-    let clone_demand = benchmark.mimic(&behavior).demand();
+    let clone_demand = benchmark.mimic(&behavior, demand.instructions).demand();
     let clone_solo = resolve_epoch(&spec, &[PlacedDemand::new(1, clone_demand.clone(), 2, 0)]);
 
     let mut points = Vec::new();
@@ -906,9 +915,14 @@ pub fn fig11_placement_robustness(benchmark: &SyntheticBenchmark, seed: u64) -> 
     // The aggressive VM to place: a large memory-stress kernel.
     let mut aggressor = StressKind::Memory.vm(50, 0.6);
     let aggressor_demand = aggressor.workload.next_demand(1.0, &mut rng);
-    let solo = resolve_epoch(&spec, &[PlacedDemand::new(1, aggressor_demand.clone(), 2, 0)]);
+    let solo = resolve_epoch(
+        &spec,
+        &[PlacedDemand::new(1, aggressor_demand.clone(), 2, 0)],
+    );
     let aggressor_behavior = BehaviorVector::from_counters(&solo[0].counters);
-    let clone_demand = benchmark.mimic(&aggressor_behavior).demand();
+    let clone_demand = benchmark
+        .mimic(&aggressor_behavior, aggressor_demand.instructions)
+        .demand();
 
     // Three candidates, each running one cloud workload at substantial load.
     let mut candidates = Vec::new();
@@ -916,8 +930,10 @@ pub fn fig11_placement_robustness(benchmark: &SyntheticBenchmark, seed: u64) -> 
     for (i, workload) in CloudWorkload::ALL.iter().enumerate() {
         let mut wl = workload.workload();
         let resident_demand = wl.next_demand(0.9, &mut rng);
-        let resident_solo =
-            resolve_epoch(&spec, &[PlacedDemand::new(1, resident_demand.clone(), 2, 0)]);
+        let resident_solo = resolve_epoch(
+            &spec,
+            &[PlacedDemand::new(1, resident_demand.clone(), 2, 0)],
+        );
         // Ground truth: actually co-locate the real aggressor.
         let together = resolve_epoch(
             &spec,
@@ -974,7 +990,7 @@ pub fn memory_overhead_bytes_per_vm_day() -> usize {
     let mut repo = BehaviorRepository::new();
     let app = AppId(1);
     for hour in 0..24u64 {
-        let behavior = BehaviorVector::from_vec(&vec![hour as f64; deepdive::metrics::DIMENSIONS]);
+        let behavior = BehaviorVector::from_vec(&[hour as f64; deepdive::metrics::DIMENSIONS]);
         repo.record_normal(app, behavior, hour * 3_600);
     }
     repo.footprint_bytes(app)
@@ -1016,7 +1032,8 @@ mod tests {
         let points = fig5_global_information(3, 5);
         let interfered: Vec<&Fig5Point> = points.iter().filter(|p| p.interfered).collect();
         let clean: Vec<&Fig5Point> = points.iter().filter(|p| !p.interfered).collect();
-        let mean_net = |ps: &[&Fig5Point]| ps.iter().map(|p| p.net_stalls).sum::<f64>() / ps.len() as f64;
+        let mean_net =
+            |ps: &[&Fig5Point]| ps.iter().map(|p| p.net_stalls).sum::<f64>() / ps.len() as f64;
         assert!(mean_net(&interfered) > 2.0 * mean_net(&clean).max(1e-9));
     }
 

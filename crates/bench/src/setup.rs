@@ -159,9 +159,15 @@ mod tests {
 
     #[test]
     fn stress_pairing_matches_the_paper() {
-        assert_eq!(CloudWorkload::DataServing.paired_stress(), StressKind::Memory);
+        assert_eq!(
+            CloudWorkload::DataServing.paired_stress(),
+            StressKind::Memory
+        );
         assert_eq!(CloudWorkload::WebSearch.paired_stress(), StressKind::Disk);
-        assert_eq!(CloudWorkload::DataAnalytics.paired_stress(), StressKind::Network);
+        assert_eq!(
+            CloudWorkload::DataAnalytics.paired_stress(),
+            StressKind::Network
+        );
     }
 
     #[test]

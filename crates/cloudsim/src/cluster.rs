@@ -171,7 +171,11 @@ impl Cluster {
             .remove_vm(vm)
             .expect("vm located on source");
         let memory_mb = moved.memory_mb;
-        match self.machine_mut(to).expect("destination exists").try_add_vm(moved) {
+        match self
+            .machine_mut(to)
+            .expect("destination exists")
+            .try_add_vm(moved)
+        {
             Ok(()) => Ok(estimate_migration(
                 memory_mb,
                 MIGRATION_DIRTY_RATE_MB_PER_S,
@@ -311,7 +315,10 @@ mod tests {
         );
         assert_eq!(
             c.migrate(VmId(1), PmId(0)),
-            Err(ClusterError::AlreadyPlaced { vm: VmId(1), pm: PmId(0) })
+            Err(ClusterError::AlreadyPlaced {
+                vm: VmId(1),
+                pm: PmId(0)
+            })
         );
         assert_eq!(
             c.migrate(VmId(1), PmId(7)),

@@ -72,7 +72,10 @@ impl Sandbox {
     /// Panics if the pool is empty or the overhead is negative.
     pub fn new(spec: MachineSpec, machines: usize, clone_overhead_seconds: f64) -> Self {
         assert!(machines > 0, "sandbox needs at least one machine");
-        assert!(clone_overhead_seconds >= 0.0, "clone overhead cannot be negative");
+        assert!(
+            clone_overhead_seconds >= 0.0,
+            "clone overhead cannot be negative"
+        );
         assert!(spec.is_well_formed(), "malformed sandbox machine spec");
         Self {
             spec,
@@ -92,7 +95,12 @@ impl Sandbox {
     ///
     /// The clone runs exactly the duplicated workload, alone, with the
     /// non-work-conserving scheduler — i.e. nothing else contends with it.
-    pub fn run_in_isolation(&self, vm_id: VmId, demands: &[ResourceDemand], vcpus: usize) -> IsolationRun {
+    pub fn run_in_isolation(
+        &self,
+        vm_id: VmId,
+        demands: &[ResourceDemand],
+        vcpus: usize,
+    ) -> IsolationRun {
         assert!(vcpus > 0, "clone needs at least one vCPU");
         let mut counters = Vec::with_capacity(demands.len());
         let mut fractions = Vec::with_capacity(demands.len());

@@ -216,10 +216,17 @@ mod tests {
             &sandbox,
             2,
         );
-        assert!(result.interference_confirmed, "degradation {}", result.degradation);
+        assert!(
+            result.interference_confirmed,
+            "degradation {}",
+            result.degradation
+        );
         assert!(result.degradation > 0.15);
         assert!(
-            matches!(result.culprit, Some(Resource::CacheMemory) | Some(Resource::MemoryBus)),
+            matches!(
+                result.culprit,
+                Some(Resource::CacheMemory) | Some(Resource::MemoryBus)
+            ),
             "culprit {:?}",
             result.culprit
         );
@@ -238,7 +245,11 @@ mod tests {
             2,
         );
         assert!(!result.interference_confirmed);
-        assert!(result.degradation < 0.1, "degradation {}", result.degradation);
+        assert!(
+            result.degradation < 0.1,
+            "degradation {}",
+            result.degradation
+        );
         assert_eq!(result.culprit, None);
     }
 

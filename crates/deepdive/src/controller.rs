@@ -100,6 +100,11 @@ pub struct DeepDiveStats {
 
 /// Events the controller emits each epoch, for logging and for the benches'
 /// detection-rate accounting.
+///
+/// The `Analyzed` variant carries a full [`AnalysisResult`] and dwarfs the
+/// others; events are transient per-epoch values that callers consume
+/// immediately, so boxing it would only add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum EpochEvent {
     /// The analyzer ran for a VM and produced a result.
@@ -150,7 +155,8 @@ pub struct DeepDive {
 impl DeepDive {
     /// Creates the controller with a sandbox pool for the analyzer.
     pub fn new(config: DeepDiveConfig, sandbox: Sandbox) -> Self {
-        let analyzer = InterferenceAnalyzer::new(sandbox.spec.clone(), config.performance_threshold);
+        let analyzer =
+            InterferenceAnalyzer::new(sandbox.spec.clone(), config.performance_threshold);
         let placement = PlacementManager::new(
             sandbox.spec.clone(),
             config.acceptable_destination_interference,
@@ -252,7 +258,8 @@ impl DeepDive {
                     // Workload change shared across the application's VMs:
                     // extend the set of known behaviours without profiling.
                     self.stats.global_matches += 1;
-                    self.repository.record_normal(report.app, behavior.clone(), epoch);
+                    self.repository
+                        .record_normal(report.app, behavior.clone(), epoch);
                 }
                 WarningDecision::SuspectInterference | WarningDecision::Bootstrap => {
                     if self
@@ -264,7 +271,9 @@ impl DeepDive {
                     }
                     let result = self.run_analysis(report);
                     let cooldown = if result.interference_confirmed {
-                        self.config.confirmed_cooldown.max(self.config.analysis_cooldown)
+                        self.config
+                            .confirmed_cooldown
+                            .max(self.config.analysis_cooldown)
                     } else {
                         self.config.analysis_cooldown
                     };
@@ -301,13 +310,9 @@ impl DeepDive {
         if replay.is_empty() {
             replay.push(report.demand.clone());
         }
-        let result = self.analyzer.analyze(
-            report.vm_id,
-            &window,
-            &replay,
-            &self.sandbox,
-            2,
-        );
+        let result = self
+            .analyzer
+            .analyze(report.vm_id, &window, &replay, &self.sandbox, 2);
         self.stats.profiling_seconds += result.profiling_seconds;
         // Every isolation epoch is a verified normal behaviour — the set S
         // the analyzer hands the warning system (§4.1).
@@ -326,8 +331,11 @@ impl DeepDive {
             self.stats.false_alarms += 1;
             // A false alarm means the production behaviour is genuinely
             // normal (e.g. a workload change): learn it.
-            self.repository
-                .record_normal(report.app, result.production_behavior.clone(), report.epoch);
+            self.repository.record_normal(
+                report.app,
+                result.production_behavior.clone(),
+                report.epoch,
+            );
         }
         result
     }
@@ -398,7 +406,9 @@ impl DeepDive {
         }
         let benchmark = self.synthetic.as_ref().expect("benchmark trained above");
 
-        let decision = self.placement.decide(&residents, culprit, &candidates, benchmark);
+        let decision = self
+            .placement
+            .decide(&residents, culprit, &candidates, benchmark);
         match decision.destination {
             Some(destination) => match cluster.migrate(decision.vm_to_migrate, destination) {
                 Ok(_cost) => {
@@ -490,14 +500,26 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         run(&mut cluster, &mut dd, 60, 0.8, &mut rng);
         let stats = dd.stats();
-        assert!(stats.analyzer_invocations >= 1, "bootstrap must invoke the analyzer");
-        assert!(stats.interference_confirmed == 0, "no interference was present");
-        assert!(!dd.in_conservative_mode(AppId(1)), "clusters should be learned by now");
+        assert!(
+            stats.analyzer_invocations >= 1,
+            "bootstrap must invoke the analyzer"
+        );
+        assert!(
+            stats.interference_confirmed == 0,
+            "no interference was present"
+        );
+        assert!(
+            !dd.in_conservative_mode(AppId(1)),
+            "clusters should be learned by now"
+        );
         // Once learned, further quiet epochs must not trigger the analyzer.
         let before = dd.stats().analyzer_invocations;
         run(&mut cluster, &mut dd, 40, 0.8, &mut rng);
         let after = dd.stats().analyzer_invocations;
-        assert!(after - before <= 1, "learned behaviour keeps firing the analyzer");
+        assert!(
+            after - before <= 1,
+            "learned behaviour keeps firing the analyzer"
+        );
     }
 
     #[test]

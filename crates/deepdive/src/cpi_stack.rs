@@ -149,7 +149,10 @@ impl CpiStack {
     /// window explained by *growth* relative to isolation.
     ///
     /// `Factor_r = (T_r^prod − T_r^iso) / T_overall^prod`, clamped at zero.
-    pub fn degradation_factors(production: &CpiStack, isolation: &CpiStack) -> Vec<(Resource, f64)> {
+    pub fn degradation_factors(
+        production: &CpiStack,
+        isolation: &CpiStack,
+    ) -> Vec<(Resource, f64)> {
         let total = production.total_seconds().max(f64::MIN_POSITIVE);
         Resource::ALL
             .iter()
@@ -163,7 +166,10 @@ impl CpiStack {
     /// The resource with the largest degradation factor, ignoring the core
     /// component (a VM doing more useful work on its own core is never the
     /// *shared-resource* culprit the placement manager should act on).
-    pub fn dominant_culprit(production: &CpiStack, isolation: &CpiStack) -> Option<(Resource, f64)> {
+    pub fn dominant_culprit(
+        production: &CpiStack,
+        isolation: &CpiStack,
+    ) -> Option<(Resource, f64)> {
         Self::degradation_factors(production, isolation)
             .into_iter()
             .filter(|(r, _)| *r != Resource::Core)
@@ -259,7 +265,10 @@ mod tests {
             .net_tx_mb(85.0)
             .net_rx_mb(85.0)
             .build();
-        let iso_out = resolve_epoch(&spec, &[PlacedDemand::new(1, network_victim_demand(), 2, 0)]);
+        let iso_out = resolve_epoch(
+            &spec,
+            &[PlacedDemand::new(1, network_victim_demand(), 2, 0)],
+        );
         let prod_out = resolve_epoch(
             &spec,
             &[

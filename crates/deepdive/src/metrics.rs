@@ -73,7 +73,11 @@ impl BehaviorVector {
     /// # Panics
     /// Panics if `values` does not have exactly [`DIMENSIONS`] entries.
     pub fn from_vec(values: &[f64]) -> Self {
-        assert_eq!(values.len(), DIMENSIONS, "behaviour vector needs {DIMENSIONS} dimensions");
+        assert_eq!(
+            values.len(),
+            DIMENSIONS,
+            "behaviour vector needs {DIMENSIONS} dimensions"
+        );
         let mut out = [0.0; DIMENSIONS];
         out.copy_from_slice(values);
         Self { values: out }
@@ -166,7 +170,11 @@ mod tests {
     fn normalization_makes_load_scaling_invisible() {
         let half = BehaviorVector::from_counters(&sample_counters(0.5));
         let full = BehaviorVector::from_counters(&sample_counters(1.0));
-        assert!(half.distance(&full) < 1e-9, "distance {}", half.distance(&full));
+        assert!(
+            half.distance(&full) < 1e-9,
+            "distance {}",
+            half.distance(&full)
+        );
     }
 
     #[test]

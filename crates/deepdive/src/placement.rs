@@ -151,8 +151,11 @@ impl PlacementManager {
     ) -> f64 {
         // Baselines: every demand resolved alone on an idle machine.
         let solo_fraction = |demand: &ResourceDemand, vcpus: usize| -> f64 {
-            resolve_epoch(&self.spec, &[PlacedDemand::new(0, demand.clone(), vcpus, 0)])[0]
-                .achieved_fraction
+            resolve_epoch(
+                &self.spec,
+                &[PlacedDemand::new(0, demand.clone(), vcpus, 0)],
+            )[0]
+            .achieved_fraction
         };
 
         let mut placements = Vec::with_capacity(candidate.resident_demands.len() + 1);
@@ -209,8 +212,12 @@ impl PlacementManager {
             .find(|r| r.vm_id == aggressor_id)
             .expect("aggressor is a resident");
 
-        // Build the synthetic clone that mimics the aggressor.
-        let clone_inputs = benchmark.mimic(&aggressor.behavior);
+        // Build the synthetic clone that mimics the aggressor at its
+        // *demanded* work rate. The counters' inst_retired is throttled by
+        // the very contention that triggered this decision, so pinning the
+        // clone to it would underestimate the load the VM brings to an
+        // uncontended destination.
+        let clone_inputs = benchmark.mimic(&aggressor.behavior, aggressor.demand.instructions);
         let clone_demand = clone_inputs.demand();
 
         let mut predictions: Vec<CandidatePrediction> = candidates
@@ -218,7 +225,11 @@ impl PlacementManager {
             .filter(|c| c.free_cores >= aggressor.vcpus)
             .map(|c| CandidatePrediction {
                 pm_id: c.pm_id,
-                predicted_interference: self.predict_on_candidate(&clone_demand, aggressor.vcpus, c),
+                predicted_interference: self.predict_on_candidate(
+                    &clone_demand,
+                    aggressor.vcpus,
+                    c,
+                ),
             })
             .collect();
         predictions.sort_by_key(|p| p.pm_id);
@@ -331,7 +342,10 @@ mod tests {
         let empty_pred = m.predict_on_candidate(&clone_demand, 2, &empty);
         let loaded_pred = m.predict_on_candidate(&clone_demand, 2, &loaded);
         assert!(empty_pred < 0.05, "empty machine prediction {empty_pred}");
-        assert!(loaded_pred > empty_pred, "loaded {loaded_pred} vs empty {empty_pred}");
+        assert!(
+            loaded_pred > empty_pred,
+            "loaded {loaded_pred} vs empty {empty_pred}"
+        );
     }
 
     #[test]
@@ -376,8 +390,16 @@ mod tests {
             },
         ];
         let decision = m.decide(&residents, Resource::CacheMemory, &candidates, &benchmark);
-        assert_eq!(decision.vm_to_migrate, VmId(2), "the cache hog must be selected");
-        assert_eq!(decision.destination, Some(PmId(11)), "the idle machine wins");
+        assert_eq!(
+            decision.vm_to_migrate,
+            VmId(2),
+            "the cache hog must be selected"
+        );
+        assert_eq!(
+            decision.destination,
+            Some(PmId(11)),
+            "the idle machine wins"
+        );
         assert_eq!(decision.predictions.len(), 2);
     }
 
@@ -388,7 +410,11 @@ mod tests {
         let residents = vec![resident(1, counters_with(5.0e7, 0.0, 0.0))];
         let candidates = vec![CandidateMachine {
             pm_id: PmId(10),
-            resident_demands: vec![busy_memory_demand(), busy_memory_demand(), busy_memory_demand()],
+            resident_demands: vec![
+                busy_memory_demand(),
+                busy_memory_demand(),
+                busy_memory_demand(),
+            ],
             free_cores: 2,
         }];
         let decision = m.decide(&residents, Resource::CacheMemory, &candidates, &benchmark);
@@ -428,7 +454,7 @@ mod tests {
         // identity it was asked to impersonate.
         let benchmark = SyntheticBenchmark::train(MachineSpec::xeon_x5472(), 120, 3);
         let target = BehaviorVector::from_counters(&counters_with(5.0e7, 0.0, 0.0));
-        let clone = benchmark.clone_for(AppId(42), &target);
+        let clone = benchmark.clone_for(AppId(42), &target, 2.0e9);
         assert_eq!(workloads::Workload::app_id(&clone), AppId(42));
     }
 }

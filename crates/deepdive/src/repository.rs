@@ -166,7 +166,11 @@ impl BehaviorRepository {
             .map(|s| {
                 s.entries
                     .iter()
-                    .map(|e| e.behavior.footprint_bytes() + std::mem::size_of::<bool>() + std::mem::size_of::<u64>())
+                    .map(|e| {
+                        e.behavior.footprint_bytes()
+                            + std::mem::size_of::<bool>()
+                            + std::mem::size_of::<u64>()
+                    })
                     .sum()
             })
             .unwrap_or(0)
@@ -197,7 +201,7 @@ mod tests {
     use crate::metrics::DIMENSIONS;
 
     fn behavior(v: f64) -> BehaviorVector {
-        BehaviorVector::from_vec(&vec![v; DIMENSIONS])
+        BehaviorVector::from_vec(&[v; DIMENSIONS])
     }
 
     #[test]
@@ -246,7 +250,10 @@ mod tests {
             repo.record_normal(app, behavior(hour as f64), hour * 3_600);
         }
         let bytes = repo.footprint_bytes(app);
-        assert!(bytes < 5 * 1024, "daily footprint {bytes} bytes exceeds 5 KB");
+        assert!(
+            bytes < 5 * 1024,
+            "daily footprint {bytes} bytes exceeds 5 KB"
+        );
         assert!(bytes > 0);
     }
 
@@ -256,7 +263,10 @@ mod tests {
         repo.record_normal(AppId(5), behavior(1.0), 0);
         repo.record_normal(AppId(2), behavior(1.0), 0);
         assert_eq!(repo.known_apps(), vec![AppId(2), AppId(5)]);
-        assert_eq!(repo.total_footprint_bytes(), repo.footprint_bytes(AppId(2)) + repo.footprint_bytes(AppId(5)));
+        assert_eq!(
+            repo.total_footprint_bytes(),
+            repo.footprint_bytes(AppId(2)) + repo.footprint_bytes(AppId(5))
+        );
     }
 
     #[test]

@@ -166,21 +166,38 @@ impl SyntheticBenchmark {
     /// Finds benchmark inputs that mimic a target behaviour — the learned
     /// inverse mapping of §4.3.
     ///
+    /// `instructions_per_epoch` is the work rate observed on the real VM
+    /// (e.g. its latest `inst_retired`). The behaviour vector is normalized
+    /// per instruction, so the amount of work is *not* recoverable from it —
+    /// yet it determines how much load the clone puts on shared resources,
+    /// and therefore how much interference it suffers and causes. The clone
+    /// must replay the real VM's rate, so that knob is pinned rather than
+    /// searched.
+    ///
     /// The regression inversion gives a good starting point; a short direct
     /// refinement against the machine model then compensates for the
     /// non-linearities (cache-capacity and bus-saturation knees) that a
     /// linear model cannot capture.  The paper notes that "more
     /// sophisticated workload synthesizers" exist but are unnecessary; this
     /// cheap refinement plays that role.
-    pub fn mimic(&self, target: &BehaviorVector) -> BenchmarkInputs {
-        let (raw, _err) = invert_inputs(&self.model, &target.to_vec(), &BenchmarkInputs::BOUNDS, 80);
-        self.refine(BenchmarkInputs::from_vec(&raw), target, 8)
+    pub fn mimic(&self, target: &BehaviorVector, instructions_per_epoch: f64) -> BenchmarkInputs {
+        let mut bounds = BenchmarkInputs::BOUNDS;
+        let pinned = instructions_per_epoch.clamp(bounds[0].0, bounds[0].1);
+        bounds[0] = (pinned, pinned);
+        let (raw, _err) = invert_inputs(&self.model, &target.to_vec(), &bounds, 80);
+        self.refine(BenchmarkInputs::from_vec(&raw), target, &bounds, 12)
     }
 
     /// Coordinate-descent refinement of benchmark inputs directly against the
     /// machine model, minimizing the worst-dimension relative deviation from
     /// the target behaviour.
-    fn refine(&self, start: BenchmarkInputs, target: &BehaviorVector, rounds: usize) -> BenchmarkInputs {
+    fn refine(
+        &self,
+        start: BenchmarkInputs,
+        target: &BehaviorVector,
+        bounds: &[(f64, f64); 6],
+        rounds: usize,
+    ) -> BenchmarkInputs {
         let objective = |inputs: &BenchmarkInputs| -> f64 {
             Self::run_solo(&self.spec, inputs).max_relative_deviation(target)
         };
@@ -190,7 +207,7 @@ impl SyntheticBenchmark {
             let scale = 0.5_f64.powi(round as i32 / 2);
             let mut improved = false;
             for dim in 0..current.len() {
-                let (lo, hi) = BenchmarkInputs::BOUNDS[dim];
+                let (lo, hi) = bounds[dim];
                 let step = (hi - lo) * 0.25 * scale;
                 for candidate in [
                     (current[dim] - step).clamp(lo, hi),
@@ -213,10 +230,16 @@ impl SyntheticBenchmark {
         BenchmarkInputs::from_vec(&current)
     }
 
-    /// Convenience: mimic a target behaviour and wrap the result in a
-    /// [`SyntheticClone`] workload that can be placed on a candidate machine.
-    pub fn clone_for(&self, app: AppId, target: &BehaviorVector) -> SyntheticClone {
-        SyntheticClone::new(app, self.mimic(target))
+    /// Convenience: mimic a target behaviour at the observed work rate and
+    /// wrap the result in a [`SyntheticClone`] workload that can be placed on
+    /// a candidate machine.
+    pub fn clone_for(
+        &self,
+        app: AppId,
+        target: &BehaviorVector,
+        instructions_per_epoch: f64,
+    ) -> SyntheticClone {
+        SyntheticClone::new(app, self.mimic(target, instructions_per_epoch))
     }
 }
 
@@ -317,7 +340,7 @@ mod tests {
         let bench = trained();
         for target_inputs in [memory_heavy_inputs(), io_heavy_inputs()] {
             let target = SyntheticBenchmark::run_solo(&bench.spec, &target_inputs);
-            let mimicked_inputs = bench.mimic(&target);
+            let mimicked_inputs = bench.mimic(&target, target_inputs.instructions);
             let mimicked = SyntheticBenchmark::run_solo(&bench.spec, &mimicked_inputs);
             let deviation = mimicked.max_relative_deviation(&target);
             assert!(
@@ -331,7 +354,9 @@ mod tests {
     fn mimicked_inputs_respect_bounds() {
         let bench = trained();
         let target = SyntheticBenchmark::run_solo(&bench.spec, &memory_heavy_inputs());
-        let inputs = bench.mimic(&target).to_vec();
+        let inputs = bench
+            .mimic(&target, memory_heavy_inputs().instructions)
+            .to_vec();
         for (v, (lo, hi)) in inputs.iter().zip(&BenchmarkInputs::BOUNDS) {
             assert!(v >= lo && v <= hi, "input {v} outside [{lo}, {hi}]");
         }

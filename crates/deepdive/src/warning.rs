@@ -44,7 +44,10 @@ pub enum WarningDecision {
 impl WarningDecision {
     /// True when the decision requires invoking the interference analyzer.
     pub fn triggers_analyzer(&self) -> bool {
-        matches!(self, WarningDecision::SuspectInterference | WarningDecision::Bootstrap)
+        matches!(
+            self,
+            WarningDecision::SuspectInterference | WarningDecision::Bootstrap
+        )
     }
 }
 
@@ -96,8 +99,14 @@ impl WarningSystem {
     /// Creates a warning system with the given configuration.
     pub fn new(config: WarningConfig) -> Self {
         assert!(config.clusters_per_app > 0, "need at least one cluster");
-        assert!(config.sigma_multiplier > 0.0, "sigma multiplier must be positive");
-        assert!((0.0..=1.0).contains(&config.global_quorum), "quorum must be a fraction");
+        assert!(
+            config.sigma_multiplier > 0.0,
+            "sigma multiplier must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.global_quorum),
+            "quorum must be a fraction"
+        );
         Self {
             config,
             models: HashMap::new(),
@@ -247,7 +256,11 @@ mod tests {
         let new_behavior = behavior(2.6, 1.8);
         // ...but most peers look exactly the same right now (a request-mix
         // change hitting every instance of the application).
-        let peers = vec![behavior(2.62, 1.81), behavior(2.58, 1.79), behavior(2.61, 1.8)];
+        let peers = vec![
+            behavior(2.62, 1.81),
+            behavior(2.58, 1.79),
+            behavior(2.61, 1.8),
+        ];
         assert_eq!(
             ws.evaluate(app, &new_behavior, &peers),
             WarningDecision::NormalGlobal
@@ -281,7 +294,10 @@ mod tests {
         let mut ws = WarningSystem::with_defaults();
         ws.refresh_model(app, &repo);
         assert!(ws.in_conservative_mode(app));
-        assert_eq!(ws.evaluate(app, &behavior(1.5, 0.5), &[]), WarningDecision::Bootstrap);
+        assert_eq!(
+            ws.evaluate(app, &behavior(1.5, 0.5), &[]),
+            WarningDecision::Bootstrap
+        );
     }
 
     #[test]

@@ -139,7 +139,9 @@ fn partition_capacity(cache_mb: f64, demands: &[&ResourceDemand], intensities: &
         return occupancy;
     }
     // Give any still-unassigned VMs an even split of what is left.
-    let leftover: Vec<usize> = (0..n).filter(|&i| !capped[i] && occupancy[i] == 0.0).collect();
+    let leftover: Vec<usize> = (0..n)
+        .filter(|&i| !capped[i] && occupancy[i] == 0.0)
+        .collect();
     if !leftover.is_empty() {
         let each = (cache_mb - occupancy.iter().sum::<f64>()).max(0.0) / leftover.len() as f64;
         for i in leftover {
@@ -185,7 +187,11 @@ mod tests {
         let b = vm(4.0, 20.0, 1.0, 0.5);
         let out = resolve_cache_group(12.0, &[&a, &b]);
         for o in &out {
-            assert!((o.effective_mpki - 1.0).abs() < 1e-9, "no thrash expected: {:?}", o);
+            assert!(
+                (o.effective_mpki - 1.0).abs() < 1e-9,
+                "no thrash expected: {:?}",
+                o
+            );
         }
     }
 
@@ -222,7 +228,10 @@ mod tests {
         let c = vm(3.0, 50.0, 1.0, 0.2);
         let out = resolve_cache_group(12.0, &[&a, &b, &c]);
         let total: f64 = out.iter().map(|o| o.occupancy_mb).sum();
-        assert!(total <= 12.0 + 1e-9, "total occupancy {total} exceeds capacity");
+        assert!(
+            total <= 12.0 + 1e-9,
+            "total occupancy {total} exceeds capacity"
+        );
         for (o, d) in out.iter().zip([&a, &b, &c]) {
             assert!(o.occupancy_mb <= d.working_set_mb + 1e-9);
             assert!(o.occupancy_mb >= 0.0);

@@ -134,7 +134,11 @@ pub fn resolve_epoch_with_duration(
     placements: &[PlacedDemand],
     epoch_seconds: f64,
 ) -> Vec<EpochOutcome> {
-    assert!(spec.is_well_formed(), "malformed machine spec: {:?}", spec.name);
+    assert!(
+        spec.is_well_formed(),
+        "malformed machine spec: {:?}",
+        spec.name
+    );
     assert!(epoch_seconds > 0.0, "epoch must have positive duration");
     for p in placements {
         assert!(
@@ -168,7 +172,8 @@ pub fn resolve_epoch_with_duration(
         if members.is_empty() {
             continue;
         }
-        let demands: Vec<&ResourceDemand> = members.iter().map(|&i| &placements[i].demand).collect();
+        let demands: Vec<&ResourceDemand> =
+            members.iter().map(|&i| &placements[i].demand).collect();
         let outcomes = resolve_cache_group(spec.shared_cache_mb, &demands);
         for (slot, outcome) in members.iter().zip(outcomes) {
             effective_mpki[*slot] = outcome.effective_mpki;
@@ -194,7 +199,12 @@ pub fn resolve_epoch_with_duration(
 
     // --- Disk and NIC: machine-wide shared devices. -------------------------
     let demand_refs: Vec<&ResourceDemand> = placements.iter().map(|p| &p.demand).collect();
-    let disk = resolve_disk(spec.disk_seq_mbps, spec.disk_rand_mbps, &demand_refs, epoch_seconds);
+    let disk = resolve_disk(
+        spec.disk_seq_mbps,
+        spec.disk_rand_mbps,
+        &demand_refs,
+        epoch_seconds,
+    );
     let nic = resolve_nic(spec.nic_mbps, &demand_refs, epoch_seconds);
 
     // --- Per-VM assembly. ----------------------------------------------------
@@ -253,10 +263,14 @@ pub fn resolve_epoch_with_duration(
                 bus_tran_brd: llc_miss * f,
                 bus_req_out: llc_miss * spec.memory_latency_cycles * bus.latency_multiplier * f,
                 br_miss_pred: d.branch_mpki / 1_000.0 * inst_retired,
-                disk_stall_seconds: disk[i].stall_seconds * f.min(disk[i].completed_fraction).max(0.0).min(1.0),
+                disk_stall_seconds: disk[i].stall_seconds
+                    * f.min(disk[i].completed_fraction).clamp(0.0, 1.0),
                 net_stall_seconds: nic[i].stall_seconds * f.min(1.0),
             };
-            debug_assert!(counters.is_well_formed(), "produced malformed counters: {counters:?}");
+            debug_assert!(
+                counters.is_well_formed(),
+                "produced malformed counters: {counters:?}"
+            );
 
             EpochOutcome {
                 vm_id: p.vm_id,
@@ -316,7 +330,11 @@ mod tests {
         let out = resolve_epoch(&spec, &[PlacedDemand::new(1, cache_victim(), 2, 0)]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].vm_id, 1);
-        assert!(out[0].achieved_fraction > 0.9, "fraction {}", out[0].achieved_fraction);
+        assert!(
+            out[0].achieved_fraction > 0.9,
+            "fraction {}",
+            out[0].achieved_fraction
+        );
         assert!(out[0].counters.is_well_formed());
         assert!(out[0].counters.inst_retired > 0.0);
     }
@@ -413,7 +431,10 @@ mod tests {
             .breakdown
             .per_instruction_cycles(spec.clock_hz, out[0].demanded_instructions);
         assert!(cpis.iter().all(|c| c.is_finite() && *c >= 0.0));
-        assert!(cpis[0] > 0.0, "core component must be non-zero for a CPU-bound VM");
+        assert!(
+            cpis[0] > 0.0,
+            "core component must be non-zero for a CPU-bound VM"
+        );
     }
 
     #[test]

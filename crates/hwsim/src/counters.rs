@@ -360,7 +360,10 @@ mod tests {
     #[test]
     fn normalization_of_idle_epoch_is_zero() {
         let idle = CounterSnapshot::zero();
-        assert_eq!(idle.normalized_per_kilo_instruction(), CounterSnapshot::zero());
+        assert_eq!(
+            idle.normalized_per_kilo_instruction(),
+            CounterSnapshot::zero()
+        );
     }
 
     #[test]

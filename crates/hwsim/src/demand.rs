@@ -286,8 +286,10 @@ mod tests {
 
     #[test]
     fn well_formedness_rejects_nan() {
-        let mut d = ResourceDemand::default();
-        d.instructions = f64::NAN;
+        let d = ResourceDemand {
+            instructions: f64::NAN,
+            ..ResourceDemand::default()
+        };
         assert!(!d.is_well_formed());
     }
 }

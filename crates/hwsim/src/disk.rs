@@ -36,7 +36,10 @@ pub fn resolve_disk(
     demands: &[&ResourceDemand],
     epoch_seconds: f64,
 ) -> Vec<DiskOutcome> {
-    assert!(seq_mbps > 0.0 && rand_mbps > 0.0, "disk bandwidths must be positive");
+    assert!(
+        seq_mbps > 0.0 && rand_mbps > 0.0,
+        "disk bandwidths must be positive"
+    );
     assert!(epoch_seconds > 0.0, "epoch must have positive duration");
 
     let active: usize = demands.iter().filter(|d| d.disk_total_mb() > 0.0).count();
@@ -63,7 +66,11 @@ pub fn resolve_disk(
 
     let total_service: f64 = service.iter().sum();
     let utilization = total_service / epoch_seconds;
-    let completed_fraction = if utilization <= 1.0 { 1.0 } else { 1.0 / utilization };
+    let completed_fraction = if utilization <= 1.0 {
+        1.0
+    } else {
+        1.0 / utilization
+    };
 
     service
         .iter()

@@ -126,7 +126,7 @@ impl MachineSpec {
         self.clock_hz > 0.0
             && self.cores > 0
             && self.cores_per_cache_group > 0
-            && self.cores % self.cores_per_cache_group == 0
+            && self.cores.is_multiple_of(self.cores_per_cache_group)
             && self.shared_cache_mb > 0.0
             && self.memory_bandwidth_mbps > 0.0
             && self.memory_latency_cycles > 0.0

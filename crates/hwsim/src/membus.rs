@@ -45,7 +45,11 @@ pub fn resolve_bus(bandwidth_mbps: f64, offered_mb: f64, epoch_seconds: f64) -> 
     let capacity_mb = bandwidth_mbps * epoch_seconds;
     let utilization = offered_mb / capacity_mb;
 
-    let served_fraction = if utilization <= 1.0 { 1.0 } else { 1.0 / utilization };
+    let served_fraction = if utilization <= 1.0 {
+        1.0
+    } else {
+        1.0 / utilization
+    };
     let clamped = utilization.min(UTILIZATION_CLAMP);
     let latency_multiplier = (1.0 / (1.0 - clamped)).min(MAX_LATENCY_MULTIPLIER);
 
@@ -93,7 +97,10 @@ mod tests {
         let out = resolve_bus(6_000.0, 12_000.0, 1.0);
         assert!((out.served_fraction - 0.5).abs() < 1e-12);
         assert!(out.utilization > 1.0);
-        assert_eq!(out.latency_multiplier, MAX_LATENCY_MULTIPLIER.min(1.0 / (1.0 - UTILIZATION_CLAMP)));
+        assert_eq!(
+            out.latency_multiplier,
+            MAX_LATENCY_MULTIPLIER.min(1.0 / (1.0 - UTILIZATION_CLAMP))
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub struct NicOutcome {
 /// interfering workload is unthrottled bidirectional UDP (`iperf`), which
 /// does not back off, so a small well-behaved flow loses roughly its
 /// proportional share rather than being protected max-min-fairly.
-pub fn resolve_nic(nic_mbps: f64, demands: &[&ResourceDemand], epoch_seconds: f64) -> Vec<NicOutcome> {
+pub fn resolve_nic(
+    nic_mbps: f64,
+    demands: &[&ResourceDemand],
+    epoch_seconds: f64,
+) -> Vec<NicOutcome> {
     assert!(nic_mbps > 0.0, "NIC bandwidth must be positive");
     assert!(epoch_seconds > 0.0, "epoch must have positive duration");
 

@@ -96,8 +96,14 @@ impl ProfilerFarm {
             (0.0..=1.0).contains(&config.interference_fraction),
             "interference fraction must be in [0, 1]"
         );
-        assert!(config.full_service_mean_s > 0.0, "service time must be positive");
-        assert!(config.known_app_service_s > 0.0, "shortened service time must be positive");
+        assert!(
+            config.full_service_mean_s > 0.0,
+            "service time must be positive"
+        );
+        assert!(
+            config.known_app_service_s > 0.0,
+            "shortened service time must be positive"
+        );
         assert!(
             config.full_service_jitter_s >= 0.0
                 && config.full_service_jitter_s < config.full_service_mean_s,
@@ -126,7 +132,9 @@ impl ProfilerFarm {
             // exact same interference events, as in a paired experiment).
             let interferes = rng.gen_range(0.0..1.0) < self.config.interference_fraction;
             let jitter = if self.config.full_service_jitter_s > 0.0 {
-                rng.gen_range(-self.config.full_service_jitter_s..=self.config.full_service_jitter_s)
+                rng.gen_range(
+                    -self.config.full_service_jitter_s..=self.config.full_service_jitter_s,
+                )
             } else {
                 0.0
             };

@@ -126,7 +126,12 @@ mod tests {
             },
             &fractions,
         );
-        let stable_points = |curve: &[CurvePoint]| curve.iter().filter(|p| p.mean_reaction_minutes.is_some()).count();
+        let stable_points = |curve: &[CurvePoint]| {
+            curve
+                .iter()
+                .filter(|p| p.mean_reaction_minutes.is_some())
+                .count()
+        };
         assert!(
             stable_points(&two) < stable_points(&sixteen),
             "two servers should cover fewer stable points than sixteen"
@@ -158,7 +163,11 @@ mod tests {
             },
             &fractions,
         );
-        let stable = |c: &[CurvePoint]| c.iter().filter(|p| p.mean_reaction_minutes.is_some()).count();
+        let stable = |c: &[CurvePoint]| {
+            c.iter()
+                .filter(|p| p.mean_reaction_minutes.is_some())
+                .count()
+        };
         assert!(stable(&with_global) >= stable(&local_only));
         // At a mid-range interference fraction global info lowers the mean
         // reaction time.

@@ -1,0 +1,153 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the benchmark-harness surface the `bench` crate's figure benches
+//! use — `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, and [`Bencher::iter`] — with a simple
+//! measurement loop instead of criterion's statistical machinery: each
+//! benchmark is warmed up, then timed over enough iterations to fill a small
+//! budget, and the mean ns/iteration is printed. Good enough to compare runs
+//! by eye and to keep `cargo bench` fast; not a statistics engine.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver, one per bench target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement samples (scales the time budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            // ~100 µs of measurement per sample keeps the whole suite quick
+            // while still averaging over many iterations for fast kernels.
+            budget: Duration::from_micros(100).saturating_mul(self.sample_size as u32),
+            measured: None,
+        };
+        f(&mut bencher);
+        match bencher.measured {
+            Some((iters, elapsed)) => {
+                let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                println!(
+                    "bench: {}/{id}: {ns_per_iter:.0} ns/iter ({iters} iterations)",
+                    self.name
+                );
+            }
+            None => println!("bench: {}/{id}: no measurement taken", self.name),
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    budget: Duration,
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the budget is spent.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up and calibration: run once to estimate per-iteration cost.
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std_black_box(routine());
+        }
+        self.measured = Some((iters, start.elapsed()));
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_returns_self() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        let mut runs = 0u64;
+        group
+            .sample_size(10)
+            .bench_function("counter", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0, "routine should have been executed");
+    }
+
+    #[test]
+    fn macros_compose_into_a_main() {
+        fn kernel(c: &mut Criterion) {
+            let mut group = c.benchmark_group("macro");
+            group.sample_size(10);
+            group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            group.finish();
+        }
+        criterion_group!(benches, kernel);
+        benches();
+    }
+}

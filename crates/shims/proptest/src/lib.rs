@@ -1,0 +1,356 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the slice of proptest this workspace's property tests use: the
+//! [`proptest!`] macro over `arg in strategy` bindings, range and tuple
+//! strategies, [`Strategy::prop_map`], `prop_assert!`/`prop_assume!`, and
+//! [`ProptestConfig::with_cases`]. Unlike the real crate there is no
+//! shrinking and no persisted failure seeds: every run draws the same
+//! deterministic seed sequence, so failures reproduce exactly and test time
+//! is a pure function of the configured case count.
+
+use rand::rngs::StdRng;
+use rand::{SampleRange, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+    /// Maximum rejected cases (via `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case failed an assertion.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and should not count.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Result of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of test inputs.
+pub trait Strategy {
+    /// The generated input type.
+    type Value;
+
+    /// Draws one input.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated inputs through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy generating a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                SampleRange::sample_single(self.clone(), rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                SampleRange::sample_single(self.clone(), rng)
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// Executes one property over `config.cases` accepted inputs.
+///
+/// Deterministic: case `i` of a property always sees the same RNG stream, on
+/// every machine and every run.
+pub fn run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> TestCaseResult,
+{
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while accepted < config.cases {
+        // Stable per-property stream: hash the name with the attempt index.
+        let seed = fnv1a(name.as_bytes())
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(attempt);
+        let mut rng = StdRng::seed_from_u64(seed);
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property `{name}`: too many rejected cases ({rejected}) — \
+                         prop_assume! condition is too strict"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed at case {accepted} (attempt {attempt}): {msg}");
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
+/// Draws one value from a strategy — the binding form used by [`proptest!`].
+pub fn draw<S: Strategy>(strategy: &S, rng: &mut StdRng) -> S::Value {
+    strategy.generate(rng)
+}
+
+/// Defines property tests: `proptest! { #[test] fn prop(x in strat) { ... } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                $crate::run_property(stringify!($name), &__config, |__rng| {
+                    $(let $arg = $crate::draw(&($strategy), __rng);)+
+                    let __case = || -> $crate::TestCaseResult {
+                        $body
+                        Ok(())
+                    };
+                    __case()
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts within a property body, failing the case (not panicking directly).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} — {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Discards the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0..1.0_f64, n in 1usize..50) {
+            prop_assert!((0.0..1.0).contains(&x));
+            prop_assert!((1..50).contains(&n));
+        }
+
+        #[test]
+        fn prop_map_applies_function(doubled in (1u64..100).prop_map(|n| n * 2)) {
+            prop_assert!(doubled % 2 == 0);
+            prop_assert!(doubled >= 2);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0, "x was {}", x);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_context() {
+        crate::run_property(
+            "always_fails",
+            &ProptestConfig::with_cases(4),
+            |_rng| -> TestCaseResult {
+                prop_assert!(false);
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let collect = || {
+            let mut values = Vec::new();
+            crate::run_property(
+                "det",
+                &ProptestConfig::with_cases(16),
+                |rng| -> TestCaseResult {
+                    values.push(crate::draw(&(0.0..1.0_f64), rng));
+                    Ok(())
+                },
+            );
+            values
+        };
+        assert_eq!(collect(), collect());
+    }
+}

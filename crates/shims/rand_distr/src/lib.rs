@@ -1,0 +1,137 @@
+//! Offline stand-in for the `rand_distr` crate.
+//!
+//! Provides the [`Exp`] and [`LogNormal`] distributions (the only ones this
+//! workspace samples) over the vendored `rand` shim. Inverse-transform
+//! sampling for the exponential and Box–Muller for the normal keep the
+//! implementations short while matching the distributions' exact laws, which
+//! the statistical tests in `analytics` and `queueing` rely on.
+
+use rand::Rng;
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be sampled with an RNG.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Builds the distribution; `lambda` must be positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, Error> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Self { lambda })
+        } else {
+            Err(Error("Exp rate must be positive and finite"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse transform; 1 - u is in (0, 1] so the log is finite.
+        let u = rng.gen_f64();
+        -(1.0 - u).ln() / self.lambda
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Builds the distribution; `sigma` must be non-negative and finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma >= 0.0 && sigma.is_finite() && mu.is_finite() {
+            Ok(Self { mu, sigma })
+        } else {
+            Err(Error("LogNormal parameters must be finite with sigma >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = loop {
+        let u = rng.gen_f64();
+        if u > 0.0 {
+            break u;
+        }
+    };
+    let u2 = rng.gen_f64();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let exp = Exp::new(0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_mean_matches_closed_form() {
+        let (mu, sigma) = (1.0, 0.5);
+        let dist = LogNormal::new(mu, sigma).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expected = (mu + sigma * sigma / 2.0_f64).exp();
+        assert!(
+            (mean / expected - 1.0).abs() < 0.02,
+            "mean {mean} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let exp = Exp::new(1.0).unwrap();
+        let ln = LogNormal::new(0.0, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(exp.sample(&mut rng) >= 0.0);
+            assert!(ln.sample(&mut rng) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,397 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! workspace `serde` shim's `Value` model, without `syn`/`quote` (neither is
+//! available offline): the item is parsed directly from the raw
+//! `proc_macro::TokenStream` and the impl is emitted as source text.
+//!
+//! Supported shapes — everything this workspace derives on:
+//!
+//! * structs with named fields → JSON objects,
+//! * tuple structs: arity 1 (newtypes) as the inner value, larger as arrays,
+//! * enums with unit, tuple, and struct variants, externally tagged like
+//!   serde's default (`"Variant"` / `{"Variant": ...}`).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally not supported;
+//! deriving on such an item is a compile-time panic rather than silent
+//! misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: field count.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: variants in declaration order.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("enum `{name}` has no body"),
+        },
+        other => panic!("serde shim derive supports structs and enums, found `{other}`"),
+    };
+    Item { name, body }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g))) =
+        (tokens.get(*i), tokens.get(*i + 1))
+    {
+        if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket {
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(&tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, returning the names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut i));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past a type, stopping at a top-level (angle-depth 0) comma.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct/variant from its parenthesized body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for (idx, token) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if idx + 1 == tokens.len() {
+                        saw_trailing_comma = true;
+                    } else {
+                        count += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let _ = saw_trailing_comma;
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantBody::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            let mut depth = 0i32;
+            while let Some(token) = tokens.get(i) {
+                if let TokenTree::Punct(p) = token {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+        }
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{pushes}])")
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{items}])")
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantBody::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantBody::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: String = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Array(::std::vec![{items}]))]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantBody::Struct(fields) => {
+                            let binders = fields.join(", ");
+                            let items: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f})),"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binders} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(::std::vec![{items}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__v.get(\"{f}\").ok_or_else(|| ::serde::Error::missing_field(\"{name}\", \"{f}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!("let _ = __v.as_object()?; ::std::result::Result::Ok({name} {{ {inits} }})")
+        }
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::Tuple(n) => {
+            let inits: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "let __items = __v.as_array()?; if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::new(::std::format!(\"expected array of length {n} for {name}, found {{}}\", __items.len()))); }} ::std::result::Result::Ok({name}({inits}))"
+            )
+        }
+        Body::Unit => format!("let _ = __v; ::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.body, VariantBody::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => None,
+                        VariantBody::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantBody::Tuple(n) => {
+                            let inits: String = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{ let __items = __inner.as_array()?; if __items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::new(::std::format!(\"expected array of length {n} for {name}::{vname}, found {{}}\", __items.len()))); }} ::std::result::Result::Ok({name}::{vname}({inits})) }}"
+                            ))
+                        }
+                        VariantBody::Struct(fields) => {
+                            let inits: String = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(__inner.get(\"{f}\").ok_or_else(|| ::serde::Error::missing_field(\"{name}::{vname}\", \"{f}\"))?)?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {inits} }}),"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} __other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", __other)), }},\n\
+                 ::serde::Value::Object(__fields) if __fields.len() == 1 => {{ let (__tag, __inner) = &__fields[0]; match __tag.as_str() {{ {data_arms} __other => ::std::result::Result::Err(::serde::Error::unknown_variant(\"{name}\", __other)), }} }},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\"expected enum {name}, found {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n}}"
+    )
+}

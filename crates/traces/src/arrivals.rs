@@ -124,7 +124,11 @@ mod tests {
         // With α = 2.5 almost all VMs run the handful of head applications,
         // so far more arrivals are repeats than under α = 1.0.
         assert!(repeat_fraction(&heavy) > repeat_fraction(&light));
-        assert!(repeat_fraction(&heavy) > 0.8, "heavy {}", repeat_fraction(&heavy));
+        assert!(
+            repeat_fraction(&heavy) > 0.8,
+            "heavy {}",
+            repeat_fraction(&heavy)
+        );
     }
 
     #[test]

@@ -102,7 +102,10 @@ impl InterferenceSchedule {
             }
         }
         episodes.sort_by_key(|e| e.start_s);
-        Self { episodes, horizon_s }
+        Self {
+            episodes,
+            horizon_s,
+        }
     }
 
     /// The active episode at time `t` (seconds), if any.

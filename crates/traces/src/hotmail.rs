@@ -47,7 +47,9 @@ impl LoadTrace {
                 hourly.push(level.clamp(0.0, 1.0));
             }
         }
-        Self { hourly_load: hourly }
+        Self {
+            hourly_load: hourly,
+        }
     }
 
     /// A constant-load trace (used for the EC2 motivation experiment, where
@@ -108,7 +110,10 @@ mod tests {
         // Average 15:00 load across days vs average 03:00 load.
         let afternoon: f64 = (0..3).map(|d| t.load_at_hour(d * 24 + 15)).sum::<f64>() / 3.0;
         let night: f64 = (0..3).map(|d| t.load_at_hour(d * 24 + 3)).sum::<f64>() / 3.0;
-        assert!(afternoon > night + 0.3, "afternoon {afternoon} vs night {night}");
+        assert!(
+            afternoon > night + 0.3,
+            "afternoon {afternoon} vs night {night}"
+        );
     }
 
     #[test]
@@ -130,8 +135,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        assert_eq!(LoadTrace::diurnal(2, 0.1, 0.9, 5), LoadTrace::diurnal(2, 0.1, 0.9, 5));
-        assert_ne!(LoadTrace::diurnal(2, 0.1, 0.9, 5), LoadTrace::diurnal(2, 0.1, 0.9, 6));
+        assert_eq!(
+            LoadTrace::diurnal(2, 0.1, 0.9, 5),
+            LoadTrace::diurnal(2, 0.1, 0.9, 5)
+        );
+        assert_ne!(
+            LoadTrace::diurnal(2, 0.1, 0.9, 5),
+            LoadTrace::diurnal(2, 0.1, 0.9, 6)
+        );
     }
 
     #[test]

@@ -94,7 +94,10 @@ impl DataAnalytics {
             config.map_epochs > 0 && config.shuffle_epochs > 0 && config.reduce_epochs > 0,
             "every phase needs at least one epoch"
         );
-        assert!(config.peak_tasks_per_second > 0.0, "peak task rate must be positive");
+        assert!(
+            config.peak_tasks_per_second > 0.0,
+            "peak task rate must be positive"
+        );
         Self {
             app_id,
             role,
@@ -105,12 +108,20 @@ impl DataAnalytics {
 
     /// Creates a worker with the default configuration.
     pub fn worker(app_id: AppId) -> Self {
-        Self::new(app_id, AnalyticsRole::Worker, DataAnalyticsConfig::default())
+        Self::new(
+            app_id,
+            AnalyticsRole::Worker,
+            DataAnalyticsConfig::default(),
+        )
     }
 
     /// Creates the master with the default configuration.
     pub fn master(app_id: AppId) -> Self {
-        Self::new(app_id, AnalyticsRole::Master, DataAnalyticsConfig::default())
+        Self::new(
+            app_id,
+            AnalyticsRole::Master,
+            DataAnalyticsConfig::default(),
+        )
     }
 
     /// Phase the worker will execute on its next epoch.
@@ -244,7 +255,10 @@ mod tests {
         }
         assert_eq!(phases[0], AnalyticsPhase::Map);
         assert_eq!(phases[c.map_epochs], AnalyticsPhase::Shuffle);
-        assert_eq!(phases[c.map_epochs + c.shuffle_epochs], AnalyticsPhase::Reduce);
+        assert_eq!(
+            phases[c.map_epochs + c.shuffle_epochs],
+            AnalyticsPhase::Reduce
+        );
         // After a full cycle we are back at Map.
         assert_eq!(w.current_phase(), AnalyticsPhase::Map);
     }

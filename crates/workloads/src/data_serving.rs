@@ -198,7 +198,10 @@ mod tests {
             },
         );
         let mut r = rng();
-        assert_eq!(read_only.clone().next_demand(1.0, &mut r).disk_total_mb(), 0.0);
+        assert_eq!(
+            read_only.clone().next_demand(1.0, &mut r).disk_total_mb(),
+            0.0
+        );
         assert!(write_heavy.clone().next_demand(1.0, &mut r).disk_total_mb() > 0.0);
     }
 

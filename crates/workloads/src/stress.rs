@@ -263,9 +263,18 @@ mod tests {
 
     #[test]
     fn kinds_identify_the_targeted_resource() {
-        assert_eq!(MemoryStress::new(AppId(1), 8.0).kind(), WorkloadKind::MemoryStress);
-        assert_eq!(NetworkStress::new(AppId(1), 50.0).kind(), WorkloadKind::NetworkStress);
-        assert_eq!(DiskStress::new(AppId(1), 5.0).kind(), WorkloadKind::DiskStress);
+        assert_eq!(
+            MemoryStress::new(AppId(1), 8.0).kind(),
+            WorkloadKind::MemoryStress
+        );
+        assert_eq!(
+            NetworkStress::new(AppId(1), 50.0).kind(),
+            WorkloadKind::NetworkStress
+        );
+        assert_eq!(
+            DiskStress::new(AppId(1), 5.0).kind(),
+            WorkloadKind::DiskStress
+        );
     }
 
     #[test]

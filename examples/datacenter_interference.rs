@@ -23,16 +23,44 @@ fn main() {
     let mut cluster = Cluster::homogeneous(5, MachineSpec::xeon_x5472(), Scheduler::default());
     // Tenants: a key-value store, a search node and two analytics workers.
     cluster
-        .place_on(PmId(0), Vm::new(VmId(1), Box::new(DataServing::with_defaults(AppId(1))), ClientEmulator::new(8_000.0, 4.0)))
+        .place_on(
+            PmId(0),
+            Vm::new(
+                VmId(1),
+                Box::new(DataServing::with_defaults(AppId(1))),
+                ClientEmulator::new(8_000.0, 4.0),
+            ),
+        )
         .unwrap();
     cluster
-        .place_on(PmId(1), Vm::new(VmId(2), Box::new(WebSearch::with_defaults(AppId(2))), ClientEmulator::new(1_200.0, 25.0)))
+        .place_on(
+            PmId(1),
+            Vm::new(
+                VmId(2),
+                Box::new(WebSearch::with_defaults(AppId(2))),
+                ClientEmulator::new(1_200.0, 25.0),
+            ),
+        )
         .unwrap();
     cluster
-        .place_on(PmId(2), Vm::new(VmId(3), Box::new(DataAnalytics::worker(AppId(3))), ClientEmulator::new(40.0, 400.0)))
+        .place_on(
+            PmId(2),
+            Vm::new(
+                VmId(3),
+                Box::new(DataAnalytics::worker(AppId(3))),
+                ClientEmulator::new(40.0, 400.0),
+            ),
+        )
         .unwrap();
     cluster
-        .place_on(PmId(2), Vm::new(VmId(4), Box::new(DataAnalytics::worker(AppId(3))), ClientEmulator::new(40.0, 400.0)))
+        .place_on(
+            PmId(2),
+            Vm::new(
+                VmId(4),
+                Box::new(DataAnalytics::worker(AppId(3))),
+                ClientEmulator::new(40.0, 400.0),
+            ),
+        )
         .unwrap();
 
     let trace = LoadTrace::diurnal(3, 0.3, 0.9, 7);
@@ -61,7 +89,14 @@ fn main() {
             // been migrated elsewhere during a previous episode; start it fresh.
             let home = cluster.locate(VmId(1)).unwrap();
             if cluster
-                .place_on(home, Vm::new(VmId(99), Box::new(MemoryStress::new(AppId(900), 384.0)), ClientEmulator::new(1.0, 1.0)))
+                .place_on(
+                    home,
+                    Vm::new(
+                        VmId(99),
+                        Box::new(MemoryStress::new(AppId(900), 384.0)),
+                        ClientEmulator::new(1.0, 1.0),
+                    ),
+                )
                 .is_ok()
             {
                 aggressor_placed = true;
@@ -101,7 +136,10 @@ fn main() {
     println!("false alarms         : {}", stats.false_alarms);
     println!("global-info matches  : {}", stats.global_matches);
     println!("migrations           : {}", stats.migrations);
-    println!("profiling time       : {:.1} min over 3 days", stats.profiling_seconds / 60.0);
+    println!(
+        "profiling time       : {:.1} min over 3 days",
+        stats.profiling_seconds / 60.0
+    );
     println!(
         "repository footprint : {} bytes across {} applications",
         deepdive.repository().total_footprint_bytes(),

@@ -28,16 +28,28 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
     let mut aggressor = MemoryStress::new(AppId(900), 256.0);
     let aggressor_demand = aggressor.next_demand(1.0, &mut rng);
-    let solo = resolve_epoch(&spec, &[PlacedDemand::new(0, aggressor_demand.clone(), 2, 0)]);
+    let solo = resolve_epoch(
+        &spec,
+        &[PlacedDemand::new(0, aggressor_demand.clone(), 2, 0)],
+    );
     let behavior = BehaviorVector::from_counters(&solo[0].counters);
-    let inputs = benchmark.mimic(&behavior);
+    let inputs = benchmark.mimic(&behavior, aggressor_demand.instructions);
     println!("synthetic clone inputs mimicking the VM: {inputs:#?}\n");
 
     // Three candidate machines, each already hosting one cloud workload.
     let mut residents: Vec<(&str, Box<dyn Workload>)> = vec![
-        ("candidate A (Data Serving)", Box::new(DataServing::with_defaults(AppId(1)))),
-        ("candidate B (Web Search)", Box::new(WebSearch::with_defaults(AppId(2)))),
-        ("candidate C (Data Analytics)", Box::new(DataAnalytics::worker(AppId(3)))),
+        (
+            "candidate A (Data Serving)",
+            Box::new(DataServing::with_defaults(AppId(1))),
+        ),
+        (
+            "candidate B (Web Search)",
+            Box::new(WebSearch::with_defaults(AppId(2))),
+        ),
+        (
+            "candidate C (Data Analytics)",
+            Box::new(DataAnalytics::worker(AppId(3))),
+        ),
     ];
     let manager = PlacementManager::new(spec.clone(), 1.0);
     let clone_demand = inputs.demand();
@@ -51,7 +63,10 @@ fn main() {
             free_cores: 6,
         };
         let predicted = manager.predict_on_candidate(&clone_demand, 2, &candidate);
-        println!("  {name:32} -> {:.1}% worst-case slowdown", predicted * 100.0);
+        println!(
+            "  {name:32} -> {:.1}% worst-case slowdown",
+            predicted * 100.0
+        );
         if best.map(|(_, b)| predicted < b).unwrap_or(true) {
             best = Some((name, predicted));
         }

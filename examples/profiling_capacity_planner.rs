@@ -40,10 +40,23 @@ fn main() {
          target mean reaction time {TARGET_REACTION_MINUTES} min\n",
         INTERFERENCE_FRACTION * 100.0
     );
-    let scenarios: [(&str, ArrivalModel, Option<(usize, f64)>); 4] = [
-        ("Poisson arrivals, local info only", ArrivalModel::Poisson, None),
-        ("Poisson arrivals, with global info (Zipf α=1.5)", ArrivalModel::Poisson, Some((200, 1.5))),
-        ("bursty lognormal arrivals, local info only", ArrivalModel::Lognormal { sigma: 2.0 }, None),
+    type Scenario = (&'static str, ArrivalModel, Option<(usize, f64)>);
+    let scenarios: [Scenario; 4] = [
+        (
+            "Poisson arrivals, local info only",
+            ArrivalModel::Poisson,
+            None,
+        ),
+        (
+            "Poisson arrivals, with global info (Zipf α=1.5)",
+            ArrivalModel::Poisson,
+            Some((200, 1.5)),
+        ),
+        (
+            "bursty lognormal arrivals, local info only",
+            ArrivalModel::Lognormal { sigma: 2.0 },
+            None,
+        ),
         (
             "bursty lognormal arrivals, with global info (Zipf α=1.5)",
             ArrivalModel::Lognormal { sigma: 2.0 },

@@ -40,7 +40,11 @@ fn main() {
                 println!(
                     "epoch {epoch:3}: analyzer ran for {vm} -> degradation {:.1}% ({})",
                     result.degradation * 100.0,
-                    if result.interference_confirmed { "interference" } else { "normal" }
+                    if result.interference_confirmed {
+                        "interference"
+                    } else {
+                        "normal"
+                    }
                 );
             }
         }
@@ -78,7 +82,12 @@ fn main() {
                         victim.observation.latency_ms
                     );
                 }
-                EpochEvent::Migrated { vm, from, to, culprit } => {
+                EpochEvent::Migrated {
+                    vm,
+                    from,
+                    to,
+                    culprit,
+                } => {
                     println!(
                         "epoch {epoch:3}: migrated {vm} from {from} to {to} to relieve the {} pressure",
                         culprit.label()
@@ -95,7 +104,10 @@ fn main() {
     println!("confirmed detections : {}", stats.interference_confirmed);
     println!("false alarms         : {}", stats.false_alarms);
     println!("migrations           : {}", stats.migrations);
-    println!("profiling time       : {:.1} min", stats.profiling_seconds / 60.0);
+    println!(
+        "profiling time       : {:.1} min",
+        stats.profiling_seconds / 60.0
+    );
     println!(
         "aggressor now on     : {:?}",
         cluster.locate(VmId(99)).map(|pm| pm.to_string())

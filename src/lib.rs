@@ -1,9 +1,84 @@
 //! Umbrella crate for the DeepDive reproduction workspace.
 //!
-//! This root package exists so that the repository-level `examples/` and
-//! `tests/` directories can exercise every crate through one dependency.  It
-//! simply re-exports the workspace crates; see the individual crates for the
-//! actual functionality:
+//! Reproduces *DeepDive: Transparently Identifying and Managing Performance
+//! Interference in Virtualized Environments* (Novakovic et al., USENIX ATC
+//! '13) as a deterministic simulation: a warning system that watches
+//! normalized per-VM hardware metrics, a sandboxed interference analyzer
+//! that confirms and attributes interference, and a placement manager that
+//! evaluates migrations with a regression-trained synthetic benchmark —
+//! without ever test-migrating the real VM.
+//!
+//! # Building and testing
+//!
+//! The workspace is fully self-contained (no crates.io access needed; see
+//! *Dependency shims* below). From the repository root:
+//!
+//! ```text
+//! cargo build --release      # builds all 16 workspace crates
+//! cargo test -q              # ~350 unit + integration + doc tests, < 10 s
+//! cargo bench --no-run       # compiles the 13 figure/table benches
+//! cargo bench                # re-runs every paper experiment with timings
+//! cargo run --example quickstart
+//! cargo clippy --workspace --all-targets -- -D warnings
+//! cargo fmt --check
+//! ```
+//!
+//! # Workspace layout and dependency graph
+//!
+//! Leaf crates at the top; each crate depends only on the ones above it:
+//!
+//! ```text
+//! hwsim ──────────┬────────────┐            (machine + counter substrate)
+//!                 ▼            │
+//! workloads ──────┬───────┐    │            (cloud + stress workloads)
+//!                 ▼       │    │
+//! cloudsim ───────┐       │    │            (VMs, PMs, sandbox, migration)
+//!                 │       │    │
+//! analytics ──┬───┼───────┼────┼──┐         (clustering, regression, dists)
+//!             ▼   ▼       ▼    ▼  │
+//! traces    deepdive ◄────────────┘         (the paper's contribution)
+//!    │            │
+//!    ▼            │
+//! queueing        │                         (profiling-farm queueing model)
+//!    └──────┬─────┘
+//!           ▼
+//! bench                                     (per-figure experiment harness)
+//! ```
+//!
+//! The root package (`deepdive-repro`) re-exports every member so the
+//! repository-level `examples/` and `tests/` can exercise the whole system
+//! through one dependency.
+//!
+//! # Test-suite map
+//!
+//! * per-crate unit tests — each module tests its own invariants (~270
+//!   tests across the 8 functional crates and the shims),
+//! * `tests/end_to_end.rs` — the full pipeline: learn → detect →
+//!   attribute → migrate → recover,
+//! * `tests/paper_claims.rs` — the paper's headline qualitative claims
+//!   (Fig. 8 detection rates, Fig. 10 clone accuracy, Fig. 11 placement,
+//!   Fig. 12 overhead, Figs. 13/14 reaction times),
+//! * `tests/properties.rs` — seeded property tests over cross-crate
+//!   invariants (well-formed counters, load-scaling invariance,
+//!   contention monotonicity, queueing monotonicity),
+//! * `tests/persistence.rs` — repository JSON round-trip and the §5.5
+//!   "≈5 KB per VM per day" footprint bound,
+//! * `crates/bench/tests/figures_smoke.rs` — every figure entry point runs
+//!   under plain `cargo test`, not only under Criterion.
+//!
+//! Everything is seeded: same seed, same counters, same decisions, on every
+//! platform. No test depends on wall-clock time or thread order.
+//!
+//! # Dependency shims
+//!
+//! The build environment has no network access, so the handful of external
+//! crates the code uses (`rand`, `rand_distr`, `serde`, `serde_json`,
+//! `proptest`, `criterion`) are vendored as minimal in-tree stand-ins under
+//! `crates/shims/`, exposing exactly the API surface this workspace
+//! exercises. Swapping back to the real crates is a `[workspace.dependencies]`
+//! edit away; no source file would change.
+//!
+//! # Crates
 //!
 //! * [`hwsim`] — physical-machine / performance-counter substrate,
 //! * [`workloads`] — cloud and stress workload models,
@@ -12,9 +87,11 @@
 //! * [`traces`] — load-intensity, interference and arrival traces,
 //! * [`deepdive`] — the warning system, interference analyzer and placement
 //!   manager (the paper's contribution),
-//! * [`queueing`] — the profiling-farm queueing simulator.
+//! * [`queueing`] — the profiling-farm queueing simulator,
+//! * [`mod@bench`] — the experiment harness regenerating every figure.
 
 pub use analytics;
+pub extern crate bench;
 pub use cloudsim;
 pub use deepdive;
 pub use hwsim;

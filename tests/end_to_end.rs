@@ -94,7 +94,10 @@ fn cache_aggressor_is_detected_attributed_and_migrated_away() {
             _ => None,
         })
         .collect();
-    assert!(!confirmed.is_empty(), "interference on the victim was never confirmed");
+    assert!(
+        !confirmed.is_empty(),
+        "interference on the victim was never confirmed"
+    );
     assert!(confirmed.iter().all(|r| matches!(
         r.culprit,
         Some(Resource::CacheMemory) | Some(Resource::MemoryBus)
@@ -108,7 +111,10 @@ fn cache_aggressor_is_detected_attributed_and_migrated_away() {
     // And once the aggressor is gone, the victim's performance recovers.
     let reports = cluster.step_epoch(&|_| 0.8, &mut rng);
     let victim = reports.iter().find(|r| r.vm_id == VmId(1)).unwrap();
-    assert!(victim.achieved_fraction > 0.9, "victim still degraded after mitigation");
+    assert!(
+        victim.achieved_fraction > 0.9,
+        "victim still degraded after mitigation"
+    );
 }
 
 #[test]
@@ -159,7 +165,7 @@ fn network_interference_on_analytics_is_attributed_to_the_network() {
         })
         .collect();
     assert!(
-        culprits.iter().any(|c| *c == Resource::Network),
+        culprits.contains(&Resource::Network),
         "network was never blamed; culprits seen: {culprits:?}"
     );
 }

@@ -6,8 +6,8 @@
 //! blamed, who wins and by roughly how much.
 
 use bench::{
-    fig10_synthetic_accuracy, fig11_placement_robustness, fig12_profiling_overhead,
-    fig8_detection, CloudWorkload,
+    fig10_synthetic_accuracy, fig11_placement_robustness, fig12_profiling_overhead, fig8_detection,
+    CloudWorkload,
 };
 use deepdive::synthetic::SyntheticBenchmark;
 use hwsim::MachineSpec;
@@ -20,7 +20,8 @@ fn fig8_no_false_negatives_and_false_positives_decline() {
     for workload in CloudWorkload::ALL {
         let result = fig8_detection(workload, 21);
         assert_eq!(
-            result.missed_episodes, 0,
+            result.missed_episodes,
+            0,
             "{}: some qualifying episodes were never detected",
             workload.name()
         );
@@ -89,7 +90,10 @@ fn fig12_deepdive_profiles_far_less_than_the_naive_baselines() {
         total_deepdive < total_baseline20,
         "DeepDive ({total_deepdive:.1} min) should beat even Baseline-20% ({total_baseline20:.1} min)"
     );
-    assert!(total_baseline20 <= total_baseline5, "looser thresholds must profile less");
+    assert!(
+        total_baseline20 <= total_baseline5,
+        "looser thresholds must profile less"
+    );
     // The Fig. 12 plateau: most of DeepDive's profiling happens on day 1.
     let day1 = r.deepdive[23];
     assert!(

@@ -1,0 +1,148 @@
+//! Integration tests for the behaviour repository's durable-store round-trip
+//! and the paper's §5.5 memory-overhead bound, exercised through the full
+//! pipeline rather than hand-built entries: a real learning run populates the
+//! repository, which must then survive JSON serialization exactly and stay
+//! within the "less than 5 KB to record the VM's behavior for the whole day"
+//! budget.
+
+use cloudsim::{Cluster, Sandbox, Scheduler, Vm, VmId};
+use deepdive::controller::{DeepDive, DeepDiveConfig};
+use deepdive::metrics::{BehaviorVector, DIMENSIONS};
+use deepdive::repository::BehaviorRepository;
+use hwsim::MachineSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use workloads::{AppId, ClientEmulator, DataAnalytics, DataServing};
+
+/// Runs a quiet two-tenant cloud long enough for DeepDive to verify and
+/// record normal behaviours for both applications.
+fn learned_repository() -> BehaviorRepository {
+    let mut cluster = Cluster::homogeneous(2, MachineSpec::xeon_x5472(), Scheduler::default());
+    cluster
+        .place_first_fit(Vm::new(
+            VmId(1),
+            Box::new(DataServing::with_defaults(AppId(1))),
+            ClientEmulator::new(8_000.0, 4.0),
+        ))
+        .unwrap();
+    cluster
+        .place_first_fit(Vm::new(
+            VmId(2),
+            Box::new(DataAnalytics::worker(AppId(3))),
+            ClientEmulator::new(40.0, 400.0),
+        ))
+        .unwrap();
+    let mut deepdive = DeepDive::new(DeepDiveConfig::default(), Sandbox::xeon_pool(2));
+    let mut rng = StdRng::seed_from_u64(0xDD);
+    for _ in 0..80 {
+        let reports = cluster.step_epoch(&|_| 0.7, &mut rng);
+        deepdive.process_epoch(&mut cluster, &reports);
+    }
+    deepdive.repository().clone()
+}
+
+#[test]
+fn pipeline_populated_repository_round_trips_through_json() {
+    let repo = learned_repository();
+    assert!(
+        !repo.known_apps().is_empty(),
+        "the learning run should have recorded at least one application"
+    );
+
+    let json = repo.to_json();
+    let restored = BehaviorRepository::from_json(&json).expect("repository JSON parses back");
+
+    assert_eq!(restored.known_apps(), repo.known_apps());
+    for app in repo.known_apps() {
+        assert_eq!(
+            restored.behaviors(app),
+            repo.behaviors(app),
+            "app {app:?} differs"
+        );
+        assert_eq!(restored.normal_count(app), repo.normal_count(app));
+        assert_eq!(restored.footprint_bytes(app), repo.footprint_bytes(app));
+    }
+    // A second round trip is a fixed point: same text, same contents.
+    assert_eq!(
+        BehaviorRepository::from_json(&json).unwrap().to_json(),
+        json
+    );
+}
+
+#[test]
+fn json_round_trip_preserves_float_payloads_bit_exactly() {
+    let mut repo = BehaviorRepository::new();
+    // Awkward but finite values: tiny stall rates, long decimals.
+    let values: Vec<f64> = (0..DIMENSIONS)
+        .map(|i| 0.1234567890123456 * (i as f64 + 1.0) / 3.0)
+        .collect();
+    repo.record_normal(AppId(5), BehaviorVector::from_vec(&values), 42);
+    repo.record_interference(AppId(5), BehaviorVector::from_vec(&values), 43);
+
+    let restored = BehaviorRepository::from_json(&repo.to_json()).unwrap();
+    let original = repo.behaviors(AppId(5));
+    let round_tripped = restored.behaviors(AppId(5));
+    for (a, b) in original
+        .labelled()
+        .iter()
+        .zip(round_tripped.labelled().iter())
+    {
+        assert_eq!(
+            a.metrics, b.metrics,
+            "float payload changed across the round trip"
+        );
+        assert_eq!(a.interference, b.interference);
+    }
+}
+
+#[test]
+fn malformed_repository_json_is_rejected_not_misparsed() {
+    assert!(BehaviorRepository::from_json("").is_err());
+    assert!(BehaviorRepository::from_json("not json").is_err());
+    assert!(BehaviorRepository::from_json("[1,2,3]").is_err());
+    // Valid JSON, wrong shape.
+    assert!(BehaviorRepository::from_json("{\"apps\": 3}").is_err());
+}
+
+#[test]
+fn daily_footprint_per_vm_stays_under_the_5kb_bound() {
+    // §5.5: a VM whose behaviour is verified every hour stores 24 entries per
+    // day, "less than 5 KB to record the VM's behavior for the whole day".
+    let mut repo = BehaviorRepository::new();
+    let app = AppId(9);
+    for hour in 0..24u64 {
+        repo.record_normal(
+            app,
+            BehaviorVector::from_vec(&[1.0 + hour as f64 * 0.01; DIMENSIONS]),
+            hour * 3_600,
+        );
+    }
+    let bytes = repo.footprint_bytes(app);
+    assert!(bytes > 0);
+    assert!(
+        bytes < 5 * 1024,
+        "per-VM-day footprint {bytes} B exceeds the §5.5 5 KB budget"
+    );
+
+    // The durable JSON encoding inflates the payload (decimal text), but must
+    // stay within a small constant factor of the in-memory accounting.
+    let json_bytes = repo.to_json().len();
+    assert!(
+        json_bytes < 4 * 5 * 1024,
+        "JSON encoding of one VM-day is unexpectedly large: {json_bytes} B"
+    );
+}
+
+#[test]
+fn repository_after_a_real_day_respects_the_bound_per_application() {
+    let repo = learned_repository();
+    for app in repo.known_apps() {
+        // The run spans well under a day of epochs, so each app's history
+        // must sit comfortably inside the daily budget.
+        let bytes = repo.footprint_bytes(app);
+        assert!(
+            bytes < 5 * 1024,
+            "app {app:?} stores {bytes} B after a sub-day run (budget: 5 KB/day)"
+        );
+    }
+}

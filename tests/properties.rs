@@ -19,13 +19,13 @@ use queueing::events::{simulate_queue, Job};
 /// Strategy generating a plausible, well-formed resource demand.
 fn demand_strategy() -> impl Strategy<Value = ResourceDemand> {
     (
-        1.0e8..4.0e9_f64,  // instructions
-        0.5..1.5_f64,      // base cpi
-        1.0..512.0_f64,    // working set MiB
-        1.0..60.0_f64,     // l1 mpki
-        0.0..1.0_f64,      // locality
-        0.0..40.0_f64,     // disk MiB
-        0.0..80.0_f64,     // net MiB
+        1.0e8..4.0e9_f64, // instructions
+        0.5..1.5_f64,     // base cpi
+        1.0..512.0_f64,   // working set MiB
+        1.0..60.0_f64,    // l1 mpki
+        0.0..1.0_f64,     // locality
+        0.0..40.0_f64,    // disk MiB
+        0.0..80.0_f64,    // net MiB
     )
         .prop_map(|(instr, cpi, ws, l1, locality, disk, net)| {
             ResourceDemand::builder()
