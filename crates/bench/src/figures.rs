@@ -70,7 +70,7 @@ pub fn fig1_ec2_motivation(seed: u64) -> Vec<Fig1Point> {
                 .expect("room for the aggressor");
             aggressor_placed = true;
         } else if intensity == 0.0 && aggressor_placed {
-            cluster.machine_mut(PmId(0)).unwrap().remove_vm(VmId(99));
+            cluster.remove_vm(VmId(99));
             aggressor_placed = false;
         }
         let reports = cluster.step_epoch(&|_| 0.7, &mut rng);
@@ -594,9 +594,7 @@ pub fn fig8_detection(workload: CloudWorkload, seed: u64) -> Fig8Result {
             }
             None => {
                 if aggressor_placed {
-                    if let Some(pm) = cluster.locate(VmId(99)) {
-                        cluster.machine_mut(pm).unwrap().remove_vm(VmId(99));
-                    }
+                    cluster.remove_vm(VmId(99));
                     aggressor_placed = false;
                 }
             }

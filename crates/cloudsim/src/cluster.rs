@@ -6,6 +6,8 @@
 //! ground truth for the evaluation), and the placement manager calls
 //! [`Cluster::migrate`] when interference mitigation requires moving a VM.
 
+use std::collections::HashMap;
+
 use rand::rngs::StdRng;
 
 use crate::migration::{estimate_migration, MigrationCost};
@@ -28,6 +30,12 @@ pub enum ClusterError {
         /// The machine that rejected it.
         pm: PmId,
     },
+    /// No machine anywhere in the cluster could take the VM (first-fit
+    /// placement exhausted every machine).
+    ClusterFull {
+        /// The VM that could not be placed.
+        vm: VmId,
+    },
     /// The VM is already on the requested destination.
     AlreadyPlaced {
         /// The VM in question.
@@ -43,6 +51,9 @@ impl std::fmt::Display for ClusterError {
             ClusterError::UnknownVm(vm) => write!(f, "unknown VM {vm}"),
             ClusterError::UnknownPm(pm) => write!(f, "unknown PM {pm}"),
             ClusterError::NoCapacity { vm, pm } => write!(f, "{pm} has no capacity for {vm}"),
+            ClusterError::ClusterFull { vm } => {
+                write!(f, "no machine in the cluster has capacity for {vm}")
+            }
             ClusterError::AlreadyPlaced { vm, pm } => write!(f, "{vm} is already on {pm}"),
         }
     }
@@ -59,6 +70,12 @@ const MIGRATION_DIRTY_RATE_MB_PER_S: f64 = 20.0;
 pub struct Cluster {
     machines: Vec<PhysicalMachine>,
     epoch: u64,
+    /// Machine id → index into `machines`, so per-machine lookups are O(1)
+    /// instead of a scan per migration or report.
+    pm_index: HashMap<PmId, usize>,
+    /// VM id → hosting machine, maintained by every placement, migration and
+    /// removal; the backing store for O(1) [`Cluster::locate`].
+    vm_locations: HashMap<VmId, PmId>,
 }
 
 impl Cluster {
@@ -68,13 +85,30 @@ impl Cluster {
         let machines = (0..n)
             .map(|i| PhysicalMachine::new(PmId(i as u64), spec.clone(), scheduler))
             .collect();
-        Self { machines, epoch: 0 }
+        Self::from_machines(machines)
     }
 
     /// Creates a cluster from explicit machines.
+    ///
+    /// # Panics
+    /// Panics if the machine list is empty or two machines share an id.
     pub fn from_machines(machines: Vec<PhysicalMachine>) -> Self {
         assert!(!machines.is_empty(), "a cluster needs at least one machine");
-        Self { machines, epoch: 0 }
+        let mut pm_index = HashMap::with_capacity(machines.len());
+        let mut vm_locations = HashMap::new();
+        for (idx, machine) in machines.iter().enumerate() {
+            let previous = pm_index.insert(machine.id, idx);
+            assert!(previous.is_none(), "duplicate machine id {}", machine.id);
+            for vm in machine.vms() {
+                vm_locations.insert(vm.id, machine.id);
+            }
+        }
+        Self {
+            machines,
+            epoch: 0,
+            pm_index,
+            vm_locations,
+        }
     }
 
     /// The machines, in id order.
@@ -82,14 +116,18 @@ impl Cluster {
         &self.machines
     }
 
-    /// Mutable access to one machine.
+    /// Mutable access to one machine (its VM membership can only change
+    /// through cluster methods — [`Cluster::place_on`], [`Cluster::migrate`],
+    /// [`Cluster::remove_vm`] — which keep the VM-location index in sync).
     pub fn machine_mut(&mut self, pm: PmId) -> Option<&mut PhysicalMachine> {
-        self.machines.iter_mut().find(|m| m.id == pm)
+        let idx = *self.pm_index.get(&pm)?;
+        Some(&mut self.machines[idx])
     }
 
     /// Shared access to one machine.
     pub fn machine(&self, pm: PmId) -> Option<&PhysicalMachine> {
-        self.machines.iter().find(|m| m.id == pm)
+        let idx = *self.pm_index.get(&pm)?;
+        Some(&self.machines[idx])
     }
 
     /// Current epoch index (number of completed epochs).
@@ -99,25 +137,23 @@ impl Cluster {
 
     /// The machine currently hosting a VM.
     pub fn locate(&self, vm: VmId) -> Option<PmId> {
-        self.machines.iter().find(|m| m.hosts(vm)).map(|m| m.id)
+        self.vm_locations.get(&vm).copied()
     }
 
     /// Total number of VMs across the cluster.
     pub fn vm_count(&self) -> usize {
-        self.machines.iter().map(|m| m.vm_count()).sum()
+        self.vm_locations.len()
     }
 
     /// Places a VM on a specific machine.
     pub fn place_on(&mut self, pm: PmId, vm: Vm) -> Result<(), ClusterError> {
         let vm_id = vm.id;
-        let machine = self
-            .machines
-            .iter_mut()
-            .find(|m| m.id == pm)
-            .ok_or(ClusterError::UnknownPm(pm))?;
+        let machine = self.machine_mut(pm).ok_or(ClusterError::UnknownPm(pm))?;
         machine
             .try_add_vm(vm)
-            .map_err(|_| ClusterError::NoCapacity { vm: vm_id, pm })
+            .map_err(|_| ClusterError::NoCapacity { vm: vm_id, pm })?;
+        self.vm_locations.insert(vm_id, pm);
+        Ok(())
     }
 
     /// Places a VM on the first machine with capacity (first-fit); returns
@@ -127,14 +163,27 @@ impl Cluster {
         let mut vm = vm;
         for machine in self.machines.iter_mut() {
             match machine.try_add_vm(vm) {
-                Ok(()) => return Ok(machine.id),
+                Ok(()) => {
+                    self.vm_locations.insert(vm_id, machine.id);
+                    return Ok(machine.id);
+                }
                 Err(rejected) => vm = rejected,
             }
         }
-        Err(ClusterError::NoCapacity {
-            vm: vm_id,
-            pm: PmId(u64::MAX),
-        })
+        Err(ClusterError::ClusterFull { vm: vm_id })
+    }
+
+    /// Removes a VM from the cluster (e.g. a terminated aggressor or an
+    /// expired synthetic clone) and returns it; `None` if it is not placed
+    /// anywhere.
+    pub fn remove_vm(&mut self, vm: VmId) -> Option<Vm> {
+        let pm = self.locate(vm)?;
+        let removed = self
+            .machine_mut(pm)
+            .expect("located machine exists")
+            .remove_vm(vm)?;
+        self.vm_locations.remove(&vm);
+        Some(removed)
     }
 
     /// Advances every machine one epoch and returns all per-VM reports.
@@ -176,11 +225,14 @@ impl Cluster {
             .expect("destination exists")
             .try_add_vm(moved)
         {
-            Ok(()) => Ok(estimate_migration(
-                memory_mb,
-                MIGRATION_DIRTY_RATE_MB_PER_S,
-                MIGRATION_BANDWIDTH_MB_PER_S,
-            )),
+            Ok(()) => {
+                self.vm_locations.insert(vm, to);
+                Ok(estimate_migration(
+                    memory_mb,
+                    MIGRATION_DIRTY_RATE_MB_PER_S,
+                    MIGRATION_BANDWIDTH_MB_PER_S,
+                ))
+            }
             Err(rejected) => {
                 // Roll back: put the VM where it came from.
                 self.machine_mut(from)
@@ -267,6 +319,85 @@ mod tests {
             c.place_on(PmId(0), serving_vm(99)),
             Err(ClusterError::NoCapacity { .. })
         ));
+    }
+
+    #[test]
+    fn exhausted_first_fit_reports_cluster_full() {
+        let mut c = cluster(2);
+        // Two Xeons take eight 2-vCPU VMs; the ninth has nowhere to go.
+        for i in 0..8 {
+            c.place_first_fit(serving_vm(i)).unwrap();
+        }
+        let err = c.place_first_fit(serving_vm(99)).unwrap_err();
+        assert_eq!(err, ClusterError::ClusterFull { vm: VmId(99) });
+        assert_eq!(
+            err.to_string(),
+            "no machine in the cluster has capacity for vm-99"
+        );
+        assert_eq!(c.vm_count(), 8);
+        assert_eq!(c.locate(VmId(99)), None);
+    }
+
+    #[test]
+    fn remove_vm_returns_the_vm_and_clears_its_location() {
+        let mut c = cluster(2);
+        c.place_on(PmId(1), serving_vm(7)).unwrap();
+        let removed = c.remove_vm(VmId(7)).expect("vm placed above");
+        assert_eq!(removed.id, VmId(7));
+        assert_eq!(c.locate(VmId(7)), None);
+        assert_eq!(c.vm_count(), 0);
+        assert!(c.remove_vm(VmId(7)).is_none());
+    }
+
+    #[test]
+    fn location_index_stays_consistent_under_interleaved_migrations() {
+        // Drive every mutation path — placements, successful and failed
+        // migrations, removals — and after each step check the O(1) index
+        // against a brute-force scan of the machines.
+        let mut c = cluster(3);
+        let assert_consistent = |c: &Cluster| {
+            let mut scanned = 0;
+            for m in c.machines() {
+                for vm in m.vms() {
+                    scanned += 1;
+                    assert_eq!(c.locate(vm.id), Some(m.id), "index disagrees for {}", vm.id);
+                }
+            }
+            assert_eq!(c.vm_count(), scanned);
+        };
+
+        for i in 0..6 {
+            c.place_first_fit(serving_vm(i)).unwrap();
+            assert_consistent(&c);
+        }
+        // Bounce VMs around; some of these moves hit full machines and roll
+        // back, which must leave the index untouched.
+        let moves = [
+            (VmId(0), PmId(2)),
+            (VmId(4), PmId(0)),
+            (VmId(1), PmId(2)),
+            (VmId(0), PmId(1)),
+            (VmId(5), PmId(0)),
+            (VmId(2), PmId(2)),
+        ];
+        for (vm, to) in moves {
+            let _ = c.migrate(vm, to);
+            assert_consistent(&c);
+        }
+        c.remove_vm(VmId(3)).unwrap();
+        assert_consistent(&c);
+        c.place_first_fit(serving_vm(40)).unwrap();
+        assert_consistent(&c);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate machine id")]
+    fn duplicate_machine_ids_are_rejected() {
+        let spec = MachineSpec::xeon_x5472();
+        Cluster::from_machines(vec![
+            PhysicalMachine::new(PmId(3), spec.clone(), Scheduler::default()),
+            PhysicalMachine::new(PmId(3), spec, Scheduler::default()),
+        ]);
     }
 
     #[test]

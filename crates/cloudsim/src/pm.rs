@@ -8,8 +8,8 @@
 //! client-observed performance and ground-truth stall breakdown the
 //! evaluation uses for scoring.
 
-use hwsim::contention::{resolve_epoch, PlacedDemand, StallBreakdown};
-use hwsim::{CounterSnapshot, MachineSpec, ResourceDemand};
+use hwsim::contention::{EpochOutcome, PlacedDemand, StallBreakdown};
+use hwsim::{CounterSnapshot, EpochResolver, MachineSpec, ResourceDemand, EPOCH_SECONDS};
 use rand::rngs::StdRng;
 use workloads::{AppId, ClientObservation};
 
@@ -63,17 +63,31 @@ pub struct PhysicalMachine {
     /// Placement/admission policy in force on this machine.
     pub scheduler: Scheduler,
     vms: Vec<Vm>,
+    /// Reusable epoch-resolution pipeline for this machine's spec: scratch
+    /// buffers survive across `step_epoch` calls so the hot path performs no
+    /// per-epoch allocation beyond the returned reports.
+    resolver: EpochResolver,
+    loads: Vec<f64>,
+    demands: Vec<ResourceDemand>,
+    placements: Vec<PlacedDemand>,
+    outcomes: Vec<EpochOutcome>,
 }
 
 impl PhysicalMachine {
     /// Creates an empty machine.
     pub fn new(id: PmId, spec: MachineSpec, scheduler: Scheduler) -> Self {
         assert!(spec.is_well_formed(), "malformed machine spec");
+        let resolver = EpochResolver::new(spec.clone());
         Self {
             id,
             spec,
             scheduler,
             vms: Vec::new(),
+            resolver,
+            loads: Vec::new(),
+            demands: Vec::new(),
+            placements: Vec::new(),
+            outcomes: Vec::new(),
         }
     }
 
@@ -94,7 +108,11 @@ impl PhysicalMachine {
 
     /// Attempts to place a VM on this machine; returns the VM back if the
     /// scheduler rejects it (no capacity).
-    pub fn try_add_vm(&mut self, vm: Vm) -> Result<(), Vm> {
+    ///
+    /// Crate-private: VM membership must change through the cluster's
+    /// methods ([`crate::cluster::Cluster::place_on`] and friends) so its
+    /// O(1) VM-location index stays consistent with the machines.
+    pub(crate) fn try_add_vm(&mut self, vm: Vm) -> Result<(), Vm> {
         if self.scheduler.admits(&self.spec, &self.vms, &vm) {
             self.vms.push(vm);
             Ok(())
@@ -104,7 +122,8 @@ impl PhysicalMachine {
     }
 
     /// Removes and returns a VM (for migration); `None` if it is not here.
-    pub fn remove_vm(&mut self, vm_id: VmId) -> Option<Vm> {
+    /// Crate-private for the same reason as [`PhysicalMachine::try_add_vm`].
+    pub(crate) fn remove_vm(&mut self, vm_id: VmId) -> Option<Vm> {
         let idx = self.vms.iter().position(|v| v.id == vm_id)?;
         Some(self.vms.remove(idx))
     }
@@ -130,45 +149,54 @@ impl PhysicalMachine {
             return Vec::new();
         }
         // 1. Collect intrinsic demands from every workload.
-        let mut loads = Vec::with_capacity(self.vms.len());
-        let mut demands = Vec::with_capacity(self.vms.len());
+        self.loads.clear();
+        self.demands.clear();
         for vm in self.vms.iter_mut() {
             let load = load_for(vm.id).clamp(0.0, 1.0);
             let demand = vm.workload.next_demand(load, rng);
-            loads.push(load);
-            demands.push(demand);
+            self.loads.push(load);
+            self.demands.push(demand);
         }
-        // 2. Resolve hardware contention for the whole machine.
-        let placements: Vec<PlacedDemand> = self
-            .vms
-            .iter()
-            .enumerate()
-            .zip(&demands)
-            .map(|((slot, vm), demand)| {
-                PlacedDemand::new(
-                    vm.id.0,
-                    demand.clone(),
-                    vm.vcpus,
-                    self.scheduler.cache_group_for_slot(&self.spec, slot),
-                )
-            })
-            .collect();
-        let outcomes = resolve_epoch(&self.spec, &placements);
+        // 2. Resolve hardware contention for the whole machine, reusing the
+        // machine's resolver and placement/outcome buffers across epochs.
+        // `spec` is a public field, so guard against it having been swapped
+        // out from under the resolver since the last epoch.
+        if self.resolver.spec() != &self.spec {
+            self.resolver = EpochResolver::new(self.spec.clone());
+        }
+        self.placements.clear();
+        self.placements
+            .extend(
+                self.vms
+                    .iter()
+                    .enumerate()
+                    .zip(&self.demands)
+                    .map(|((slot, vm), demand)| {
+                        PlacedDemand::new(
+                            vm.id.0,
+                            demand.clone(),
+                            vm.vcpus,
+                            self.scheduler.cache_group_for_slot(&self.spec, slot),
+                        )
+                    }),
+            );
+        self.resolver
+            .resolve_into(&self.placements, EPOCH_SECONDS, &mut self.outcomes);
 
         // 3. Package per-VM reports.
         self.vms
             .iter()
-            .zip(demands)
-            .zip(loads)
-            .zip(outcomes)
-            .map(|(((vm, demand), load), outcome)| VmEpochReport {
+            .zip(&self.demands)
+            .zip(&self.loads)
+            .zip(&self.outcomes)
+            .map(|(((vm, demand), &load), outcome)| VmEpochReport {
                 vm_id: vm.id,
                 pm_id: self.id,
                 app: vm.app_id(),
                 epoch,
                 offered_load: load,
                 counters: outcome.counters,
-                demand,
+                demand: demand.clone(),
                 achieved_fraction: outcome.achieved_fraction,
                 observation: vm.client.observe(load, outcome.achieved_fraction),
                 breakdown: outcome.breakdown,

@@ -12,8 +12,8 @@
 //! how many concurrent analyses can run, which is exactly the quantity the
 //! queueing experiments of Figs. 12–14 study.
 
-use hwsim::contention::{resolve_epoch, PlacedDemand};
-use hwsim::{CounterSnapshot, MachineSpec, ResourceDemand};
+use hwsim::contention::PlacedDemand;
+use hwsim::{CounterSnapshot, EpochResolver, MachineSpec, ResourceDemand, EPOCH_SECONDS};
 
 use crate::vm::VmId;
 
@@ -104,12 +104,17 @@ impl Sandbox {
         assert!(vcpus > 0, "clone needs at least one vCPU");
         let mut counters = Vec::with_capacity(demands.len());
         let mut fractions = Vec::with_capacity(demands.len());
+        // One resolver serves the whole replayed window: the clone runs solo,
+        // so every epoch reuses the same scratch buffers.
+        let mut resolver = EpochResolver::new(self.spec.clone());
+        let mut outcomes = Vec::with_capacity(1);
         for demand in demands {
-            let outcome = resolve_epoch(
-                &self.spec,
+            resolver.resolve_into(
                 &[PlacedDemand::new(vm_id.0, demand.clone(), vcpus, 0)],
+                EPOCH_SECONDS,
+                &mut outcomes,
             );
-            let o = &outcome[0];
+            let o = &outcomes[0];
             counters.push(o.counters);
             fractions.push(o.achieved_fraction);
         }
@@ -125,6 +130,7 @@ impl Sandbox {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hwsim::contention::resolve_epoch;
     use hwsim::ResourceDemand;
 
     fn demand() -> ResourceDemand {

@@ -16,8 +16,8 @@
 //! least-squares search in [`analytics::regression::invert_inputs`].
 
 use analytics::regression::{invert_inputs, LinearRegression};
-use hwsim::contention::{resolve_epoch, PlacedDemand};
-use hwsim::{MachineSpec, ResourceDemand};
+use hwsim::contention::{resolve_epoch, EpochOutcome, PlacedDemand};
+use hwsim::{EpochResolver, MachineSpec, ResourceDemand, EPOCH_SECONDS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -130,13 +130,17 @@ impl SyntheticBenchmark {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut inputs = Vec::with_capacity(samples);
         let mut outputs = Vec::with_capacity(samples);
+        // One resolver serves every training run: each sample is a solo
+        // resolve on the same machine model, so all scratch state is shared.
+        let mut resolver = EpochResolver::new(spec.clone());
+        let mut outcomes = Vec::with_capacity(1);
         for _ in 0..samples {
             let raw: Vec<f64> = BenchmarkInputs::BOUNDS
                 .iter()
                 .map(|(lo, hi)| rng.gen_range(*lo..=*hi))
                 .collect();
             let sample = BenchmarkInputs::from_vec(&raw);
-            let behavior = Self::run_solo(&spec, &sample);
+            let behavior = run_solo_with(&mut resolver, &sample, &mut outcomes);
             inputs.push(raw);
             outputs.push(behavior.to_vec());
         }
@@ -198,8 +202,12 @@ impl SyntheticBenchmark {
         bounds: &[(f64, f64); 6],
         rounds: usize,
     ) -> BenchmarkInputs {
-        let objective = |inputs: &BenchmarkInputs| -> f64 {
-            Self::run_solo(&self.spec, inputs).max_relative_deviation(target)
+        // The refinement probes the machine model dozens of times; one
+        // resolver shared across all probes keeps them allocation-free.
+        let mut resolver = EpochResolver::new(self.spec.clone());
+        let mut outcomes = Vec::with_capacity(1);
+        let mut objective = |inputs: &BenchmarkInputs| -> f64 {
+            run_solo_with(&mut resolver, inputs, &mut outcomes).max_relative_deviation(target)
         };
         let mut current = start.to_vec();
         let mut best = objective(&BenchmarkInputs::from_vec(&current));
@@ -241,6 +249,22 @@ impl SyntheticBenchmark {
     ) -> SyntheticClone {
         SyntheticClone::new(app, self.mimic(target, instructions_per_epoch))
     }
+}
+
+/// Solo run of the benchmark through a reusable resolver — the hot-path form
+/// of [`SyntheticBenchmark::run_solo`] used by training and refinement.
+fn run_solo_with(
+    resolver: &mut EpochResolver,
+    inputs: &BenchmarkInputs,
+    outcomes: &mut Vec<EpochOutcome>,
+) -> BehaviorVector {
+    let vcpus = inputs.parallelism.ceil().max(1.0) as usize;
+    resolver.resolve_into(
+        &[PlacedDemand::new(0, inputs.demand(), vcpus, 0)],
+        EPOCH_SECONDS,
+        outcomes,
+    );
+    BehaviorVector::from_counters(&outcomes[0].counters)
 }
 
 /// A workload that replays a fixed set of benchmark inputs each epoch — the

@@ -16,7 +16,7 @@
 //! 3. the inflation is monotone in the co-runners' access intensity and
 //!    working-set size.
 
-use crate::demand::ResourceDemand;
+use crate::demand::AsDemand;
 
 /// Per-VM result of resolving one cache group for one epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,83 +44,140 @@ impl CacheOutcome {
     }
 }
 
+/// Reusable scratch buffers for [`resolve_cache_group_members_into`].
+///
+/// Constructed once (typically inside an `EpochResolver`) and reused across
+/// epochs so resolving a cache group performs no heap allocation once the
+/// buffers have grown to the machine's VM count.
+#[derive(Debug, Default)]
+pub struct CacheScratch {
+    intensities: Vec<f64>,
+    occupancy: Vec<f64>,
+    capped: Vec<bool>,
+    active: Vec<usize>,
+    /// Outcomes of the most recent resolve, aligned with the member list it
+    /// was given.
+    pub outcomes: Vec<CacheOutcome>,
+}
+
+impl CacheScratch {
+    /// Creates empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Resolves shared-cache contention for all demands mapped to one cache group.
 ///
 /// `cache_mb` is the capacity of the group.  The slice may be empty (returns
 /// an empty vector) or contain a single demand (returns the solo behaviour).
-pub fn resolve_cache_group(cache_mb: f64, demands: &[&ResourceDemand]) -> Vec<CacheOutcome> {
+pub fn resolve_cache_group<D: AsDemand>(cache_mb: f64, demands: &[D]) -> Vec<CacheOutcome> {
+    let members: Vec<usize> = (0..demands.len()).collect();
+    let mut scratch = CacheScratch::new();
+    resolve_cache_group_members_into(cache_mb, demands, &members, &mut scratch);
+    scratch.outcomes
+}
+
+/// Resolves shared-cache contention for the subset of `demands` selected by
+/// `members` (indices into `demands`), leaving one [`CacheOutcome`] per member
+/// in `scratch.outcomes` (same order as `members`).
+///
+/// This is the allocation-free core of [`resolve_cache_group`]: the caller
+/// owns the scratch buffers and the demand slice can be any placement record
+/// implementing [`AsDemand`], so per-group membership never has to be
+/// materialized as a fresh `Vec<&ResourceDemand>`.
+pub fn resolve_cache_group_members_into<D: AsDemand>(
+    cache_mb: f64,
+    demands: &[D],
+    members: &[usize],
+    scratch: &mut CacheScratch,
+) {
     assert!(cache_mb > 0.0, "cache capacity must be positive");
-    if demands.is_empty() {
-        return Vec::new();
+    scratch.outcomes.clear();
+    if members.is_empty() {
+        return;
     }
 
     // Access intensity: how hard each VM pushes on the shared cache.  L1
     // misses per kilo-instruction times the instruction volume gives the
     // number of shared-cache accesses this epoch.
-    let intensities: Vec<f64> = demands
-        .iter()
-        .map(|d| (d.l1_mpki / 1_000.0 * d.instructions).max(0.0))
-        .collect();
+    scratch.intensities.clear();
+    scratch.intensities.extend(members.iter().map(|&i| {
+        let d = demands[i].as_demand();
+        (d.l1_mpki / 1_000.0 * d.instructions).max(0.0)
+    }));
 
-    let occupancies = partition_capacity(cache_mb, demands, &intensities);
+    partition_capacity(cache_mb, demands, members, scratch);
 
-    demands
-        .iter()
-        .zip(&occupancies)
-        .map(|(d, &occ)| {
-            let solo_occ = d.working_set_mb.min(cache_mb);
-            let solo_mpki = d.llc_mpki_solo;
-            let effective_mpki = if solo_occ <= 0.0 || occ >= solo_occ {
-                solo_mpki
-            } else {
-                // Fraction of the working set the VM can no longer keep
-                // resident compared to running alone.
-                let lost = 1.0 - occ / solo_occ;
-                // Accesses that used to hit in the shared cache and now miss.
-                // High temporal locality shields the VM: the hot fraction of
-                // its accesses keeps hitting even in a smaller occupancy.
-                let hitting_mpki = (d.l1_mpki - solo_mpki).max(0.0);
-                let extra = hitting_mpki * lost * (1.0 - d.locality);
-                (solo_mpki + extra).min(d.l1_mpki)
-            };
-            CacheOutcome {
-                occupancy_mb: occ,
-                effective_mpki,
-                solo_mpki,
-            }
-        })
-        .collect()
+    for (j, &i) in members.iter().enumerate() {
+        let d = demands[i].as_demand();
+        let occ = scratch.occupancy[j];
+        let solo_occ = d.working_set_mb.min(cache_mb);
+        let solo_mpki = d.llc_mpki_solo;
+        let effective_mpki = if solo_occ <= 0.0 || occ >= solo_occ {
+            solo_mpki
+        } else {
+            // Fraction of the working set the VM can no longer keep
+            // resident compared to running alone.
+            let lost = 1.0 - occ / solo_occ;
+            // Accesses that used to hit in the shared cache and now miss.
+            // High temporal locality shields the VM: the hot fraction of
+            // its accesses keeps hitting even in a smaller occupancy.
+            let hitting_mpki = (d.l1_mpki - solo_mpki).max(0.0);
+            let extra = hitting_mpki * lost * (1.0 - d.locality);
+            (solo_mpki + extra).min(d.l1_mpki)
+        };
+        scratch.outcomes.push(CacheOutcome {
+            occupancy_mb: occ,
+            effective_mpki,
+            solo_mpki,
+        });
+    }
 }
 
-/// Splits the cache capacity across VMs proportionally to access intensity,
-/// without giving any VM more than its working set.  Surplus from VMs whose
-/// working sets are smaller than their proportional share is redistributed to
-/// the remaining VMs (two passes are sufficient for a fixed point because the
-/// set of capped VMs only grows).
-fn partition_capacity(cache_mb: f64, demands: &[&ResourceDemand], intensities: &[f64]) -> Vec<f64> {
-    let n = demands.len();
-    let mut occupancy = vec![0.0_f64; n];
-    let mut capped = vec![false; n];
+/// Splits the cache capacity across the member VMs proportionally to access
+/// intensity, without giving any VM more than its working set.  Surplus from
+/// VMs whose working sets are smaller than their proportional share is
+/// redistributed to the remaining VMs (two passes are sufficient for a fixed
+/// point because the set of capped VMs only grows).  The result is left in
+/// `scratch.occupancy`, aligned with `members`.
+fn partition_capacity<D: AsDemand>(
+    cache_mb: f64,
+    demands: &[D],
+    members: &[usize],
+    scratch: &mut CacheScratch,
+) {
+    let n = members.len();
+    scratch.occupancy.clear();
+    scratch.occupancy.resize(n, 0.0);
+    scratch.capped.clear();
+    scratch.capped.resize(n, false);
+    let occupancy = &mut scratch.occupancy;
+    let capped = &mut scratch.capped;
+    let active = &mut scratch.active;
+    let intensities = &scratch.intensities;
+    let working_set = |j: usize| demands[members[j]].as_demand().working_set_mb;
     let mut remaining = cache_mb;
 
     // Iterate until no newly-capped VM appears (at most n rounds).
     for _ in 0..n.max(1) {
-        let active: Vec<usize> = (0..n).filter(|&i| !capped[i]).collect();
+        active.clear();
+        active.extend((0..n).filter(|&j| !capped[j]));
         if active.is_empty() || remaining <= 0.0 {
             break;
         }
-        let total_intensity: f64 = active.iter().map(|&i| intensities[i]).sum();
+        let total_intensity: f64 = active.iter().map(|&j| intensities[j]).sum();
         let mut newly_capped = false;
-        for &i in &active {
+        for &j in active.iter() {
             let share = if total_intensity > 0.0 {
-                remaining * intensities[i] / total_intensity
+                remaining * intensities[j] / total_intensity
             } else {
                 remaining / active.len() as f64
             };
-            let want = demands[i].working_set_mb;
+            let want = working_set(j);
             if want <= share {
-                occupancy[i] = want;
-                capped[i] = true;
+                occupancy[j] = want;
+                capped[j] = true;
                 newly_capped = true;
             }
         }
@@ -129,26 +186,24 @@ fn partition_capacity(cache_mb: f64, demands: &[&ResourceDemand], intensities: &
             continue;
         }
         // No one capped: hand out the proportional shares and finish.
-        for &i in &active {
-            occupancy[i] = if total_intensity > 0.0 {
-                remaining * intensities[i] / total_intensity
+        for &j in active.iter() {
+            occupancy[j] = if total_intensity > 0.0 {
+                remaining * intensities[j] / total_intensity
             } else {
                 remaining / active.len() as f64
             };
         }
-        return occupancy;
+        return;
     }
     // Give any still-unassigned VMs an even split of what is left.
-    let leftover: Vec<usize> = (0..n)
-        .filter(|&i| !capped[i] && occupancy[i] == 0.0)
-        .collect();
-    if !leftover.is_empty() {
-        let each = (cache_mb - occupancy.iter().sum::<f64>()).max(0.0) / leftover.len() as f64;
-        for i in leftover {
-            occupancy[i] = each.min(demands[i].working_set_mb);
+    active.clear();
+    active.extend((0..n).filter(|&j| !capped[j] && occupancy[j] == 0.0));
+    if !active.is_empty() {
+        let each = (cache_mb - occupancy.iter().sum::<f64>()).max(0.0) / active.len() as f64;
+        for &j in active.iter() {
+            occupancy[j] = each.min(working_set(j));
         }
     }
-    occupancy
 }
 
 #[cfg(test)]
@@ -168,7 +223,8 @@ mod tests {
 
     #[test]
     fn empty_group_resolves_to_nothing() {
-        assert!(resolve_cache_group(12.0, &[]).is_empty());
+        let empty: [&ResourceDemand; 0] = [];
+        assert!(resolve_cache_group(12.0, &empty).is_empty());
     }
 
     #[test]

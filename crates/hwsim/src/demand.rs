@@ -136,6 +136,30 @@ impl ResourceDemand {
     }
 }
 
+/// Access to the [`ResourceDemand`] carried by a larger value.
+///
+/// The contention models ([`crate::cache`], [`crate::disk`], [`crate::nic`])
+/// are generic over this trait so they can iterate demands stored inside
+/// placement records (e.g. `PlacedDemand`) directly, without the caller
+/// materializing an intermediate `Vec<&ResourceDemand>` on every epoch — the
+/// allocation the reusable epoch resolver exists to avoid.
+pub trait AsDemand {
+    /// The demand carried by this value.
+    fn as_demand(&self) -> &ResourceDemand;
+}
+
+impl AsDemand for ResourceDemand {
+    fn as_demand(&self) -> &ResourceDemand {
+        self
+    }
+}
+
+impl<T: AsDemand + ?Sized> AsDemand for &T {
+    fn as_demand(&self) -> &ResourceDemand {
+        (**self).as_demand()
+    }
+}
+
 /// Builder for [`ResourceDemand`]; every setter overrides one field of the
 /// CPU-bound default profile.
 #[derive(Debug, Clone, Default)]

@@ -11,7 +11,7 @@
 //! (how long the VM sits idle waiting for the disk, the `iostat` T_disk of
 //! Table 1) and the fraction of its requested bytes that completed.
 
-use crate::demand::ResourceDemand;
+use crate::demand::AsDemand;
 
 /// Per-VM outcome of resolving the shared disk for one epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,30 +30,48 @@ pub struct DiskOutcome {
 /// * `seq_mbps` / `rand_mbps` — the disk's sequential and random bandwidth.
 /// * `demands` — one entry per VM (VMs without disk traffic get a zero outcome).
 /// * `epoch_seconds` — epoch length.
-pub fn resolve_disk(
+pub fn resolve_disk<D: AsDemand>(
     seq_mbps: f64,
     rand_mbps: f64,
-    demands: &[&ResourceDemand],
+    demands: &[D],
     epoch_seconds: f64,
 ) -> Vec<DiskOutcome> {
+    let mut out = Vec::with_capacity(demands.len());
+    resolve_disk_into(seq_mbps, rand_mbps, demands, epoch_seconds, &mut out);
+    out
+}
+
+/// Allocation-free core of [`resolve_disk`]: leaves one [`DiskOutcome`] per
+/// demand in `out` (cleared first), reusing its capacity across epochs.
+pub fn resolve_disk_into<D: AsDemand>(
+    seq_mbps: f64,
+    rand_mbps: f64,
+    demands: &[D],
+    epoch_seconds: f64,
+    out: &mut Vec<DiskOutcome>,
+) {
     assert!(
         seq_mbps > 0.0 && rand_mbps > 0.0,
         "disk bandwidths must be positive"
     );
     assert!(epoch_seconds > 0.0, "epoch must have positive duration");
+    out.clear();
 
-    let active: usize = demands.iter().filter(|d| d.disk_total_mb() > 0.0).count();
+    let active: usize = demands
+        .iter()
+        .filter(|d| d.as_demand().disk_total_mb() > 0.0)
+        .count();
 
     // Effective per-VM service time: interleaving with other active streams
     // destroys sequentiality.  With k active streams a VM retains roughly
-    // 1/k of its original sequential runs.
-    let service: Vec<f64> = demands
-        .iter()
-        .map(|d| {
-            let bytes = d.disk_total_mb();
-            if bytes <= 0.0 {
-                return 0.0;
-            }
+    // 1/k of its original sequential runs.  The first pass stores the raw
+    // service time in the outcome slot; the second finalizes it.
+    out.extend(demands.iter().map(|d| {
+        let d = d.as_demand();
+        let bytes = d.disk_total_mb();
+        let service_seconds = if bytes <= 0.0 {
+            0.0
+        } else {
             let seq_retained = if active <= 1 {
                 d.disk_seq_fraction
             } else {
@@ -61,10 +79,15 @@ pub fn resolve_disk(
             };
             let bandwidth = seq_retained * seq_mbps + (1.0 - seq_retained) * rand_mbps;
             bytes / bandwidth.max(f64::MIN_POSITIVE)
-        })
-        .collect();
+        };
+        DiskOutcome {
+            service_seconds,
+            stall_seconds: 0.0,
+            completed_fraction: 1.0,
+        }
+    }));
 
-    let total_service: f64 = service.iter().sum();
+    let total_service: f64 = out.iter().map(|o| o.service_seconds).sum();
     let utilization = total_service / epoch_seconds;
     let completed_fraction = if utilization <= 1.0 {
         1.0
@@ -72,32 +95,32 @@ pub fn resolve_disk(
         1.0 / utilization
     };
 
-    service
-        .iter()
-        .map(|&s| {
-            if s <= 0.0 {
-                return DiskOutcome {
-                    service_seconds: 0.0,
-                    stall_seconds: 0.0,
-                    completed_fraction: 1.0,
-                };
-            }
-            // The VM waits for its own transfers plus, on average, half of
-            // the service demanded by every other VM queued ahead of it.
-            let others = total_service - s;
-            let wait = (s + 0.5 * others) * completed_fraction;
-            DiskOutcome {
-                service_seconds: s * completed_fraction,
-                stall_seconds: wait.min(epoch_seconds),
-                completed_fraction,
-            }
-        })
-        .collect()
+    for o in out.iter_mut() {
+        let s = o.service_seconds;
+        if s <= 0.0 {
+            *o = DiskOutcome {
+                service_seconds: 0.0,
+                stall_seconds: 0.0,
+                completed_fraction: 1.0,
+            };
+            continue;
+        }
+        // The VM waits for its own transfers plus, on average, half of
+        // the service demanded by every other VM queued ahead of it.
+        let others = total_service - s;
+        let wait = (s + 0.5 * others) * completed_fraction;
+        *o = DiskOutcome {
+            service_seconds: s * completed_fraction,
+            stall_seconds: wait.min(epoch_seconds),
+            completed_fraction,
+        };
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::demand::ResourceDemand;
 
     fn io_vm(read_mb: f64, seq: f64) -> ResourceDemand {
         ResourceDemand::builder()

@@ -34,7 +34,11 @@
 //! * [`disk`] — disk model with seek inflation under sharing.
 //! * [`nic`] — NIC fair-share bandwidth model.
 //! * [`core`] — in-core execution model (base CPI, branch misses).
-//! * [`contention`] — the epoch resolver that combines all of the above.
+//! * [`contention`] — epoch-resolution types ([`contention::PlacedDemand`],
+//!   [`contention::EpochOutcome`]) and the one-shot `resolve_epoch` wrappers.
+//! * [`resolver`] — [`resolver::EpochResolver`], the reusable allocation-free
+//!   pipeline behind those wrappers; hot call sites hold one per machine and
+//!   call `resolve_into` every epoch.
 //!
 //! ## Example
 //!
@@ -75,11 +79,13 @@ pub mod disk;
 pub mod machine;
 pub mod membus;
 pub mod nic;
+pub mod resolver;
 
 pub use contention::{resolve_epoch, EpochOutcome, PlacedDemand};
 pub use counters::CounterSnapshot;
-pub use demand::ResourceDemand;
+pub use demand::{AsDemand, ResourceDemand};
 pub use machine::MachineSpec;
+pub use resolver::EpochResolver;
 
 /// Duration of one simulation epoch, in seconds.
 ///

@@ -7,7 +7,7 @@
 //! while the system had a packet in the Snd/Rcv queue" — the `netstat` T_net
 //! metric of Table 1.
 
-use crate::demand::ResourceDemand;
+use crate::demand::AsDemand;
 
 /// Per-VM outcome of resolving the shared NIC for one epoch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,57 +28,70 @@ pub struct NicOutcome {
 /// interfering workload is unthrottled bidirectional UDP (`iperf`), which
 /// does not back off, so a small well-behaved flow loses roughly its
 /// proportional share rather than being protected max-min-fairly.
-pub fn resolve_nic(
+pub fn resolve_nic<D: AsDemand>(
     nic_mbps: f64,
-    demands: &[&ResourceDemand],
+    demands: &[D],
     epoch_seconds: f64,
 ) -> Vec<NicOutcome> {
-    assert!(nic_mbps > 0.0, "NIC bandwidth must be positive");
-    assert!(epoch_seconds > 0.0, "epoch must have positive duration");
-
-    let wants: Vec<f64> = demands.iter().map(|d| d.net_total_mb().max(0.0)).collect();
-    let capacity = nic_mbps * epoch_seconds;
-    let allocations = proportional_share(&wants, capacity);
-
-    wants
-        .iter()
-        .zip(&allocations)
-        .map(|(&want, &got)| {
-            if want <= 0.0 {
-                return NicOutcome {
-                    achieved_mb: 0.0,
-                    completed_fraction: 1.0,
-                    stall_seconds: 0.0,
-                };
-            }
-            let completed_fraction = (got / want).min(1.0);
-            // Transmission time at the achieved rate, plus the epoch fraction
-            // spent blocked on traffic that never got through.
-            let tx_time = got / nic_mbps;
-            let blocked = (1.0 - completed_fraction) * epoch_seconds;
-            NicOutcome {
-                achieved_mb: got,
-                completed_fraction,
-                stall_seconds: (tx_time * 0.1 + blocked).min(epoch_seconds),
-            }
-        })
-        .collect()
+    let mut out = Vec::with_capacity(demands.len());
+    resolve_nic_into(nic_mbps, demands, epoch_seconds, &mut out);
+    out
 }
 
-/// Demand-proportional allocation of `capacity` across `wants` (everything
-/// is granted when the total demand fits).
-fn proportional_share(wants: &[f64], capacity: f64) -> Vec<f64> {
-    let total: f64 = wants.iter().sum();
-    if total <= capacity || total <= 0.0 {
-        return wants.to_vec();
-    }
-    let scale = capacity.max(0.0) / total;
-    wants.iter().map(|w| w * scale).collect()
+/// Allocation-free core of [`resolve_nic`]: leaves one [`NicOutcome`] per
+/// demand in `out` (cleared first), reusing its capacity across epochs.
+pub fn resolve_nic_into<D: AsDemand>(
+    nic_mbps: f64,
+    demands: &[D],
+    epoch_seconds: f64,
+    out: &mut Vec<NicOutcome>,
+) {
+    assert!(nic_mbps > 0.0, "NIC bandwidth must be positive");
+    assert!(epoch_seconds > 0.0, "epoch must have positive duration");
+    out.clear();
+
+    // Demand-proportional allocation: everything is granted when the total
+    // demand fits the line rate; otherwise every flow is scaled by the same
+    // factor (the paper's interfering workload is unthrottled bidirectional
+    // UDP, which does not back off, so there is no max-min protection).
+    let capacity = nic_mbps * epoch_seconds;
+    let total: f64 = demands
+        .iter()
+        .map(|d| d.as_demand().net_total_mb().max(0.0))
+        .sum();
+    let scale = if total <= capacity || total <= 0.0 {
+        1.0
+    } else {
+        capacity.max(0.0) / total
+    };
+
+    out.extend(demands.iter().map(|d| {
+        let want = d.as_demand().net_total_mb().max(0.0);
+        if want <= 0.0 {
+            return NicOutcome {
+                achieved_mb: 0.0,
+                completed_fraction: 1.0,
+                stall_seconds: 0.0,
+            };
+        }
+        let got = want * scale;
+        let completed_fraction = (got / want).min(1.0);
+        // Transmission time at the achieved rate, plus the epoch fraction
+        // spent blocked on traffic that never got through.
+        let tx_time = got / nic_mbps;
+        let blocked = (1.0 - completed_fraction) * epoch_seconds;
+        NicOutcome {
+            achieved_mb: got,
+            completed_fraction,
+            stall_seconds: (tx_time * 0.1 + blocked).min(epoch_seconds),
+        }
+    }));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::demand::ResourceDemand;
 
     fn net_vm(tx: f64, rx: f64) -> ResourceDemand {
         ResourceDemand::builder()

@@ -103,9 +103,7 @@ fn main() {
                 println!("hour {hour:2}: interference episode begins (aggressor lands on {home})");
             }
         } else if episode.is_none() && aggressor_placed {
-            if let Some(pm) = cluster.locate(VmId(99)) {
-                cluster.machine_mut(pm).unwrap().remove_vm(VmId(99));
-            }
+            cluster.remove_vm(VmId(99));
             aggressor_placed = false;
             println!("hour {hour:2}: interference episode ends (aggressor terminated)");
         }

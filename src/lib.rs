@@ -49,6 +49,27 @@
 //! repository-level `examples/` and `tests/` can exercise the whole system
 //! through one dependency.
 //!
+//! # The epoch-resolution hot path
+//!
+//! Everything the simulation does funnels through resolving one epoch of
+//! hardware contention per machine, so that pipeline is built for reuse:
+//! `hwsim::EpochResolver` is a stateful object (one per machine model)
+//! owning every scratch buffer resolution needs — per-cache-group membership
+//! lists, effective-MPKI/miss vectors, per-device outcome buffers — and
+//! exposing `resolve_into(&mut self, placements, epoch_seconds, &mut out)`.
+//! Steady-state resolution performs **zero heap allocations**. The stateless
+//! `hwsim::contention::resolve_epoch` wrappers remain for one-shot callers
+//! and delegate to a thread-local resolver. `cloudsim::pm::PhysicalMachine`
+//! holds its own resolver plus demand/placement buffers across epochs, the
+//! sandbox replayer and `deepdive`'s synthetic-benchmark training/refinement
+//! reuse one resolver across all their solo runs, and `cloudsim::Cluster`
+//! keeps id→index maps so VM location and machine lookups are O(1) per
+//! migration instead of scans. `cargo bench -p bench --bench
+//! resolver_throughput` measures the win (VMs resolved per second, reused vs
+//! pre-refactor allocating path) and dumps `BENCH_resolver.json` at the
+//! workspace root; the refactor is pinned bit-identical to the old pipeline
+//! by `crates/hwsim/tests/resolver_equivalence.rs`.
+//!
 //! # Test-suite map
 //!
 //! * per-crate unit tests — each module tests its own invariants (~270
