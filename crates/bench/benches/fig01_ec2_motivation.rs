@@ -5,8 +5,8 @@
 //! benchmarks the per-hour simulation step.
 
 use bench::{fig1_ec2_motivation, victim_cluster, CloudWorkload};
+use cloudsim::{ClusterSeed, EpochEngine};
 use criterion::{criterion_group, criterion_main, Criterion};
-use rand::SeedableRng;
 
 fn print_figure() {
     let points = fig1_ec2_motivation(1);
@@ -36,8 +36,8 @@ fn bench_kernel(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("epoch_step_single_vm", |b| {
         let mut cluster = victim_cluster(CloudWorkload::DataServing, 1);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        b.iter(|| cluster.step_epoch(&|_| 0.7, &mut rng));
+        let engine = EpochEngine::serial(ClusterSeed::new(1));
+        b.iter(|| engine.step(&mut cluster, |_| 0.7));
     });
     group.finish();
 }

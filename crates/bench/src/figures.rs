@@ -7,7 +7,7 @@
 //! qualitative shape — what separates, what is detected, which resource is
 //! blamed, who wins — is asserted by the integration tests.
 
-use cloudsim::{PmId, RequestProxy, Sandbox, Vm, VmId};
+use cloudsim::{ClusterSeed, EpochEngine, PmId, RequestProxy, Sandbox, Vm, VmId};
 use deepdive::analyzer::InterferenceAnalyzer;
 use deepdive::controller::{DeepDive, DeepDiveConfig, EpochEvent};
 use deepdive::cpi_stack::{CpiStack, Resource};
@@ -58,7 +58,7 @@ pub struct Fig1Point {
 pub fn fig1_ec2_motivation(seed: u64) -> Vec<Fig1Point> {
     let schedule = InterferenceSchedule::generate(3, 3, 3_600, 2 * 3_600, seed);
     let mut cluster = victim_cluster(CloudWorkload::DataServing, 1);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let engine = EpochEngine::serial(ClusterSeed::new(seed));
     let mut points = Vec::with_capacity(72);
     let mut aggressor_placed = false;
     for hour in 0..72usize {
@@ -73,7 +73,7 @@ pub fn fig1_ec2_motivation(seed: u64) -> Vec<Fig1Point> {
             cluster.remove_vm(VmId(99));
             aggressor_placed = false;
         }
-        let reports = cluster.step_epoch(&|_| 0.7, &mut rng);
+        let reports = engine.step(&mut cluster, |_| 0.7);
         let victim = reports
             .iter()
             .find(|r| r.vm_id == VmId(1))
@@ -343,13 +343,13 @@ pub fn fig5_global_information(interfered_pms: usize, seed: u64) -> Vec<Fig5Poin
             cluster.place_on(PmId(pm), iperf).expect("capacity");
         }
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let engine = EpochEngine::serial(ClusterSeed::new(seed));
     // Run a full map/shuffle/reduce cycle and accumulate each worker's
     // behaviour during the shuffle epochs (where network interference can
     // manifest).
     let mut sums = vec![(0.0_f64, 0.0_f64, 0usize); 9];
     for epoch in 0..12 {
-        let reports = cluster.step_epoch(&|_| 0.9, &mut rng);
+        let reports = engine.step(&mut cluster, |_| 0.9);
         // Shuffle epochs for the default config are epochs 6..9 of the cycle.
         if !(6..9).contains(&epoch) {
             continue;
@@ -467,22 +467,23 @@ fn stack_to_fig6(stack: &CpiStack, clock_hz: f64, instructions: f64) -> StackCpi
 pub fn fig6_cpi_breakdown(workload: CloudWorkload, scenario: Fig6Scenario, seed: u64) -> Fig6Cell {
     let spec = MachineSpec::xeon_x5472();
     let epochs = 12usize;
+    // One engine for both runs: the victim's per-(vm, epoch) streams are
+    // identical in isolation and production by construction.
+    let engine = EpochEngine::serial(ClusterSeed::new(seed));
     // Isolation run.
     let mut solo = victim_cluster(workload, 1);
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut iso_counters = Vec::new();
     for _ in 0..epochs {
-        let reports = solo.step_epoch(&|_| 1.0, &mut rng);
+        let reports = engine.step(&mut solo, |_| 1.0);
         iso_counters.push(reports[0].counters);
     }
     // Production run with the scenario aggressor.
     let mut prod = victim_cluster(workload, 1);
     prod.place_on(PmId(0), scenario.aggressor(workload))
         .expect("capacity");
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut prod_counters = Vec::new();
     for _ in 0..epochs {
-        let reports = prod.step_epoch(&|_| 1.0, &mut rng);
+        let reports = engine.step(&mut prod, |_| 1.0);
         let victim = reports.iter().find(|r| r.vm_id == VmId(1)).unwrap();
         prod_counters.push(victim.counters);
     }
@@ -559,7 +560,7 @@ pub fn fig8_detection(workload: CloudWorkload, seed: u64) -> Fig8Result {
         ..DeepDiveConfig::default()
     };
     let mut deepdive = DeepDive::new(config, Sandbox::xeon_pool(4));
-    let mut rng = StdRng::seed_from_u64(seed);
+    let engine = EpochEngine::serial(ClusterSeed::new(seed));
 
     let hours = 72usize;
     let mut aggressor_placed = false;
@@ -600,7 +601,7 @@ pub fn fig8_detection(workload: CloudWorkload, seed: u64) -> Fig8Result {
             }
         }
         for _ in 0..EPOCHS_PER_HOUR {
-            let reports = cluster.step_epoch(&|_| load, &mut rng);
+            let reports = engine.step(&mut cluster, |_| load);
             // Ground truth: does the victim suffer >20% client degradation?
             let victim = reports.iter().find(|r| r.vm_id == VmId(1)).unwrap();
             let baseline = victim_baseline_latency(workload);
@@ -776,26 +777,26 @@ pub fn fig9_degradation_accuracy(workload: CloudWorkload, seed: u64) -> Vec<Fig9
     let window = 8usize;
     let mut points = Vec::new();
     for &intensity in &[0.2, 0.4, 0.6, 0.8, 1.0] {
+        let engine = EpochEngine::serial(ClusterSeed::new(seed));
         // Baseline (isolation) run.
         let mut solo = victim_cluster(workload, 1);
-        let mut rng = StdRng::seed_from_u64(seed);
         let mut baseline_latency = 0.0;
         for _ in 0..window {
-            let reports = solo.step_epoch(&|_| 1.0, &mut rng);
+            let reports = engine.step(&mut solo, |_| 1.0);
             baseline_latency += reports[0].observation.latency_ms;
         }
         baseline_latency /= window as f64;
 
-        // Production run with the aggressor.
+        // Production run with the aggressor: same engine, so the victim
+        // draws the same demand stream as in the baseline.
         let mut prod = victim_cluster(workload, 1);
         prod.place_on(PmId(0), stress.vm(99, intensity))
             .expect("capacity");
-        let mut rng = StdRng::seed_from_u64(seed);
         let mut proxy = RequestProxy::new(window);
         let mut counters = Vec::new();
         let mut prod_latency = 0.0;
         for _ in 0..window {
-            let reports = prod.step_epoch(&|_| 1.0, &mut rng);
+            let reports = engine.step(&mut prod, |_| 1.0);
             let victim = reports.iter().find(|r| r.vm_id == VmId(1)).unwrap();
             proxy.record(victim.vm_id, victim.demand.clone());
             counters.push(victim.counters);

@@ -9,9 +9,11 @@
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
+use rand::RngCore;
 
 use crate::migration::{estimate_migration, MigrationCost};
 use crate::pm::{PhysicalMachine, PmId, VmEpochReport};
+use crate::rngs::ClusterSeed;
 use crate::scheduler::Scheduler;
 use crate::vm::{Vm, VmId};
 use hwsim::MachineSpec;
@@ -88,6 +90,24 @@ impl Cluster {
         Self::from_machines(machines)
     }
 
+    /// Creates a mixed-hardware cluster: for each `(spec, count)` group, in
+    /// order, `count` machines of that model, with machine ids assigned
+    /// sequentially across groups.  Sugar over [`Cluster::from_machines`]
+    /// for the ROADMAP's heterogeneous-fleet scenario (e.g. a Xeon X5472
+    /// rack extended with Core i7/Nehalem nodes, §4.4).
+    ///
+    /// # Panics
+    /// Panics if the groups describe zero machines in total.
+    pub fn heterogeneous(specs: &[(MachineSpec, usize)], scheduler: Scheduler) -> Self {
+        let machines: Vec<PhysicalMachine> = specs
+            .iter()
+            .flat_map(|(spec, count)| std::iter::repeat_n(spec, *count))
+            .enumerate()
+            .map(|(i, spec)| PhysicalMachine::new(PmId(i as u64), spec.clone(), scheduler))
+            .collect();
+        Self::from_machines(machines)
+    }
+
     /// Creates a cluster from explicit machines.
     ///
     /// # Panics
@@ -114,6 +134,19 @@ impl Cluster {
     /// The machines, in id order.
     pub fn machines(&self) -> &[PhysicalMachine] {
         &self.machines
+    }
+
+    /// Mutable access to every machine at once, for the epoch engine's
+    /// shard partitioning (crate-private: VM membership must change through
+    /// the cluster's methods so the VM-location index stays consistent).
+    pub(crate) fn machines_mut(&mut self) -> &mut [PhysicalMachine] {
+        &mut self.machines
+    }
+
+    /// Marks one more epoch as completed (called by the epoch engine after
+    /// every machine has been stepped).
+    pub(crate) fn advance_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// Mutable access to one machine (its VM membership can only change
@@ -188,17 +221,30 @@ impl Cluster {
 
     /// Advances every machine one epoch and returns all per-VM reports.
     ///
-    /// `load_for` maps a VM to its offered load for this epoch (driven by the
-    /// trace substrate).
+    /// Compatibility wrapper over the old shared-`StdRng` signature: it
+    /// draws one value from `rng` to derive a per-epoch [`ClusterSeed`] and
+    /// then steps serially with the same per-`(vm, epoch)` streams
+    /// [`crate::engine::EpochEngine`] uses, so results remain deterministic
+    /// for a given caller RNG state (though numerically different from the
+    /// pre-engine shared-stream runs).  New code should hold an
+    /// [`crate::engine::EpochEngine`] and call
+    /// [`step`](crate::engine::EpochEngine::step) instead — it exposes the
+    /// sharded execution mode and keeps one seed for the whole run.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use cloudsim::EpochEngine::step with a ClusterSeed; it is placement- and \
+                thread-order independent and supports sharded execution"
+    )]
     pub fn step_epoch(
         &mut self,
         load_for: &dyn Fn(VmId) -> f64,
         rng: &mut StdRng,
     ) -> Vec<VmEpochReport> {
+        let seed = ClusterSeed::new(rng.next_u64());
         let epoch = self.epoch;
         let mut reports = Vec::new();
         for machine in self.machines.iter_mut() {
-            reports.extend(machine.step_epoch(epoch, load_for, rng));
+            reports.extend(machine.step_epoch(epoch, load_for, seed));
         }
         self.epoch += 1;
         reports
@@ -258,11 +304,12 @@ impl std::fmt::Debug for Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::EpochEngine;
     use rand::SeedableRng;
     use workloads::{AppId, ClientEmulator, DataServing, MemoryStress};
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(5)
+    fn engine() -> EpochEngine {
+        EpochEngine::serial(ClusterSeed::new(5))
     }
 
     fn serving_vm(id: u64) -> Vm {
@@ -405,11 +452,56 @@ mod tests {
         let mut c = cluster(2);
         c.place_on(PmId(0), serving_vm(1)).unwrap();
         c.place_on(PmId(1), serving_vm(2)).unwrap();
-        let reports = c.step_epoch(&|_| 0.7, &mut rng());
+        let reports = engine().step(&mut c, |_| 0.7);
         assert_eq!(reports.len(), 2);
         assert_eq!(c.epoch(), 1);
-        let second = c.step_epoch(&|_| 0.7, &mut rng());
+        let second = engine().step(&mut c, |_| 0.7);
         assert_eq!(second[0].epoch, 1);
+    }
+
+    #[test]
+    fn heterogeneous_builds_groups_in_order_with_sequential_ids() {
+        let c = Cluster::heterogeneous(
+            &[
+                (MachineSpec::xeon_x5472(), 2),
+                (MachineSpec::core_i7_nehalem(), 3),
+            ],
+            Scheduler::default(),
+        );
+        assert_eq!(c.machines().len(), 5);
+        for (i, m) in c.machines().iter().enumerate() {
+            assert_eq!(m.id, PmId(i as u64));
+        }
+        assert!(c.machines()[..2]
+            .iter()
+            .all(|m| m.spec == MachineSpec::xeon_x5472()));
+        assert!(c.machines()[2..]
+            .iter()
+            .all(|m| m.spec == MachineSpec::core_i7_nehalem()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn heterogeneous_with_no_machines_is_rejected() {
+        Cluster::heterogeneous(&[(MachineSpec::xeon_x5472(), 0)], Scheduler::default());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shared_rng_wrapper_still_steps_deterministically() {
+        let run = || {
+            let mut c = cluster(2);
+            c.place_on(PmId(0), serving_vm(1)).unwrap();
+            c.place_on(PmId(1), serving_vm(2)).unwrap();
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut reports = c.step_epoch(&|_| 0.7, &mut rng);
+            reports.extend(c.step_epoch(&|_| 0.7, &mut rng));
+            reports
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "wrapper must stay deterministic per caller seed");
+        assert_eq!(a.len(), 4);
     }
 
     #[test]
@@ -461,10 +553,10 @@ mod tests {
     fn interference_is_visible_in_cluster_reports() {
         let mut c = cluster(1);
         c.place_on(PmId(0), serving_vm(1)).unwrap();
-        let mut r = rng();
-        let baseline = c.step_epoch(&|_| 1.0, &mut r);
+        let engine = engine();
+        let baseline = engine.step(&mut c, |_| 1.0);
         c.place_on(PmId(0), aggressor_vm(2)).unwrap();
-        let contended = c.step_epoch(&|_| 1.0, &mut r);
+        let contended = engine.step(&mut c, |_| 1.0);
         let victim_before = &baseline[0];
         let victim_after = contended.iter().find(|r| r.vm_id == VmId(1)).unwrap();
         assert!(victim_after.achieved_fraction < victim_before.achieved_fraction);

@@ -1,0 +1,362 @@
+//! The epoch engine: serial or sharded-parallel stepping of a cluster.
+//!
+//! [`EpochEngine`] owns the two knobs that used to be implicit in
+//! `Cluster::step_epoch`: the RNG policy (a [`ClusterSeed`] deriving an
+//! independent stream per `(vm, epoch)`, see [`crate::rngs`]) and the
+//! execution strategy ([`ExecutionMode`]).  Because every VM's demand stream
+//! is a pure function of its id, the epoch and the cluster seed, machines
+//! are data-independent within an epoch — so sharded execution partitions
+//! them into contiguous shards, steps each shard on its own
+//! [`std::thread::scope`] thread, and merges the per-machine reports back in
+//! machine-index order.  Serial and sharded runs are **bit-identical** (the
+//! equivalence proptest at `tests/engine_equivalence.rs` pins this), which
+//! means the thread count is purely a throughput knob, never a results knob.
+
+use crate::cluster::Cluster;
+use crate::pm::{PhysicalMachine, VmEpochReport};
+use crate::rngs::ClusterSeed;
+use crate::vm::VmId;
+
+/// Environment variable read by [`ExecutionMode::from_env`]: `serial` (or
+/// `1`) forces serial stepping, any larger integer selects
+/// `Sharded { threads: n }`, unset/invalid falls back to the machine's
+/// available parallelism.
+pub const THREADS_ENV_VAR: &str = "CLOUDSIM_THREADS";
+
+/// How the engine walks the machines of one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// One thread steps every machine in index order.
+    Serial,
+    /// Machines are split into `threads` contiguous shards, each stepped on
+    /// its own scoped thread; reports are merged in machine-index order so
+    /// the output is bit-identical to [`ExecutionMode::Serial`].
+    Sharded {
+        /// Number of shards/worker threads (clamped to the machine count; a
+        /// value of 0 or 1 degenerates to serial stepping).
+        threads: usize,
+    },
+}
+
+impl ExecutionMode {
+    /// Resolves the mode from the [`THREADS_ENV_VAR`] environment variable,
+    /// defaulting to `Sharded { threads: available_parallelism }`.
+    ///
+    /// This is the benches' thread-count matrix knob; tests that pin exact
+    /// values should construct [`ExecutionMode::Serial`] explicitly instead
+    /// (the results are bit-identical either way — serial merely avoids
+    /// paying thread spawns for tiny clusters).
+    pub fn from_env() -> Self {
+        match std::env::var(THREADS_ENV_VAR) {
+            Ok(v) if v.trim().eq_ignore_ascii_case("serial") => ExecutionMode::Serial,
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(0) | Err(_) => Self::available_parallelism(),
+                Ok(1) => ExecutionMode::Serial,
+                Ok(n) => ExecutionMode::Sharded { threads: n },
+            },
+            Err(_) => Self::available_parallelism(),
+        }
+    }
+
+    /// `Sharded` over every hardware thread the OS grants this process
+    /// (`Serial` on single-core machines).
+    pub fn available_parallelism() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if threads <= 1 {
+            ExecutionMode::Serial
+        } else {
+            ExecutionMode::Sharded { threads }
+        }
+    }
+
+    /// Worker threads actually used for a fleet of `machines` machines.
+    fn effective_threads(self, machines: usize) -> usize {
+        match self {
+            ExecutionMode::Serial => 1,
+            ExecutionMode::Sharded { threads } => threads.clamp(1, machines.max(1)),
+        }
+    }
+}
+
+/// Steps a [`Cluster`] through epochs under a fixed seed and execution mode.
+///
+/// The engine is deliberately separate from the cluster: the cluster owns
+/// *state* (machines, placements, the epoch counter), the engine owns
+/// *policy* (seed derivation and parallelism), so one cluster can be driven
+/// serially in a test and sharded in a capacity run without touching its
+/// construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochEngine {
+    seed: ClusterSeed,
+    mode: ExecutionMode,
+}
+
+impl EpochEngine {
+    /// Creates an engine with an explicit execution mode.
+    pub const fn new(seed: ClusterSeed, mode: ExecutionMode) -> Self {
+        Self { seed, mode }
+    }
+
+    /// Serial engine — the right default for tests and small clusters.
+    pub const fn serial(seed: ClusterSeed) -> Self {
+        Self::new(seed, ExecutionMode::Serial)
+    }
+
+    /// Engine honouring the [`THREADS_ENV_VAR`] knob (default: all cores).
+    pub fn from_env(seed: ClusterSeed) -> Self {
+        Self::new(seed, ExecutionMode::from_env())
+    }
+
+    /// The cluster seed every stream derives from.
+    pub const fn seed(&self) -> ClusterSeed {
+        self.seed
+    }
+
+    /// The execution mode in force.
+    pub const fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Switches execution mode (results are unaffected — bit-identical).
+    pub fn set_mode(&mut self, mode: ExecutionMode) {
+        self.mode = mode;
+    }
+
+    /// Advances every machine one epoch and returns all per-VM reports, in
+    /// machine-index order (and placement order within a machine) regardless
+    /// of execution mode.
+    ///
+    /// `load_for` maps a VM to its offered load for this epoch (driven by
+    /// the trace substrate); the `Sync` bound is what lets shards evaluate
+    /// it concurrently.
+    pub fn step<F>(&self, cluster: &mut Cluster, load_for: F) -> Vec<VmEpochReport>
+    where
+        F: Fn(VmId) -> f64 + Sync,
+    {
+        self.step_epochs(cluster, 1, |_, vm| load_for(vm))
+            .pop()
+            .expect("one epoch requested, one report batch returned")
+    }
+
+    /// Advances the cluster `epochs` epochs in one call and returns the
+    /// reports of each epoch (outer index: epoch offset; inner order: the
+    /// same machine-then-placement order [`EpochEngine::step`] produces).
+    ///
+    /// Bit-identical to calling [`EpochEngine::step`] `epochs` times — but
+    /// in sharded mode every worker thread is spawned **once per batch**
+    /// instead of once per epoch, amortising thread-churn across the batch
+    /// (machines are independent across epochs as well as within one, so a
+    /// shard can run its machines all the way to the horizon).  Use this
+    /// whenever nothing needs to mutate the cluster between epochs — batch
+    /// capacity sweeps, warm-up phases, throughput measurement; the
+    /// controller loop, which migrates VMs between epochs, must keep
+    /// calling [`EpochEngine::step`].
+    ///
+    /// `load_for` receives the absolute epoch index alongside the VM, so
+    /// trace-driven loads stay expressible.
+    pub fn step_epochs<F>(
+        &self,
+        cluster: &mut Cluster,
+        epochs: usize,
+        load_for: F,
+    ) -> Vec<Vec<VmEpochReport>>
+    where
+        F: Fn(u64, VmId) -> f64 + Sync,
+    {
+        let first_epoch = cluster.epoch();
+        let seed = self.seed;
+        let machines = cluster.machines_mut();
+        let threads = self.mode.effective_threads(machines.len());
+
+        let step_shard = |shard: &mut [PhysicalMachine]| -> Vec<Vec<VmEpochReport>> {
+            let mut per_epoch: Vec<Vec<VmEpochReport>> = (0..epochs).map(|_| Vec::new()).collect();
+            for (offset, out) in per_epoch.iter_mut().enumerate() {
+                let epoch = first_epoch + offset as u64;
+                for machine in shard.iter_mut() {
+                    out.extend(machine.step_epoch(epoch, &|vm| load_for(epoch, vm), seed));
+                }
+            }
+            per_epoch
+        };
+
+        let reports = if threads <= 1 {
+            step_shard(machines)
+        } else {
+            // Contiguous shards preserve machine order; the first shard runs
+            // on the calling thread while the spawned ones work, and merging
+            // in spawn order restores the serial report order exactly.
+            let shard_len = machines.len().div_ceil(threads);
+            let mut shards = machines.chunks_mut(shard_len);
+            let first = shards.next().expect("cluster has at least one machine");
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .map(|shard| scope.spawn(|| step_shard(shard)))
+                    .collect();
+                let mut merged = step_shard(first);
+                for handle in handles {
+                    let shard_epochs = handle.join().expect("shard thread panicked");
+                    for (into, from) in merged.iter_mut().zip(shard_epochs) {
+                        into.extend(from);
+                    }
+                }
+                merged
+            })
+        };
+        for _ in 0..epochs {
+            cluster.advance_epoch();
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pm::PmId;
+    use crate::scheduler::Scheduler;
+    use crate::vm::Vm;
+    use hwsim::MachineSpec;
+    use workloads::{AppId, ClientEmulator, DataServing, MemoryStress};
+
+    fn cluster(machines: usize, vms: usize) -> Cluster {
+        let mut c = Cluster::homogeneous(machines, MachineSpec::xeon_x5472(), Scheduler::default());
+        for i in 0..vms {
+            let vm = if i % 3 == 2 {
+                Vm::new(
+                    VmId(i as u64),
+                    Box::new(MemoryStress::new(AppId(50), 256.0)),
+                    ClientEmulator::new(1.0, 1.0),
+                )
+            } else {
+                Vm::new(
+                    VmId(i as u64),
+                    Box::new(DataServing::with_defaults(AppId(1))),
+                    ClientEmulator::new(8_000.0, 4.0),
+                )
+            };
+            c.place_first_fit(vm).expect("cluster has room");
+        }
+        c
+    }
+
+    fn run(mode: ExecutionMode, epochs: usize) -> Vec<VmEpochReport> {
+        let mut c = cluster(5, 12);
+        let engine = EpochEngine::new(ClusterSeed::new(7), mode);
+        let mut all = Vec::new();
+        for _ in 0..epochs {
+            all.extend(engine.step(&mut c, |vm| 0.4 + 0.05 * (vm.0 % 5) as f64));
+        }
+        all
+    }
+
+    #[test]
+    fn serial_and_sharded_are_bit_identical() {
+        let serial = run(ExecutionMode::Serial, 4);
+        for threads in [1, 2, 3, 8, 64] {
+            let sharded = run(ExecutionMode::Sharded { threads }, 4);
+            assert_eq!(serial, sharded, "divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn step_advances_the_cluster_epoch() {
+        let mut c = cluster(2, 2);
+        let engine = EpochEngine::serial(ClusterSeed::new(1));
+        assert_eq!(c.epoch(), 0);
+        let first = engine.step(&mut c, |_| 0.7);
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].epoch, 0);
+        let second = engine.step(&mut c, |_| 0.7);
+        assert_eq!(second[0].epoch, 1);
+    }
+
+    #[test]
+    fn reports_come_back_in_machine_then_placement_order() {
+        let mut c = cluster(3, 9);
+        let expected: Vec<(PmId, VmId)> = c
+            .machines()
+            .iter()
+            .flat_map(|m| m.vms().iter().map(|v| (m.id, v.id)))
+            .collect();
+        let engine = EpochEngine::new(ClusterSeed::new(3), ExecutionMode::Sharded { threads: 3 });
+        let reports = engine.step(&mut c, |_| 0.8);
+        let got: Vec<(PmId, VmId)> = reports.iter().map(|r| (r.pm_id, r.vm_id)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn demand_streams_do_not_depend_on_placement() {
+        // The same VM ids spread across different machine counts must draw
+        // identical demands each epoch: the stream belongs to the VM, not to
+        // its host or its neighbours.
+        let engine = EpochEngine::serial(ClusterSeed::new(11));
+        let mut narrow = cluster(1, 4); // all four VMs packed on one machine
+                                        // Same four VM ids (and workloads), one per machine, reverse order.
+        let mut wide = Cluster::homogeneous(4, MachineSpec::xeon_x5472(), Scheduler::default());
+        for i in 0..4u64 {
+            let vm = if i % 3 == 2 {
+                Vm::new(
+                    VmId(i),
+                    Box::new(MemoryStress::new(AppId(50), 256.0)),
+                    ClientEmulator::new(1.0, 1.0),
+                )
+            } else {
+                Vm::new(
+                    VmId(i),
+                    Box::new(DataServing::with_defaults(AppId(1))),
+                    ClientEmulator::new(8_000.0, 4.0),
+                )
+            };
+            wide.place_on(PmId(3 - i), vm).expect("empty machine");
+        }
+        for _ in 0..3 {
+            let mut packed = engine.step(&mut narrow, |_| 0.9);
+            let mut spread = engine.step(&mut wide, |_| 0.9);
+            packed.sort_by_key(|r| r.vm_id);
+            spread.sort_by_key(|r| r.vm_id);
+            for (a, b) in packed.iter().zip(&spread) {
+                assert_eq!(a.vm_id, b.vm_id);
+                assert_eq!(a.demand, b.demand, "demand stream moved with placement");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_stepping_is_bit_identical_to_repeated_step() {
+        let load = |epoch: u64, vm: VmId| 0.3 + 0.04 * ((epoch + vm.0) % 9) as f64;
+        // Reference: one step() call per epoch, serial.
+        let mut reference = cluster(5, 12);
+        let serial = EpochEngine::serial(ClusterSeed::new(21));
+        let per_step: Vec<Vec<VmEpochReport>> = (0..6)
+            .map(|_| {
+                let epoch = reference.epoch();
+                serial.step(&mut reference, |vm| load(epoch, vm))
+            })
+            .collect();
+        for mode in [
+            ExecutionMode::Serial,
+            ExecutionMode::Sharded { threads: 2 },
+            ExecutionMode::Sharded { threads: 8 },
+        ] {
+            let mut c = cluster(5, 12);
+            let engine = EpochEngine::new(ClusterSeed::new(21), mode);
+            // Split the horizon across two batches to exercise the resume.
+            let mut batched = engine.step_epochs(&mut c, 2, load);
+            batched.extend(engine.step_epochs(&mut c, 4, load));
+            assert_eq!(c.epoch(), 6);
+            assert_eq!(per_step, batched, "batched divergence under {mode:?}");
+        }
+    }
+
+    #[test]
+    fn mode_accessors_round_trip() {
+        let mut engine = EpochEngine::serial(ClusterSeed::new(4));
+        assert_eq!(engine.mode(), ExecutionMode::Serial);
+        assert_eq!(engine.seed(), ClusterSeed::new(4));
+        engine.set_mode(ExecutionMode::Sharded { threads: 4 });
+        assert_eq!(engine.mode(), ExecutionMode::Sharded { threads: 4 });
+    }
+}

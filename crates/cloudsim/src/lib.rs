@@ -14,8 +14,16 @@
 //!   yields per-VM reports (counters + client-side ground truth).
 //! * [`scheduler`] — vCPU/cache-group placement policies (packed vs spread)
 //!   and admission checks.
-//! * [`cluster`] — the datacenter: a set of PMs, global epoch stepping and
-//!   VM migration.
+//! * [`cluster`] — the datacenter: a set of PMs (homogeneous or mixed
+//!   hardware) and VM migration.
+//! * [`rngs`] — [`rngs::ClusterSeed`]: counter-based derivation of one
+//!   independent RNG stream per `(vm, epoch)`, making every VM's demand
+//!   sequence a pure function of its id, the epoch and the cluster seed —
+//!   independent of placement and stepping order.
+//! * [`engine`] — [`engine::EpochEngine`]: epoch stepping as a policy
+//!   object, either [`engine::ExecutionMode::Serial`] or
+//!   [`engine::ExecutionMode::Sharded`] across scoped threads, with
+//!   bit-identical output in every mode.
 //! * [`proxy`] — records each VM's offered load / demand stream so it can be
 //!   replayed, mimicking the request-duplicating proxy of §4.2.
 //! * [`sandbox`] — the sandboxed environment: dedicated machines on which a
@@ -28,16 +36,20 @@
 //! breakdowns in the same struct are evaluation-only ground truth.
 
 pub mod cluster;
+pub mod engine;
 pub mod migration;
 pub mod pm;
 pub mod proxy;
+pub mod rngs;
 pub mod sandbox;
 pub mod scheduler;
 pub mod vm;
 
 pub use cluster::Cluster;
+pub use engine::{EpochEngine, ExecutionMode};
 pub use pm::{PhysicalMachine, PmId, VmEpochReport};
 pub use proxy::RequestProxy;
+pub use rngs::ClusterSeed;
 pub use sandbox::Sandbox;
 pub use scheduler::{PlacementPolicy, Scheduler};
 pub use vm::{Vm, VmId};

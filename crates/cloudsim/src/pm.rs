@@ -10,9 +10,9 @@
 
 use hwsim::contention::{EpochOutcome, PlacedDemand, StallBreakdown};
 use hwsim::{CounterSnapshot, EpochResolver, MachineSpec, ResourceDemand, EPOCH_SECONDS};
-use rand::rngs::StdRng;
 use workloads::{AppId, ClientObservation};
 
+use crate::rngs::ClusterSeed;
 use crate::scheduler::Scheduler;
 use crate::vm::{Vm, VmId};
 
@@ -123,6 +123,17 @@ impl PhysicalMachine {
 
     /// Removes and returns a VM (for migration); `None` if it is not here.
     /// Crate-private for the same reason as [`PhysicalMachine::try_add_vm`].
+    ///
+    /// The linear `position` scan plus order-preserving `Vec::remove` is
+    /// deliberate, not an oversight: admission control bounds a machine to
+    /// `spec.cores / vcpus` VMs (four 2-vCPU VMs on the Xeon X5472, eight on
+    /// anything realistic), and the `cluster_throughput` bench's migration-
+    /// churn measurement drives millions of migrations/sec through this path
+    /// — many orders of magnitude beyond any plausible migration rate, so
+    /// the scan never shows up in a profile.  A `swap_remove` or an id→slot
+    /// index would be no faster at this VM count and would either reshuffle
+    /// placement order (which feeds `Scheduler::cache_group_for_slot`) or
+    /// add bookkeeping to every placement.
     pub(crate) fn remove_vm(&mut self, vm_id: VmId) -> Option<Vm> {
         let idx = self.vms.iter().position(|v| v.id == vm_id)?;
         Some(self.vms.remove(idx))
@@ -137,23 +148,33 @@ impl PhysicalMachine {
     /// Advances the machine one epoch.
     ///
     /// `load_for` maps each VM id to its offered load for this epoch (the
-    /// trace-driven client intensity); VMs missing from the map run at full
-    /// load.  Returns one report per hosted VM, in placement order.
-    pub fn step_epoch(
+    /// trace-driven client intensity).  Each VM draws its demand from its
+    /// own `(vm, epoch)` stream derived from `seed`, so the reports are a
+    /// pure function of `(seed, epoch, loads, placement)` — independent of
+    /// how many other machines exist or the order they are stepped in, which
+    /// is what lets [`crate::engine::EpochEngine`] step machines on
+    /// concurrent shards.  Returns one report per hosted VM, in placement
+    /// order.
+    pub fn step_epoch<F>(
         &mut self,
         epoch: u64,
-        load_for: &dyn Fn(VmId) -> f64,
-        rng: &mut StdRng,
-    ) -> Vec<VmEpochReport> {
+        load_for: &F,
+        seed: ClusterSeed,
+    ) -> Vec<VmEpochReport>
+    where
+        F: Fn(VmId) -> f64 + ?Sized,
+    {
         if self.vms.is_empty() {
             return Vec::new();
         }
-        // 1. Collect intrinsic demands from every workload.
+        // 1. Collect intrinsic demands from every workload, each from its
+        // own per-(vm, epoch) stream.
         self.loads.clear();
         self.demands.clear();
         for vm in self.vms.iter_mut() {
             let load = load_for(vm.id).clamp(0.0, 1.0);
-            let demand = vm.workload.next_demand(load, rng);
+            let mut rng = seed.vm_epoch_rng(vm.id, epoch);
+            let demand = vm.workload.next_demand(load, &mut rng);
             self.loads.push(load);
             self.demands.push(demand);
         }
@@ -218,11 +239,10 @@ impl std::fmt::Debug for PhysicalMachine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use workloads::{ClientEmulator, DataServing, MemoryStress};
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(99)
+    fn seed() -> ClusterSeed {
+        ClusterSeed::new(99)
     }
 
     fn serving_vm(id: u64) -> Vm {
@@ -248,7 +268,7 @@ mod tests {
     #[test]
     fn empty_machine_steps_to_empty_report() {
         let mut pm = machine();
-        assert!(pm.step_epoch(0, &|_| 1.0, &mut rng()).is_empty());
+        assert!(pm.step_epoch(0, &|_| 1.0, seed()).is_empty());
     }
 
     #[test]
@@ -271,7 +291,7 @@ mod tests {
     fn solo_vm_reports_healthy_performance() {
         let mut pm = machine();
         pm.try_add_vm(serving_vm(1)).unwrap();
-        let reports = pm.step_epoch(0, &|_| 0.8, &mut rng());
+        let reports = pm.step_epoch(0, &|_| 0.8, seed());
         assert_eq!(reports.len(), 1);
         let r = &reports[0];
         assert_eq!(r.vm_id, VmId(1));
@@ -285,12 +305,12 @@ mod tests {
     fn colocated_aggressor_degrades_the_victim() {
         let mut solo = machine();
         solo.try_add_vm(serving_vm(1)).unwrap();
-        let solo_reports = solo.step_epoch(0, &|_| 1.0, &mut rng());
+        let solo_reports = solo.step_epoch(0, &|_| 1.0, seed());
 
         let mut shared = machine();
         shared.try_add_vm(serving_vm(1)).unwrap();
         shared.try_add_vm(aggressor_vm(2, 512.0)).unwrap();
-        let shared_reports = shared.step_epoch(0, &|_| 1.0, &mut rng());
+        let shared_reports = shared.step_epoch(0, &|_| 1.0, seed());
 
         let baseline = &solo_reports[0];
         let victim = &shared_reports[0];
@@ -307,7 +327,7 @@ mod tests {
         let mut pm = machine();
         pm.try_add_vm(serving_vm(1)).unwrap();
         pm.try_add_vm(serving_vm(2)).unwrap();
-        let reports = pm.step_epoch(0, &|id| if id == VmId(1) { 1.0 } else { 0.2 }, &mut rng());
+        let reports = pm.step_epoch(0, &|id| if id == VmId(1) { 1.0 } else { 0.2 }, seed());
         assert!(reports[0].demand.instructions > 3.0 * reports[1].demand.instructions);
         assert!((reports[0].offered_load - 1.0).abs() < 1e-12);
         assert!((reports[1].offered_load - 0.2).abs() < 1e-12);
@@ -317,7 +337,7 @@ mod tests {
     fn reports_carry_the_epoch_index() {
         let mut pm = machine();
         pm.try_add_vm(serving_vm(1)).unwrap();
-        let reports = pm.step_epoch(17, &|_| 1.0, &mut rng());
+        let reports = pm.step_epoch(17, &|_| 1.0, seed());
         assert_eq!(reports[0].epoch, 17);
     }
 }

@@ -52,6 +52,16 @@ impl IsolationRun {
 }
 
 /// A pool of dedicated profiling machines.
+///
+/// The pool is homogeneous: isolation counters are only directly comparable
+/// to production counters when the clone runs on the *same hardware model*
+/// as the production host (the paper's testbed is uniform, §5.1).  On a
+/// [`crate::Cluster::heterogeneous`] fleet, analyses of VMs hosted on a
+/// model different from `spec` carry a systematic bias — e.g. a VM on a
+/// Core i7 node replayed in a Xeon sandbox compares across clock rates and
+/// memory systems.  Spec-aware sandbox pools (one per machine model in the
+/// fleet) are the ROADMAP follow-up; until then, keep analyzed tenants on
+/// machines matching the sandbox spec.
 #[derive(Debug, Clone)]
 pub struct Sandbox {
     /// Hardware model of the profiling machines (same as production, so that

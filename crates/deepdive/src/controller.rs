@@ -447,7 +447,7 @@ impl DeepDive {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cloudsim::Scheduler;
+    use cloudsim::{ClusterSeed, EpochEngine, Scheduler};
     use hwsim::MachineSpec;
     use workloads::{ClientEmulator, DataServing, MemoryStress};
 
@@ -476,17 +476,17 @@ mod tests {
         DeepDive::new(config, Sandbox::xeon_pool(4))
     }
 
-    /// Runs `epochs` epochs and returns all events.
+    /// Runs `epochs` epochs through `engine` and returns all events.
     fn run(
         cluster: &mut Cluster,
         deepdive: &mut DeepDive,
+        engine: &EpochEngine,
         epochs: usize,
         load: f64,
-        rng: &mut StdRng,
     ) -> Vec<EpochEvent> {
         let mut events = Vec::new();
         for _ in 0..epochs {
-            let reports = cluster.step_epoch(&|_| load, rng);
+            let reports = engine.step(cluster, |_| load);
             events.extend(deepdive.process_epoch(cluster, &reports));
         }
         events
@@ -497,8 +497,8 @@ mod tests {
         let mut cluster = Cluster::homogeneous(1, MachineSpec::xeon_x5472(), Scheduler::default());
         cluster.place_on(PmId(0), serving_vm(1, 1)).unwrap();
         let mut dd = controller(false);
-        let mut rng = StdRng::seed_from_u64(2);
-        run(&mut cluster, &mut dd, 60, 0.8, &mut rng);
+        let engine = EpochEngine::serial(ClusterSeed::new(2));
+        run(&mut cluster, &mut dd, &engine, 60, 0.8);
         let stats = dd.stats();
         assert!(
             stats.analyzer_invocations >= 1,
@@ -514,7 +514,7 @@ mod tests {
         );
         // Once learned, further quiet epochs must not trigger the analyzer.
         let before = dd.stats().analyzer_invocations;
-        run(&mut cluster, &mut dd, 40, 0.8, &mut rng);
+        run(&mut cluster, &mut dd, &engine, 40, 0.8);
         let after = dd.stats().analyzer_invocations;
         assert!(
             after - before <= 1,
@@ -527,13 +527,13 @@ mod tests {
         let mut cluster = Cluster::homogeneous(2, MachineSpec::xeon_x5472(), Scheduler::default());
         cluster.place_on(PmId(0), serving_vm(1, 1)).unwrap();
         let mut dd = controller(true);
-        let mut rng = StdRng::seed_from_u64(3);
+        let engine = EpochEngine::serial(ClusterSeed::new(3));
         // Learn normal behaviour first.
-        run(&mut cluster, &mut dd, 50, 0.8, &mut rng);
+        run(&mut cluster, &mut dd, &engine, 50, 0.8);
         let confirmed_before = dd.stats().interference_confirmed;
         // Inject a cache aggressor next to the victim.
         cluster.place_on(PmId(0), aggressor_vm(99)).unwrap();
-        let events = run(&mut cluster, &mut dd, 40, 0.8, &mut rng);
+        let events = run(&mut cluster, &mut dd, &engine, 40, 0.8);
         let stats = dd.stats();
         assert!(
             stats.interference_confirmed > confirmed_before,
@@ -552,11 +552,11 @@ mod tests {
         let mut cluster = Cluster::homogeneous(1, MachineSpec::xeon_x5472(), Scheduler::default());
         cluster.place_on(PmId(0), serving_vm(1, 1)).unwrap();
         let mut dd = controller(false);
-        let mut rng = StdRng::seed_from_u64(4);
-        run(&mut cluster, &mut dd, 40, 0.8, &mut rng);
+        let engine = EpochEngine::serial(ClusterSeed::new(4));
+        run(&mut cluster, &mut dd, &engine, 40, 0.8);
         let after_learning = dd.stats().profiling_seconds;
         assert!(after_learning > 0.0);
-        run(&mut cluster, &mut dd, 40, 0.8, &mut rng);
+        run(&mut cluster, &mut dd, &engine, 40, 0.8);
         let later = dd.stats().profiling_seconds;
         // Nearly flat once normal behaviour is known (Fig. 12's plateau).
         assert!(later - after_learning <= after_learning * 0.5 + 1e-9);
@@ -572,11 +572,11 @@ mod tests {
             cluster.place_first_fit(serving_vm(i, 1)).unwrap();
         }
         let mut dd = controller(false);
-        let mut rng = StdRng::seed_from_u64(5);
-        run(&mut cluster, &mut dd, 40, 0.8, &mut rng);
+        let engine = EpochEngine::serial(ClusterSeed::new(5));
+        run(&mut cluster, &mut dd, &engine, 40, 0.8);
         let before = dd.stats();
         // A qualitative change: load jumps for every instance simultaneously.
-        run(&mut cluster, &mut dd, 10, 0.3, &mut rng);
+        run(&mut cluster, &mut dd, &engine, 10, 0.3);
         let after = dd.stats();
         assert!(
             after.global_matches > before.global_matches

@@ -31,10 +31,9 @@
 //! ## Quick start
 //!
 //! ```
-//! use cloudsim::{Cluster, Sandbox, Scheduler, Vm, VmId, PmId};
+//! use cloudsim::{Cluster, ClusterSeed, EpochEngine, Sandbox, Scheduler, Vm, VmId, PmId};
 //! use deepdive::controller::{DeepDive, DeepDiveConfig};
 //! use hwsim::MachineSpec;
-//! use rand::SeedableRng;
 //! use workloads::{AppId, ClientEmulator, DataServing, MemoryStress};
 //!
 //! // A one-machine cloud with a victim and a cache-thrashing aggressor.
@@ -46,11 +45,13 @@
 //! )).unwrap();
 //!
 //! let mut deepdive = DeepDive::new(DeepDiveConfig::default(), Sandbox::xeon_pool(2));
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! // One seed determines every VM's demand stream; the engine can also run
+//! // `ExecutionMode::Sharded { threads }` with bit-identical results.
+//! let engine = EpochEngine::serial(ClusterSeed::new(1));
 //!
 //! // Learn normal behaviour for a while...
 //! for _ in 0..30 {
-//!     let reports = cluster.step_epoch(&|_| 0.8, &mut rng);
+//!     let reports = engine.step(&mut cluster, |_| 0.8);
 //!     deepdive.process_epoch(&mut cluster, &reports);
 //! }
 //! // ...then interference can be injected and will be detected and mitigated.

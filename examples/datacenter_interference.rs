@@ -1,27 +1,43 @@
 //! A trace-driven datacenter run: diurnal load, episodic interference, and
 //! DeepDive managing it end to end.
 //!
-//! Five Xeon machines host Data Serving, Web Search and Data Analytics VMs.
-//! Client load follows a HotMail-style diurnal trace; EC2-style interference
-//! episodes inject a memory-stress aggressor next to the Data Serving VM.
-//! DeepDive detects each episode, attributes it, and migrates the aggressor;
-//! the run ends with a report of detections, false alarms, migrations and
-//! profiling overhead.
+//! A mixed fleet — three Xeon X5472 machines plus two Core i7/Nehalem nodes
+//! (the paper's §4.4 port) — hosts Data Serving, Web Search and Data
+//! Analytics VMs.  Client load follows a HotMail-style diurnal trace;
+//! EC2-style interference episodes inject a memory-stress aggressor next to
+//! the Data Serving VM.  DeepDive detects each episode, attributes it, and
+//! migrates the aggressor; the run ends with a report of detections, false
+//! alarms, migrations and profiling overhead.  Epochs are stepped by an
+//! `EpochEngine` honouring the `CLOUDSIM_THREADS` knob (serial and sharded
+//! runs print identical numbers).
 //!
 //! Run with: `cargo run --release --example datacenter_interference`
 
-use cloudsim::{Cluster, PmId, Sandbox, Scheduler, Vm, VmId};
+use cloudsim::{Cluster, ClusterSeed, EpochEngine, PmId, Sandbox, Scheduler, Vm, VmId};
 use deepdive::controller::{DeepDive, DeepDiveConfig, EpochEvent};
 use hwsim::MachineSpec;
-use rand::SeedableRng;
 use traces::{InterferenceSchedule, LoadTrace};
 use workloads::{AppId, ClientEmulator, DataAnalytics, DataServing, MemoryStress, WebSearch};
 
 const EPOCHS_PER_HOUR: usize = 4;
 
 fn main() {
-    let mut cluster = Cluster::homogeneous(5, MachineSpec::xeon_x5472(), Scheduler::default());
-    // Tenants: a key-value store, a search node and two analytics workers.
+    // Three Xeon machines (pm-0..2) extended with two Core i7 nodes (pm-3,
+    // pm-4): one datacenter generation does not retire when the next lands.
+    let mut cluster = Cluster::heterogeneous(
+        &[
+            (MachineSpec::xeon_x5472(), 3),
+            (MachineSpec::core_i7_nehalem(), 2),
+        ],
+        Scheduler::default(),
+    );
+    // Tenants: a key-value store, a search node and two analytics workers
+    // (the analytics pair lands on the i7 nodes).  Note the known limit:
+    // the sandbox pool below is Xeon, so analyses of i7-hosted VMs compare
+    // counters across machine models and their degradation estimates are
+    // biased — the interference episodes in this run all target the
+    // Xeon-hosted Data Serving VM, where isolation replay is exact.
+    // Spec-aware sandbox pools are a ROADMAP open item.
     cluster
         .place_on(
             PmId(0),
@@ -44,7 +60,7 @@ fn main() {
         .unwrap();
     cluster
         .place_on(
-            PmId(2),
+            PmId(3),
             Vm::new(
                 VmId(3),
                 Box::new(DataAnalytics::worker(AppId(3))),
@@ -54,7 +70,7 @@ fn main() {
         .unwrap();
     cluster
         .place_on(
-            PmId(2),
+            PmId(4),
             Vm::new(
                 VmId(4),
                 Box::new(DataAnalytics::worker(AppId(3))),
@@ -66,7 +82,9 @@ fn main() {
     let trace = LoadTrace::diurnal(3, 0.3, 0.9, 7);
     let schedule = InterferenceSchedule::generate(3, 2, 2 * 3_600, 4 * 3_600, 11);
     println!(
-        "three-day run, {} interference episodes scheduled, {:.0}% of the time under interference",
+        "three-day run on a {}-machine mixed Xeon+i7 fleet, {} interference episodes scheduled, \
+         {:.0}% of the time under interference",
+        cluster.machines().len(),
         schedule.episodes.len(),
         schedule.coverage() * 100.0
     );
@@ -77,7 +95,9 @@ fn main() {
         ..DeepDiveConfig::default()
     };
     let mut deepdive = DeepDive::new(config, Sandbox::xeon_pool(4));
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    // CLOUDSIM_THREADS picks the execution mode; results are bit-identical
+    // across serial and any shard count.
+    let engine = EpochEngine::from_env(ClusterSeed::new(3));
 
     let mut aggressor_placed = false;
     for hour in 0..72usize {
@@ -108,7 +128,7 @@ fn main() {
             println!("hour {hour:2}: interference episode ends (aggressor terminated)");
         }
         for _ in 0..EPOCHS_PER_HOUR {
-            let reports = cluster.step_epoch(&|_| load, &mut rng);
+            let reports = engine.step(&mut cluster, |_| load);
             for event in deepdive.process_epoch(&mut cluster, &reports) {
                 match event {
                     EpochEvent::Analyzed { vm, result, .. } if result.interference_confirmed => {

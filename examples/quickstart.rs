@@ -8,10 +8,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use cloudsim::{Cluster, PmId, Sandbox, Scheduler, Vm, VmId};
+use cloudsim::{Cluster, ClusterSeed, EpochEngine, PmId, Sandbox, Scheduler, Vm, VmId};
 use deepdive::controller::{DeepDive, DeepDiveConfig, EpochEvent};
 use hwsim::MachineSpec;
-use rand::SeedableRng;
 use workloads::{AppId, ClientEmulator, DataServing, MemoryStress};
 
 fn main() {
@@ -29,11 +28,13 @@ fn main() {
         .expect("machine 0 is empty");
 
     let mut deepdive = DeepDive::new(DeepDiveConfig::default(), Sandbox::xeon_pool(2));
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    // One cluster seed drives every VM's demand stream; serial stepping is
+    // plenty for two machines (Sharded mode would be bit-identical anyway).
+    let engine = EpochEngine::serial(ClusterSeed::new(42));
 
     println!("== phase 1: learning normal behaviour (no interference) ==");
     for epoch in 0..50 {
-        let reports = cluster.step_epoch(&|_| 0.8, &mut rng);
+        let reports = engine.step(&mut cluster, |_| 0.8);
         let events = deepdive.process_epoch(&mut cluster, &reports);
         for event in events {
             if let EpochEvent::Analyzed { vm, result, .. } = event {
@@ -68,7 +69,7 @@ fn main() {
         .expect("machine 0 still has two free cores");
 
     for epoch in 50..100 {
-        let reports = cluster.step_epoch(&|_| 0.8, &mut rng);
+        let reports = engine.step(&mut cluster, |_| 0.8);
         let victim = reports.iter().find(|r| r.vm_id == VmId(1)).unwrap();
         let events = deepdive.process_epoch(&mut cluster, &reports);
         for event in events {

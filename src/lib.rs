@@ -49,26 +49,51 @@
 //! repository-level `examples/` and `tests/` can exercise the whole system
 //! through one dependency.
 //!
-//! # The epoch-resolution hot path
+//! # The epoch-stepping hot path
 //!
 //! Everything the simulation does funnels through resolving one epoch of
-//! hardware contention per machine, so that pipeline is built for reuse:
-//! `hwsim::EpochResolver` is a stateful object (one per machine model)
-//! owning every scratch buffer resolution needs — per-cache-group membership
-//! lists, effective-MPKI/miss vectors, per-device outcome buffers — and
-//! exposing `resolve_into(&mut self, placements, epoch_seconds, &mut out)`.
-//! Steady-state resolution performs **zero heap allocations**. The stateless
-//! `hwsim::contention::resolve_epoch` wrappers remain for one-shot callers
-//! and delegate to a thread-local resolver. `cloudsim::pm::PhysicalMachine`
-//! holds its own resolver plus demand/placement buffers across epochs, the
-//! sandbox replayer and `deepdive`'s synthetic-benchmark training/refinement
-//! reuse one resolver across all their solo runs, and `cloudsim::Cluster`
-//! keeps id→index maps so VM location and machine lookups are O(1) per
-//! migration instead of scans. `cargo bench -p bench --bench
-//! resolver_throughput` measures the win (VMs resolved per second, reused vs
-//! pre-refactor allocating path) and dumps `BENCH_resolver.json` at the
-//! workspace root; the refactor is pinned bit-identical to the old pipeline
-//! by `crates/hwsim/tests/resolver_equivalence.rs`.
+//! hardware contention per machine, so that pipeline is built for reuse and
+//! for parallelism:
+//!
+//! * **Allocation-free resolution** — `hwsim::EpochResolver` is a stateful
+//!   object (one per machine model) owning every scratch buffer resolution
+//!   needs — per-cache-group membership lists, effective-MPKI/miss vectors,
+//!   per-device outcome buffers — and exposing
+//!   `resolve_into(&mut self, placements, epoch_seconds, &mut out)`.
+//!   Steady-state resolution performs **zero heap allocations**. The
+//!   stateless `hwsim::contention::resolve_epoch` wrappers remain for
+//!   one-shot callers and delegate to a thread-local resolver.
+//!   `cloudsim::pm::PhysicalMachine` holds its own resolver plus
+//!   demand/placement buffers across epochs; the sandbox replayer and
+//!   `deepdive`'s synthetic-benchmark training reuse one resolver across
+//!   all their solo runs. Measured by `cargo bench -p bench --bench
+//!   resolver_throughput` (dumps `BENCH_resolver.json`); pinned
+//!   bit-identical to the pre-refactor pipeline by
+//!   `crates/hwsim/tests/resolver_equivalence.rs`.
+//! * **Order-independent RNG streams** — `cloudsim::rngs::ClusterSeed`
+//!   derives an independent `StdRng` per `(vm, epoch)` via SplitMix64-style
+//!   hashing of `(cluster seed, vm id, epoch)`, so a VM's demand sequence
+//!   is a pure function of its identity — not of its placement, its
+//!   neighbours, or the order machines are stepped in. A mid-run migration
+//!   cannot perturb any other VM's stream (pinned by
+//!   `tests/engine_equivalence.rs`).
+//! * **The sharded epoch engine** — `cloudsim::engine::EpochEngine` steps a
+//!   cluster under `ExecutionMode::Serial` or `ExecutionMode::Sharded {
+//!   threads }`: contiguous machine shards on `std::thread::scope` threads,
+//!   reports merged in machine-index order, output **bit-identical** across
+//!   all modes (a proptest pins Serial vs `Sharded{2}` vs `Sharded{8}`).
+//!   `EpochEngine::step_epochs` batches a whole epoch horizon into one
+//!   spawn set (machines are independent across epochs too) for callers
+//!   that do not mutate the cluster between epochs.
+//!   The `CLOUDSIM_THREADS` env var selects the mode where callers defer to
+//!   `ExecutionMode::from_env()` (default: all available cores). Measured
+//!   by `cargo bench -p bench --bench cluster_throughput` (64–512-machine
+//!   fleets at real density, serial vs 1/2/4/8 shards, plus migration
+//!   churn; dumps `BENCH_cluster.json` with the runner's
+//!   `available_parallelism` so single-core numbers are not mistaken for
+//!   scaling data).
+//! * **O(1) bookkeeping** — `cloudsim::Cluster` keeps id→index maps so VM
+//!   location and machine lookups are O(1) per migration instead of scans.
 //!
 //! # Test-suite map
 //!
@@ -84,11 +109,17 @@
 //!   contention monotonicity, queueing monotonicity),
 //! * `tests/persistence.rs` — repository JSON round-trip and the §5.5
 //!   "≈5 KB per VM per day" footprint bound,
+//! * `tests/engine_equivalence.rs` — proptest: serial and sharded stepping
+//!   bit-identical over arbitrary placements/loads/epochs, and migrations
+//!   never perturb other VMs' demand streams,
 //! * `crates/bench/tests/figures_smoke.rs` — every figure entry point runs
 //!   under plain `cargo test`, not only under Criterion.
 //!
-//! Everything is seeded: same seed, same counters, same decisions, on every
-//! platform. No test depends on wall-clock time or thread order.
+//! Everything is seeded: a `cloudsim::ClusterSeed` determines every VM's
+//! demand stream per `(vm, epoch)`, so the same seed gives the same
+//! counters and decisions on every platform, at every thread count, under
+//! any placement history. No test depends on wall-clock time or thread
+//! order.
 //!
 //! # Dependency shims
 //!

@@ -2,12 +2,12 @@
 //! the public API, from counter collection to detection, attribution and
 //! migration.
 
-use cloudsim::{Cluster, PmId, Sandbox, Scheduler, Vm, VmId};
+use cloudsim::{
+    Cluster, ClusterSeed, EpochEngine, ExecutionMode, PmId, Sandbox, Scheduler, Vm, VmId,
+};
 use deepdive::controller::{DeepDive, DeepDiveConfig, EpochEvent};
 use deepdive::cpi_stack::Resource;
 use hwsim::MachineSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use workloads::{AppId, ClientEmulator, DataAnalytics, DataServing, MemoryStress, NetworkStress};
 
 fn serving_vm(id: u64) -> Vm {
@@ -21,13 +21,13 @@ fn serving_vm(id: u64) -> Vm {
 fn run_epochs(
     cluster: &mut Cluster,
     deepdive: &mut DeepDive,
+    engine: &EpochEngine,
     epochs: usize,
     load: f64,
-    rng: &mut StdRng,
 ) -> Vec<EpochEvent> {
     let mut events = Vec::new();
     for _ in 0..epochs {
-        let reports = cluster.step_epoch(&|_| load, rng);
+        let reports = engine.step(cluster, |_| load);
         events.extend(deepdive.process_epoch(cluster, &reports));
     }
     events
@@ -40,10 +40,10 @@ fn quiet_cloud_never_migrates_and_profiling_flattens() {
         cluster.place_first_fit(serving_vm(i)).unwrap();
     }
     let mut deepdive = DeepDive::new(DeepDiveConfig::default(), Sandbox::xeon_pool(2));
-    let mut rng = StdRng::seed_from_u64(1);
-    run_epochs(&mut cluster, &mut deepdive, 60, 0.7, &mut rng);
+    let engine = EpochEngine::serial(ClusterSeed::new(1));
+    run_epochs(&mut cluster, &mut deepdive, &engine, 60, 0.7);
     let mid = deepdive.stats();
-    run_epochs(&mut cluster, &mut deepdive, 60, 0.7, &mut rng);
+    run_epochs(&mut cluster, &mut deepdive, &engine, 60, 0.7);
     let end = deepdive.stats();
 
     assert_eq!(end.migrations, 0, "no interference, no migration");
@@ -67,8 +67,8 @@ fn cache_aggressor_is_detected_attributed_and_migrated_away() {
         },
         Sandbox::xeon_pool(2),
     );
-    let mut rng = StdRng::seed_from_u64(2);
-    run_epochs(&mut cluster, &mut deepdive, 50, 0.8, &mut rng);
+    let engine = EpochEngine::serial(ClusterSeed::new(2));
+    run_epochs(&mut cluster, &mut deepdive, &engine, 50, 0.8);
 
     cluster
         .place_on(
@@ -80,7 +80,7 @@ fn cache_aggressor_is_detected_attributed_and_migrated_away() {
             ),
         )
         .unwrap();
-    let events = run_epochs(&mut cluster, &mut deepdive, 40, 0.8, &mut rng);
+    let events = run_epochs(&mut cluster, &mut deepdive, &engine, 40, 0.8);
 
     // Detection with a memory-subsystem culprit.
     let confirmed: Vec<_> = events
@@ -109,7 +109,7 @@ fn cache_aggressor_is_detected_attributed_and_migrated_away() {
     assert!(deepdive.stats().migrations >= 1);
 
     // And once the aggressor is gone, the victim's performance recovers.
-    let reports = cluster.step_epoch(&|_| 0.8, &mut rng);
+    let reports = engine.step(&mut cluster, |_| 0.8);
     let victim = reports.iter().find(|r| r.vm_id == VmId(1)).unwrap();
     assert!(
         victim.achieved_fraction > 0.9,
@@ -138,9 +138,9 @@ fn network_interference_on_analytics_is_attributed_to_the_network() {
         },
         Sandbox::xeon_pool(2),
     );
-    let mut rng = StdRng::seed_from_u64(3);
+    let engine = EpochEngine::serial(ClusterSeed::new(3));
     // Learn through several full map/shuffle/reduce cycles.
-    run_epochs(&mut cluster, &mut deepdive, 60, 0.9, &mut rng);
+    run_epochs(&mut cluster, &mut deepdive, &engine, 60, 0.9);
 
     cluster
         .place_on(
@@ -152,7 +152,7 @@ fn network_interference_on_analytics_is_attributed_to_the_network() {
             ),
         )
         .unwrap();
-    let events = run_epochs(&mut cluster, &mut deepdive, 36, 0.9, &mut rng);
+    let events = run_epochs(&mut cluster, &mut deepdive, &engine, 36, 0.9);
     let culprits: Vec<Resource> = events
         .iter()
         .filter_map(|e| match e {
@@ -187,11 +187,11 @@ fn global_information_reduces_analyzer_invocations_for_shared_load_shifts() {
             },
             Sandbox::xeon_pool(2),
         );
-        let mut rng = StdRng::seed_from_u64(4);
-        run_epochs(&mut cluster, &mut deepdive, 40, 0.8, &mut rng);
+        let engine = EpochEngine::serial(ClusterSeed::new(4));
+        run_epochs(&mut cluster, &mut deepdive, &engine, 40, 0.8);
         let before = deepdive.stats().analyzer_invocations;
         // Simultaneous, qualitative load shift on every instance.
-        run_epochs(&mut cluster, &mut deepdive, 15, 0.25, &mut rng);
+        run_epochs(&mut cluster, &mut deepdive, &engine, 15, 0.25);
         deepdive.stats().analyzer_invocations - before
     };
     let with_global = build(true);
@@ -200,4 +200,53 @@ fn global_information_reduces_analyzer_invocations_for_shared_load_shifts() {
         with_global <= without_global,
         "global information should never need more analyses ({with_global} vs {without_global})"
     );
+}
+
+#[test]
+fn heterogeneous_fleet_detects_and_migrates_across_machine_models() {
+    // A mixed rack (ROADMAP heterogeneous-fleet scenario): two Xeon X5472
+    // machines extended with two Core i7/Nehalem nodes (the §4.4 port),
+    // stepped sharded to exercise the parallel path end to end.
+    let mut cluster = Cluster::heterogeneous(
+        &[
+            (MachineSpec::xeon_x5472(), 2),
+            (MachineSpec::core_i7_nehalem(), 2),
+        ],
+        Scheduler::default(),
+    );
+    assert_eq!(
+        cluster.machine(PmId(3)).unwrap().spec,
+        MachineSpec::core_i7_nehalem(),
+        "the i7 group must actually back the high-numbered machines"
+    );
+    cluster.place_on(PmId(0), serving_vm(1)).unwrap();
+    // A second instance of the same application runs on i7 hardware.
+    cluster.place_on(PmId(2), serving_vm(2)).unwrap();
+
+    let mut deepdive = DeepDive::new(DeepDiveConfig::default(), Sandbox::xeon_pool(2));
+    let engine = EpochEngine::new(ClusterSeed::new(6), ExecutionMode::Sharded { threads: 2 });
+    run_epochs(&mut cluster, &mut deepdive, &engine, 50, 0.8);
+
+    cluster
+        .place_on(
+            PmId(0),
+            Vm::new(
+                VmId(99),
+                Box::new(MemoryStress::new(AppId(900), 512.0)),
+                ClientEmulator::new(1.0, 1.0),
+            ),
+        )
+        .unwrap();
+    run_epochs(&mut cluster, &mut deepdive, &engine, 40, 0.8);
+
+    let stats = deepdive.stats();
+    assert!(
+        stats.interference_confirmed >= 1,
+        "interference on the mixed fleet was never confirmed: {stats:?}"
+    );
+    assert!(stats.migrations >= 1, "no mitigation happened: {stats:?}");
+    // The aggressor left the victim's machine; the victim stayed put.
+    assert_ne!(cluster.locate(VmId(99)), Some(PmId(0)));
+    assert_eq!(cluster.locate(VmId(1)), Some(PmId(0)));
+    assert_eq!(cluster.locate(VmId(2)), Some(PmId(2)));
 }

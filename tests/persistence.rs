@@ -5,13 +5,11 @@
 //! within the "less than 5 KB to record the VM's behavior for the whole day"
 //! budget.
 
-use cloudsim::{Cluster, Sandbox, Scheduler, Vm, VmId};
+use cloudsim::{Cluster, ClusterSeed, EpochEngine, Sandbox, Scheduler, Vm, VmId};
 use deepdive::controller::{DeepDive, DeepDiveConfig};
 use deepdive::metrics::{BehaviorVector, DIMENSIONS};
 use deepdive::repository::BehaviorRepository;
 use hwsim::MachineSpec;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use workloads::{AppId, ClientEmulator, DataAnalytics, DataServing};
 
 /// Runs a quiet two-tenant cloud long enough for DeepDive to verify and
@@ -33,9 +31,9 @@ fn learned_repository() -> BehaviorRepository {
         ))
         .unwrap();
     let mut deepdive = DeepDive::new(DeepDiveConfig::default(), Sandbox::xeon_pool(2));
-    let mut rng = StdRng::seed_from_u64(0xDD);
+    let engine = EpochEngine::serial(ClusterSeed::new(0xDD));
     for _ in 0..80 {
-        let reports = cluster.step_epoch(&|_| 0.7, &mut rng);
+        let reports = engine.step(&mut cluster, |_| 0.7);
         deepdive.process_epoch(&mut cluster, &reports);
     }
     deepdive.repository().clone()
