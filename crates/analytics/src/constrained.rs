@@ -69,32 +69,69 @@ pub struct ConstrainedModel {
 /// * `k` — number of mixture components to fit over the normal points.
 /// * `sigma_multiplier` — starting σ-multiplier for the thresholds.
 /// * `seed` — RNG seed for the underlying EM initialization.
+///
+/// The normal points are borrowed as slices straight out of `behaviours`;
+/// nothing is copied before the fit.
 pub fn fit_constrained(
     behaviours: &[LabelledBehaviour],
     k: usize,
     sigma_multiplier: f64,
     seed: u64,
 ) -> ConstrainedModel {
-    let normal: Vec<Vec<f64>> = behaviours
+    let normal: Vec<&[f64]> = behaviours
         .iter()
         .filter(|b| !b.interference)
-        .map(|b| b.metrics.clone())
+        .map(|b| b.metrics.as_slice())
         .collect();
-    let interference: Vec<&Vec<f64>> = behaviours
-        .iter()
-        .filter(|b| b.interference)
-        .map(|b| &b.metrics)
-        .collect();
-
     let mixture = GaussianMixture::fit(&normal, k, 100, seed);
+    constrain(mixture, behaviours, sigma_multiplier)
+}
+
+/// Warm-started variant of [`fit_constrained`]: the mixture is re-fitted by
+/// EM seeded from `previous`'s components ([`GaussianMixture::fit_warm`])
+/// instead of a fresh k-means++ initialization, converging in a handful of
+/// iterations when `behaviours` grew incrementally since `previous` was
+/// fitted.  Threshold derivation and the cannot-link shrink loop are
+/// identical to the cold path.
+///
+/// Falls back to nothing-learned (an empty mixture that accepts no point)
+/// when there are no normal behaviours; callers should use
+/// [`fit_constrained`] when no previous mixture exists.
+pub fn fit_constrained_warm(
+    behaviours: &[LabelledBehaviour],
+    previous: &GaussianMixture,
+    sigma_multiplier: f64,
+    max_iters: usize,
+) -> ConstrainedModel {
+    let normal: Vec<&[f64]> = behaviours
+        .iter()
+        .filter(|b| !b.interference)
+        .map(|b| b.metrics.as_slice())
+        .collect();
+    let mixture = GaussianMixture::fit_warm(&normal, &previous.components, max_iters);
+    constrain(mixture, behaviours, sigma_multiplier)
+}
+
+/// Shared constraint pass: derives thresholds from the fitted mixture and
+/// shrinks them until no labelled-interference behaviour is accepted by any
+/// normal cluster (or the iteration cap is reached).
+fn constrain(
+    mixture: GaussianMixture,
+    behaviours: &[LabelledBehaviour],
+    sigma_multiplier: f64,
+) -> ConstrainedModel {
     let mut thresholds = MetricThresholds::from_mixture(&mixture, sigma_multiplier);
 
-    // Shrink the thresholds until no interference point is matched by any
-    // normal cluster (the cannot-link constraint), or we hit the iteration cap.
     let accepts = |t: &MetricThresholds| -> usize {
-        interference
+        behaviours
             .iter()
-            .filter(|p| mixture.components.iter().any(|c| t.matches(&c.mean, p)))
+            .filter(|b| b.interference)
+            .filter(|b| {
+                mixture
+                    .components
+                    .iter()
+                    .any(|c| t.matches(&c.mean, &b.metrics))
+            })
             .count()
     };
     let mut violations = accepts(&thresholds);
@@ -216,5 +253,41 @@ mod tests {
         let m2 = fit_constrained(&dataset(), 2, 3.0, 99);
         assert_eq!(m1.thresholds, m2.thresholds);
         assert_eq!(m1.mixture.components, m2.mixture.components);
+    }
+
+    #[test]
+    fn warm_refit_matches_cold_decisions_on_grown_data() {
+        let mut behaviours = dataset();
+        let cold = fit_constrained(&behaviours, 2, 3.0, 7);
+        // Grow the repository slightly, as incremental learning does.
+        behaviours.push(LabelledBehaviour::normal(vec![1.01, 1.99, 0.21]));
+        behaviours.push(LabelledBehaviour::normal(vec![2.98, 1.02, 0.29]));
+        behaviours.push(LabelledBehaviour::interference(vec![1.0, 2.05, 5.1]));
+        let warm = fit_constrained_warm(&behaviours, &cold.mixture, 3.0, 10);
+        let refit = fit_constrained(&behaviours, 2, 3.0, 7);
+        assert_eq!(warm.residual_violations, 0);
+        for probe in [
+            [1.0, 2.0, 0.2],
+            [3.0, 1.0, 0.3],
+            [1.0, 2.0, 5.0],
+            [40.0, -7.0, 12.0],
+        ] {
+            assert_eq!(
+                warm.accepts(&probe),
+                refit.accepts(&probe),
+                "warm and cold disagree on {probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_refit_without_normals_accepts_nothing() {
+        let cold = fit_constrained(&dataset(), 2, 3.0, 7);
+        let only_interference: Vec<LabelledBehaviour> = (0..4)
+            .map(|i| LabelledBehaviour::interference(vec![i as f64, 0.0, 0.0]))
+            .collect();
+        let warm = fit_constrained_warm(&only_interference, &cold.mixture, 3.0, 10);
+        assert_eq!(warm.mixture.k(), 0);
+        assert!(!warm.accepts(&[1.0, 2.0, 0.2]));
     }
 }

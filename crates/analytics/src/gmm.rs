@@ -8,9 +8,6 @@
 //! derivation lives in [`crate::thresholds`] and the constraint handling in
 //! [`crate::constrained`].
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use crate::kmeans::KMeans;
 
 /// Variance floor: keeps degenerate (single-point) clusters from producing
@@ -73,9 +70,12 @@ impl GaussianMixture {
     /// Fits `k` components to `points` with at most `max_iters` EM iterations.
     ///
     /// Initialization comes from a seeded k-means++ run, so the fit is
-    /// deterministic for a fixed `seed`.  `k` is clamped to the number of
-    /// points; empty input yields a model with no components.
-    pub fn fit(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Self {
+    /// deterministic for a fixed `seed`.  `points` may be any row type that
+    /// dereferences to a `[f64]` slice (owned `Vec<f64>` rows or borrowed
+    /// `&[f64]` rows), so callers can fit borrowed data without copying it.
+    /// `k` is clamped to the number of points; empty input yields a model
+    /// with no components.
+    pub fn fit<P: AsRef<[f64]>>(points: &[P], k: usize, max_iters: usize, seed: u64) -> Self {
         if points.is_empty() || k == 0 {
             return Self {
                 components: Vec::new(),
@@ -83,23 +83,22 @@ impl GaussianMixture {
                 iterations: 0,
             };
         }
-        let dims = points[0].len();
+        let dims = points[0].as_ref().len();
         assert!(
-            points.iter().all(|p| p.len() == dims),
+            points.iter().all(|p| p.as_ref().len() == dims),
             "ragged input to GaussianMixture::fit"
         );
         let k = k.min(points.len());
-        let _rng = StdRng::seed_from_u64(seed);
 
         // Initialize means from k-means, variances from within-cluster spread.
         let km = KMeans::fit(points, k, 25, seed);
         let mut components: Vec<Component> = (0..k)
             .map(|c| {
-                let members: Vec<&Vec<f64>> = points
+                let members: Vec<&[f64]> = points
                     .iter()
                     .zip(&km.assignments)
                     .filter(|(_, &a)| a == c)
-                    .map(|(p, _)| p)
+                    .map(|(p, _)| p.as_ref())
                     .collect();
                 let weight = members.len().max(1) as f64 / points.len() as f64;
                 let mean = km.centroids[c].clone();
@@ -123,65 +122,56 @@ impl GaussianMixture {
             .collect();
         normalize_weights(&mut components);
 
-        let mut log_likelihood = f64::NEG_INFINITY;
-        let mut iterations = 0;
-        for iter in 0..max_iters.max(1) {
-            iterations = iter + 1;
-            // E-step: responsibilities.
-            let mut resp = vec![vec![0.0_f64; k]; points.len()];
-            let mut new_ll = 0.0;
-            for (i, p) in points.iter().enumerate() {
-                let logs: Vec<f64> = components
-                    .iter()
-                    .map(|c| c.weight.max(1e-300).ln() + c.log_density(p))
-                    .collect();
-                let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                let sum: f64 = logs.iter().map(|l| (l - max).exp()).sum();
-                new_ll += max + sum.ln();
-                for c in 0..k {
-                    resp[i][c] = (logs[c] - max).exp() / sum;
-                }
-            }
-            new_ll /= points.len() as f64;
-
-            // M-step.
-            for c in 0..k {
-                let nk: f64 = resp.iter().map(|r| r[c]).sum();
-                if nk < 1e-12 {
-                    continue;
-                }
-                components[c].weight = nk / points.len() as f64;
-                for d in 0..dims {
-                    let mean = points
-                        .iter()
-                        .zip(&resp)
-                        .map(|(p, r)| r[c] * p[d])
-                        .sum::<f64>()
-                        / nk;
-                    components[c].mean[d] = mean;
-                }
-                for d in 0..dims {
-                    let var = points
-                        .iter()
-                        .zip(&resp)
-                        .map(|(p, r)| {
-                            let diff = p[d] - components[c].mean[d];
-                            r[c] * diff * diff
-                        })
-                        .sum::<f64>()
-                        / nk;
-                    components[c].variance[d] = var.max(VARIANCE_FLOOR);
-                }
-            }
-            normalize_weights(&mut components);
-
-            if (new_ll - log_likelihood).abs() < 1e-8 {
-                log_likelihood = new_ll;
-                break;
-            }
-            log_likelihood = new_ll;
+        let (components, log_likelihood, iterations) = run_em(points, components, max_iters);
+        Self {
+            components,
+            log_likelihood,
+            iterations,
         }
+    }
 
+    /// Re-fits a mixture by EM seeded from a previous fit's components
+    /// instead of a fresh k-means++ initialization.
+    ///
+    /// This is the incremental-refresh entry point: when `points` is the
+    /// previous training set plus a few new observations, the previous
+    /// components are already close to a local optimum, so EM converges in a
+    /// handful of iterations (pass a small `max_iters` such as 10) instead of
+    /// the ~100 a cold fit budgets.  The component count is inherited from
+    /// `prev_components` (clamped to the number of points).
+    ///
+    /// Empty `points` or `prev_components` yields a model with no components
+    /// — callers fall back to [`Self::fit`] in that case.
+    ///
+    /// # Panics
+    /// Panics if `points` is ragged or its dimensionality differs from the
+    /// warm-start components'.
+    pub fn fit_warm<P: AsRef<[f64]>>(
+        points: &[P],
+        prev_components: &[Component],
+        max_iters: usize,
+    ) -> Self {
+        if points.is_empty() || prev_components.is_empty() {
+            return Self {
+                components: Vec::new(),
+                log_likelihood: 0.0,
+                iterations: 0,
+            };
+        }
+        let dims = points[0].as_ref().len();
+        assert!(
+            points.iter().all(|p| p.as_ref().len() == dims),
+            "ragged input to GaussianMixture::fit_warm"
+        );
+        assert!(
+            prev_components.iter().all(|c| c.mean.len() == dims),
+            "warm-start components do not match the data dimensionality"
+        );
+        let k = prev_components.len().min(points.len());
+        let mut components = prev_components[..k].to_vec();
+        normalize_weights(&mut components);
+
+        let (components, log_likelihood, iterations) = run_em(points, components, max_iters);
         Self {
             components,
             log_likelihood,
@@ -223,6 +213,83 @@ impl GaussianMixture {
     pub fn k(&self) -> usize {
         self.components.len()
     }
+}
+
+/// The EM loop shared by [`GaussianMixture::fit`] and
+/// [`GaussianMixture::fit_warm`]: refines `components` on `points` until the
+/// per-point log-likelihood stabilizes or `max_iters` is exhausted.
+///
+/// The responsibility matrix and per-point log buffers are allocated once
+/// per call (not per iteration), so iteration cost is pure arithmetic.
+fn run_em<P: AsRef<[f64]>>(
+    points: &[P],
+    mut components: Vec<Component>,
+    max_iters: usize,
+) -> (Vec<Component>, f64, usize) {
+    let k = components.len();
+    let n = points.len();
+    let dims = points[0].as_ref().len();
+    let mut resp = vec![0.0_f64; n * k];
+    let mut logs = vec![0.0_f64; k];
+
+    let mut log_likelihood = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    for iter in 0..max_iters.max(1) {
+        iterations = iter + 1;
+        // E-step: responsibilities.
+        let mut new_ll = 0.0;
+        for (i, p) in points.iter().enumerate() {
+            let p = p.as_ref();
+            for (l, c) in logs.iter_mut().zip(&components) {
+                *l = c.weight.max(1e-300).ln() + c.log_density(p);
+            }
+            let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let sum: f64 = logs.iter().map(|l| (l - max).exp()).sum();
+            new_ll += max + sum.ln();
+            for (r, l) in resp[i * k..(i + 1) * k].iter_mut().zip(&logs) {
+                *r = (l - max).exp() / sum;
+            }
+        }
+        new_ll /= n as f64;
+
+        // M-step.
+        for c in 0..k {
+            let nk: f64 = (0..n).map(|i| resp[i * k + c]).sum();
+            if nk < 1e-12 {
+                continue;
+            }
+            components[c].weight = nk / n as f64;
+            for d in 0..dims {
+                let mean = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| resp[i * k + c] * p.as_ref()[d])
+                    .sum::<f64>()
+                    / nk;
+                components[c].mean[d] = mean;
+            }
+            for d in 0..dims {
+                let var = points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        let diff = p.as_ref()[d] - components[c].mean[d];
+                        resp[i * k + c] * diff * diff
+                    })
+                    .sum::<f64>()
+                    / nk;
+                components[c].variance[d] = var.max(VARIANCE_FLOOR);
+            }
+        }
+        normalize_weights(&mut components);
+
+        if (new_ll - log_likelihood).abs() < 1e-8 {
+            log_likelihood = new_ll;
+            break;
+        }
+        log_likelihood = new_ll;
+    }
+    (components, log_likelihood, iterations)
 }
 
 fn normalize_weights(components: &mut [Component]) {
@@ -287,8 +354,64 @@ mod tests {
 
     #[test]
     fn empty_input_yields_empty_model() {
-        let model = GaussianMixture::fit(&[], 3, 10, 1);
+        let model = GaussianMixture::fit::<Vec<f64>>(&[], 3, 10, 1);
         assert_eq!(model.k(), 0);
+    }
+
+    #[test]
+    fn fit_accepts_borrowed_rows() {
+        let owned = blobs();
+        let borrowed: Vec<&[f64]> = owned.iter().map(|p| p.as_slice()).collect();
+        let from_owned = GaussianMixture::fit(&owned, 2, 100, 11);
+        let from_borrowed = GaussianMixture::fit(&borrowed, 2, 100, 11);
+        assert_eq!(from_owned.components, from_borrowed.components);
+    }
+
+    #[test]
+    fn warm_start_converges_in_few_iterations() {
+        let mut pts = blobs();
+        let cold = GaussianMixture::fit(&pts, 2, 100, 3);
+        // Grow the data slightly, as the repository does between refreshes.
+        pts.push(vec![1.02, 2.01, 0.52]);
+        pts.push(vec![7.99, 9.02, 3.98]);
+        let warm = GaussianMixture::fit_warm(&pts, &cold.components, 10);
+        assert_eq!(warm.k(), 2);
+        assert!(
+            warm.iterations <= 10,
+            "warm start took {} iterations",
+            warm.iterations
+        );
+        // Same clustering decisions as a cold refit on the grown data.
+        let refit = GaussianMixture::fit(&pts, 2, 100, 3);
+        let (wa, _) = warm.predict(&[1.0, 2.0, 0.5]);
+        let (wb, _) = warm.predict(&[8.0, 9.0, 4.0]);
+        let (ca, _) = refit.predict(&[1.0, 2.0, 0.5]);
+        let (cb, _) = refit.predict(&[8.0, 9.0, 4.0]);
+        assert_ne!(wa, wb);
+        assert_ne!(ca, cb);
+        for (w, c) in warm.components.iter().zip(&refit.components) {
+            for (wm, cm) in w.mean.iter().zip(&c.mean) {
+                assert!((wm - cm).abs() < 0.2, "warm mean {wm} vs cold {cm}");
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_with_empty_inputs_degenerates_gracefully() {
+        let cold = GaussianMixture::fit(&blobs(), 2, 100, 3);
+        assert_eq!(
+            GaussianMixture::fit_warm::<Vec<f64>>(&[], &cold.components, 10).k(),
+            0
+        );
+        assert_eq!(GaussianMixture::fit_warm(&blobs(), &[], 10).k(), 0);
+    }
+
+    #[test]
+    fn warm_start_clamps_components_to_point_count() {
+        let cold = GaussianMixture::fit(&blobs(), 3, 100, 3);
+        let tiny = [vec![1.0, 2.0, 0.5], vec![1.1, 2.1, 0.6]];
+        let warm = GaussianMixture::fit_warm(&tiny, &cold.components, 10);
+        assert_eq!(warm.k(), 2);
     }
 
     #[test]
@@ -312,7 +435,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty mixture")]
     fn predict_on_empty_model_panics() {
-        let model = GaussianMixture::fit(&[], 2, 10, 1);
+        let model = GaussianMixture::fit::<Vec<f64>>(&[], 2, 10, 1);
         model.predict(&[1.0]);
     }
 }

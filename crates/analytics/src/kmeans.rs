@@ -24,12 +24,14 @@ pub struct KMeans {
 impl KMeans {
     /// Fits `k` clusters to `points` with at most `max_iters` Lloyd iterations.
     ///
-    /// `k` is clamped to the number of points.  Returns a degenerate model
-    /// (no centroids) for empty input.
+    /// `points` may be any row type that dereferences to a `[f64]` slice
+    /// (`Vec<f64>` rows or borrowed `&[f64]` rows), so callers can cluster
+    /// borrowed data without copying it first.  `k` is clamped to the number
+    /// of points.  Returns a degenerate model (no centroids) for empty input.
     ///
     /// # Panics
     /// Panics if `points` is ragged (rows of differing dimension).
-    pub fn fit(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Self {
+    pub fn fit<P: AsRef<[f64]>>(points: &[P], k: usize, max_iters: usize, seed: u64) -> Self {
         if points.is_empty() || k == 0 {
             return Self {
                 centroids: Vec::new(),
@@ -37,9 +39,9 @@ impl KMeans {
                 inertia: 0.0,
             };
         }
-        let dims = points[0].len();
+        let dims = points[0].as_ref().len();
         assert!(
-            points.iter().all(|p| p.len() == dims),
+            points.iter().all(|p| p.as_ref().len() == dims),
             "ragged input to KMeans::fit"
         );
         let k = k.min(points.len());
@@ -52,7 +54,7 @@ impl KMeans {
             // Assignment step.
             let mut changed = false;
             for (i, p) in points.iter().enumerate() {
-                let best = nearest(p, &centroids).0;
+                let best = nearest(p.as_ref(), &centroids).0;
                 if assignments[i] != best {
                     assignments[i] = best;
                     changed = true;
@@ -63,14 +65,14 @@ impl KMeans {
             let mut counts = vec![0usize; k];
             for (p, &a) in points.iter().zip(&assignments) {
                 counts[a] += 1;
-                for d in 0..dims {
-                    sums[a][d] += p[d];
+                for (s, &v) in sums[a].iter_mut().zip(p.as_ref()) {
+                    *s += v;
                 }
             }
             for c in 0..k {
                 if counts[c] == 0 {
                     // Re-seed an empty cluster at a random point to keep k clusters alive.
-                    centroids[c] = points[rng.gen_range(0..points.len())].clone();
+                    centroids[c] = points[rng.gen_range(0..points.len())].as_ref().to_vec();
                 } else {
                     for d in 0..dims {
                         centroids[c][d] = sums[c][d] / counts[c] as f64;
@@ -86,7 +88,7 @@ impl KMeans {
             .iter()
             .zip(&assignments)
             .map(|(p, &a)| {
-                let d = euclidean(p, &centroids[a]);
+                let d = euclidean(p.as_ref(), &centroids[a]);
                 d * d
             })
             .sum();
@@ -111,21 +113,21 @@ impl KMeans {
 /// k-means++ initialization: the first centroid is uniform, each subsequent
 /// centroid is drawn with probability proportional to its squared distance to
 /// the nearest existing centroid.
-fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+fn plus_plus_init<P: AsRef<[f64]>>(points: &[P], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
     let mut centroids = Vec::with_capacity(k);
-    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    centroids.push(points[rng.gen_range(0..points.len())].as_ref().to_vec());
     while centroids.len() < k {
         let d2: Vec<f64> = points
             .iter()
             .map(|p| {
-                let d = nearest(p, &centroids).1;
+                let d = nearest(p.as_ref(), &centroids).1;
                 d * d
             })
             .collect();
         let total: f64 = d2.iter().sum();
         if total <= 0.0 {
             // All points coincide with existing centroids; duplicate one.
-            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            centroids.push(points[rng.gen_range(0..points.len())].as_ref().to_vec());
             continue;
         }
         let mut target = rng.gen_range(0.0..total);
@@ -137,7 +139,7 @@ fn plus_plus_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
             }
             target -= w;
         }
-        centroids.push(points[chosen].clone());
+        centroids.push(points[chosen].as_ref().to_vec());
     }
     centroids
 }
@@ -203,7 +205,7 @@ mod tests {
 
     #[test]
     fn empty_input_gives_degenerate_model() {
-        let model = KMeans::fit(&[], 3, 10, 1);
+        let model = KMeans::fit::<Vec<f64>>(&[], 3, 10, 1);
         assert_eq!(model.k(), 0);
         assert_eq!(model.inertia, 0.0);
     }

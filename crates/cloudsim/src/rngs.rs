@@ -25,7 +25,12 @@ use crate::vm::VmId;
 /// SplitMix64 finalizer: a full-avalanche 64-bit mix (every input bit flips
 /// each output bit with probability ≈ 1/2), the same construction the `rand`
 /// shim uses to expand seeds.
-const fn splitmix(mut z: u64) -> u64 {
+///
+/// Public because other crates derive their own counter-based streams from
+/// it (e.g. `deepdive`'s parallel synthetic-benchmark trainer hashes
+/// `(training seed, sample index)` so every training sample gets an
+/// independent stream regardless of which thread resolves it).
+pub const fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -55,7 +60,7 @@ impl ClusterSeed {
     /// so `(vm: 1, epoch: 0)` and `(vm: 0, epoch: 1)` (and every other
     /// colliding sum) land in unrelated streams.
     pub const fn stream_seed(self, vm: VmId, epoch: u64) -> u64 {
-        splitmix(splitmix(self.0 ^ splitmix(vm.0)) ^ epoch)
+        splitmix64(splitmix64(self.0 ^ splitmix64(vm.0)) ^ epoch)
     }
 
     /// An independent, stable generator for one VM's demand draws in one

@@ -18,8 +18,6 @@ use cloudsim::cluster::ClusterError;
 use cloudsim::pm::VmEpochReport;
 use cloudsim::{Cluster, PmId, RequestProxy, Sandbox, VmId};
 use hwsim::CounterSnapshot;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use workloads::AppId;
 
@@ -149,7 +147,16 @@ pub struct DeepDive {
     stats: DeepDiveStats,
     recent_counters: HashMap<VmId, VecDeque<CounterSnapshot>>,
     cooldown_until: HashMap<VmId, u64>,
-    rng: StdRng,
+    // Reusable per-epoch scratch: cleared (not dropped) every epoch so the
+    // steady-state warning path performs no heap allocation.
+    /// Current behaviour of every reporting VM.
+    behavior_scratch: HashMap<VmId, BehaviorVector>,
+    /// Reporting VMs grouped by application (the global-information index).
+    by_app_scratch: HashMap<AppId, Vec<VmId>>,
+    /// Same-application peer behaviours for the VM under evaluation.
+    peer_scratch: Vec<BehaviorVector>,
+    /// Analysis window handed to the interference analyzer.
+    window_scratch: Vec<CounterSnapshot>,
 }
 
 impl DeepDive {
@@ -162,7 +169,6 @@ impl DeepDive {
             config.acceptable_destination_interference,
         );
         let warning = WarningSystem::new(config.warning.clone());
-        let rng = StdRng::seed_from_u64(config.seed);
         Self {
             config,
             warning,
@@ -175,7 +181,10 @@ impl DeepDive {
             stats: DeepDiveStats::default(),
             recent_counters: HashMap::new(),
             cooldown_until: HashMap::new(),
-            rng,
+            behavior_scratch: HashMap::new(),
+            by_app_scratch: HashMap::new(),
+            peer_scratch: Vec::new(),
+            window_scratch: Vec::new(),
         }
     }
 
@@ -202,6 +211,11 @@ impl DeepDive {
 
     /// Processes one epoch of cluster reports: Algorithm 1 for every VM, and
     /// Algorithm 2 (plus placement) for whatever the warning system escalates.
+    ///
+    /// The warning models are refreshed **once per application per epoch**,
+    /// before the per-VM loop (an O(1) generation check per app in the steady
+    /// state).  Behaviours the epoch itself adds to the repository are picked
+    /// up by the next epoch's refresh.
     pub fn process_epoch(
         &mut self,
         cluster: &mut Cluster,
@@ -224,42 +238,53 @@ impl DeepDive {
         }
 
         // Current behaviour of every VM, grouped by application (the global
-        // information the warning system may consult).
-        let behaviors: HashMap<VmId, BehaviorVector> = reports
-            .iter()
-            .map(|r| (r.vm_id, BehaviorVector::from_counters(&r.counters)))
-            .collect();
-        let mut by_app: HashMap<AppId, Vec<VmId>> = HashMap::new();
+        // information the warning system may consult).  Rebuilt into scratch
+        // maps that keep their allocations across epochs; with a stable VM
+        // population this allocates nothing.
+        self.behavior_scratch.clear();
+        for group in self.by_app_scratch.values_mut() {
+            group.clear();
+        }
         for r in reports {
-            by_app.entry(r.app).or_default().push(r.vm_id);
+            self.behavior_scratch
+                .insert(r.vm_id, BehaviorVector::from_counters(&r.counters));
+            self.by_app_scratch.entry(r.app).or_default().push(r.vm_id);
+        }
+
+        // One model refresh per application per epoch.  Order between apps is
+        // irrelevant (models are independent), and each refresh is O(1) when
+        // that application's repository generation is unchanged.
+        for (&app, vms) in &self.by_app_scratch {
+            if !vms.is_empty() {
+                self.warning.refresh_model(app, &self.repository);
+            }
         }
 
         for report in reports {
             self.stats.evaluations += 1;
-            let behavior = &behaviors[&report.vm_id];
+            let behavior = self.behavior_scratch[&report.vm_id];
             // Skip idle VMs: an empty behaviour carries no signal.
             if report.counters.inst_retired <= 0.0 {
                 continue;
             }
-            self.warning.refresh_model(report.app, &self.repository);
-            let peers: Vec<BehaviorVector> = if self.config.use_global_information {
-                by_app[&report.app]
-                    .iter()
-                    .filter(|id| **id != report.vm_id)
-                    .map(|id| behaviors[id].clone())
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            let decision = self.warning.evaluate(report.app, behavior, &peers);
+            self.peer_scratch.clear();
+            if self.config.use_global_information {
+                for id in &self.by_app_scratch[&report.app] {
+                    if *id != report.vm_id {
+                        self.peer_scratch.push(self.behavior_scratch[id]);
+                    }
+                }
+            }
+            let decision = self
+                .warning
+                .evaluate(report.app, &behavior, &self.peer_scratch);
             match decision {
                 WarningDecision::NormalLocal => {}
                 WarningDecision::NormalGlobal => {
                     // Workload change shared across the application's VMs:
                     // extend the set of known behaviours without profiling.
                     self.stats.global_matches += 1;
-                    self.repository
-                        .record_normal(report.app, behavior.clone(), epoch);
+                    self.repository.record_normal(report.app, behavior, epoch);
                 }
                 WarningDecision::SuspectInterference | WarningDecision::Bootstrap => {
                     if self
@@ -299,11 +324,14 @@ impl DeepDive {
     /// Runs the interference analyzer for one VM and updates the repository.
     fn run_analysis(&mut self, report: &VmEpochReport) -> AnalysisResult {
         self.stats.analyzer_invocations += 1;
-        let window: Vec<CounterSnapshot> = self
-            .recent_counters
-            .get(&report.vm_id)
-            .map(|h| h.iter().copied().collect())
-            .unwrap_or_else(|| vec![report.counters]);
+        // The analysis window lives in reused scratch (taken out of `self`
+        // for the duration of the borrow-heavy analyzer call).
+        let mut window = std::mem::take(&mut self.window_scratch);
+        window.clear();
+        match self.recent_counters.get(&report.vm_id) {
+            Some(history) => window.extend(history.iter().copied()),
+            None => window.push(report.counters),
+        }
         let mut replay = self
             .proxy
             .replay_last(report.vm_id, self.config.analysis_window);
@@ -313,29 +341,27 @@ impl DeepDive {
         let result = self
             .analyzer
             .analyze(report.vm_id, &window, &replay, &self.sandbox, 2);
+        self.window_scratch = window;
         self.stats.profiling_seconds += result.profiling_seconds;
         // Every isolation epoch is a verified normal behaviour — the set S
         // the analyzer hands the warning system (§4.1).
         for behavior in &result.isolation_behaviors {
             self.repository
-                .record_normal(report.app, behavior.clone(), report.epoch);
+                .record_normal(report.app, *behavior, report.epoch);
         }
         if result.interference_confirmed {
             self.stats.interference_confirmed += 1;
             self.repository.record_interference(
                 report.app,
-                result.production_behavior.clone(),
+                result.production_behavior,
                 report.epoch,
             );
         } else {
             self.stats.false_alarms += 1;
             // A false alarm means the production behaviour is genuinely
             // normal (e.g. a workload change): learn it.
-            self.repository.record_normal(
-                report.app,
-                result.production_behavior.clone(),
-                report.epoch,
-            );
+            self.repository
+                .record_normal(report.app, result.production_behavior, report.epoch);
         }
         result
     }
@@ -395,13 +421,10 @@ impl DeepDive {
 
         // Train the synthetic benchmark lazily, once per server type.
         if self.synthetic.is_none() {
-            let samples = self.config.synthetic_training_samples;
-            let seed = self.config.seed;
-            let _ = &mut self.rng;
             self.synthetic = Some(SyntheticBenchmark::train(
                 self.sandbox.spec.clone(),
-                samples,
-                seed,
+                self.config.synthetic_training_samples,
+                self.config.seed,
             ));
         }
         let benchmark = self.synthetic.as_ref().expect("benchmark trained above");

@@ -28,6 +28,35 @@
 //! by the cluster simulator, and [`repository`] stores the learned
 //! behaviours (≈5 KB per VM per day, §5.5).
 //!
+//! ## The control-plane hot path: generations and warm starts
+//!
+//! The warning system touches every VM every epoch, so its refresh path is
+//! built to cost nothing in the steady state and a handful of EM iterations
+//! otherwise:
+//!
+//! * [`repository::BehaviorRepository`] keeps a per-application **generation
+//!   counter** (bumped on every record, even at capacity) over ring-buffered
+//!   entries with O(1) eviction, and lends its stores out as
+//!   `&AppBehaviors` — the hot path never clones history;
+//! * [`warning::WarningSystem::refresh_model`] short-circuits in O(1) when
+//!   the generation is unchanged; when the repository grew, it re-fits
+//!   **warm-started** from the previous mixture
+//!   ([`analytics::constrained::fit_constrained_warm`]) and falls back to a
+//!   full cold fit every [`warning::WarningConfig::cold_refit_interval`]
+//!   refits so warm-start drift cannot accumulate;
+//! * [`controller::DeepDive::process_epoch`] refreshes each application's
+//!   model **once per epoch** before the per-VM loop and reuses all of its
+//!   epoch scratch (behaviour map, per-app groupings, peer buffers, the
+//!   analyzer window), so the steady-state warning sweep allocates nothing;
+//! * [`synthetic::SyntheticBenchmark::train`] resolves its training samples
+//!   on scoped threads with counter-derived per-sample RNG streams —
+//!   bit-identical output for any thread count (`DEEPDIVE_TRAIN_THREADS`).
+//!
+//! `cargo bench -p bench --bench controller_throughput` measures this
+//! against a frozen copy of the clone-and-cold-refit path
+//! (`BENCH_controller.json`); `tests/warning_equivalence.rs` pins that warm
+//! and cold refreshes make equivalent decisions.
+//!
 //! ## Quick start
 //!
 //! ```

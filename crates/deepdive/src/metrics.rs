@@ -27,7 +27,10 @@ pub const DIMENSION_NAMES: [&str; 10] = [
 pub const DIMENSIONS: usize = DIMENSION_NAMES.len();
 
 /// A VM behaviour: one point in DeepDive's normalized metric space.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Copy`: the vector is a small fixed-size array, so the controller's
+/// steady-state epoch path can pass behaviours around without heap traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BehaviorVector {
     /// The dimension values, in [`DIMENSION_NAMES`] order.
     pub values: [f64; DIMENSIONS],
@@ -202,7 +205,7 @@ mod tests {
     #[test]
     fn max_relative_deviation_flags_the_changed_dimension() {
         let base = BehaviorVector::from_counters(&sample_counters(1.0));
-        let mut shifted = base.clone();
+        let mut shifted = base;
         shifted.values[2] *= 4.0; // quadruple the LLC miss rate
         assert!(shifted.max_relative_deviation(&base) >= 3.0);
         assert!(base.max_relative_deviation(&base) < 1e-12);

@@ -13,7 +13,7 @@
 //! module exposes the same accounting so the memory-overhead table can be
 //! regenerated.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use analytics::constrained::LabelledBehaviour;
 use serde::{Deserialize, Serialize};
@@ -33,10 +33,26 @@ pub struct StoredBehavior {
 }
 
 /// Per-application behaviour store.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Entries live in a ring buffer so capacity eviction is O(1), and every
+/// mutation bumps a [generation counter](Self::generation) so readers (the
+/// warning system) can detect staleness in O(1) without comparing contents.
+/// The generation counts *records*, not retained entries: once the store is
+/// at capacity its length stops changing but the generation keeps advancing,
+/// which is what makes the staleness check sound.
+#[derive(Debug, Clone, Default)]
 pub struct AppBehaviors {
-    entries: Vec<StoredBehavior>,
+    entries: VecDeque<StoredBehavior>,
+    generation: u64,
 }
+
+/// An always-empty store, returned by [`BehaviorRepository::behaviors`] for
+/// applications that were never analyzed (so the accessor can always hand
+/// out a reference instead of cloning).
+static EMPTY_APP_BEHAVIORS: AppBehaviors = AppBehaviors {
+    entries: VecDeque::new(),
+    generation: 0,
+};
 
 impl AppBehaviors {
     /// Verified-normal behaviours only.
@@ -58,14 +74,33 @@ impl AppBehaviors {
     }
 
     /// All entries as labelled points for the constrained clustering code.
+    ///
+    /// Allocates a fresh vector per call; the hot path uses
+    /// [`Self::labelled_into`] with a reused buffer instead.
     pub fn labelled(&self) -> Vec<LabelledBehaviour> {
-        self.entries
-            .iter()
-            .map(|e| LabelledBehaviour {
+        let mut out = Vec::new();
+        self.labelled_into(&mut out);
+        out
+    }
+
+    /// Fills `out` with the labelled points, reusing both the outer buffer
+    /// and the per-entry metric vectors already allocated in it, so repeated
+    /// refreshes through the same scratch buffer stop allocating once the
+    /// buffer has grown to the store's size.
+    pub fn labelled_into(&self, out: &mut Vec<LabelledBehaviour>) {
+        out.truncate(self.entries.len());
+        let reused = out.len();
+        for (slot, e) in out.iter_mut().zip(self.entries.iter()) {
+            slot.metrics.clear();
+            slot.metrics.extend_from_slice(&e.behavior.values);
+            slot.interference = e.interference;
+        }
+        for e in self.entries.iter().skip(reused) {
+            out.push(LabelledBehaviour {
                 metrics: e.behavior.to_vec(),
                 interference: e.interference,
-            })
-            .collect()
+            });
+        }
     }
 
     /// Number of stored entries.
@@ -76,6 +111,57 @@ impl AppBehaviors {
     /// True when nothing has been stored yet.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Monotonic mutation counter: bumped on every record, including records
+    /// that evicted an old entry.  Equal generations imply identical
+    /// contents, so a reader can skip re-processing in O(1).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+// The generation counter is bookkeeping, not content: two stores holding
+// the same entries are equal regardless of how many evictions it took each
+// of them to get there.
+impl PartialEq for AppBehaviors {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+// The entries keep the pre-ring-buffer `"entries": [...]` layout (a
+// `VecDeque` serializes as a plain JSON array).  The generation counter is
+// persisted too, so "equal generations imply identical contents" holds
+// across a save/restore: a reader (e.g. a live `WarningSystem`) that cached
+// state at generation G stays correct against the restored store, because
+// generation G still names exactly the contents it was fitted on and any
+// post-restore record moves past it.  Restoring at `entries.len()` instead
+// could *re-collide* with a pre-save generation after evictions.  Legacy
+// payloads without the field fall back to the entry count.
+impl Serialize for AppBehaviors {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("entries".to_string(), self.entries.to_value()),
+            ("generation".to_string(), self.generation.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for AppBehaviors {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries: VecDeque<StoredBehavior> = Deserialize::from_value(
+            v.get("entries")
+                .ok_or_else(|| serde::Error::missing_field("AppBehaviors", "entries"))?,
+        )?;
+        let generation = match v.get("generation") {
+            Some(g) => Deserialize::from_value(g)?,
+            None => entries.len() as u64,
+        };
+        Ok(Self {
+            entries,
+            generation,
+        })
     }
 }
 
@@ -122,19 +208,27 @@ impl BehaviorRepository {
     fn record(&mut self, app: AppId, behavior: BehaviorVector, interference: bool, epoch: u64) {
         debug_assert!(behavior.is_well_formed(), "storing malformed behaviour");
         let store = self.apps.entry(app.0).or_default();
-        store.entries.push(StoredBehavior {
+        store.entries.push_back(StoredBehavior {
             behavior,
             interference,
             epoch,
         });
         while store.entries.len() > self.capacity_per_app {
-            store.entries.remove(0);
+            store.entries.pop_front();
         }
+        store.generation += 1;
     }
 
-    /// Behaviours known for an application (empty store if never seen).
-    pub fn behaviors(&self, app: AppId) -> AppBehaviors {
-        self.apps.get(&app.0).cloned().unwrap_or_default()
+    /// Behaviours known for an application (a shared empty store if never
+    /// seen).  Borrowed, not cloned: callers read the history in place.
+    pub fn behaviors(&self, app: AppId) -> &AppBehaviors {
+        self.apps.get(&app.0).unwrap_or(&EMPTY_APP_BEHAVIORS)
+    }
+
+    /// The application's mutation generation (0 if never seen) — the O(1)
+    /// staleness check backing [`crate::warning::WarningSystem::refresh_model`].
+    pub fn generation(&self, app: AppId) -> u64 {
+        self.apps.get(&app.0).map(|s| s.generation).unwrap_or(0)
     }
 
     /// Number of verified-normal behaviours for an application.
@@ -270,12 +364,89 @@ mod tests {
     }
 
     #[test]
+    fn generation_advances_on_every_record_even_at_capacity() {
+        let mut repo = BehaviorRepository::with_capacity(2);
+        let app = AppId(4);
+        assert_eq!(repo.generation(app), 0);
+        for i in 0..5u64 {
+            repo.record_normal(app, behavior(i as f64), i);
+            assert_eq!(repo.generation(app), i + 1);
+        }
+        // Length saturates at capacity, but the generation keeps moving —
+        // that is what lets readers detect churn in a full store.
+        assert_eq!(repo.behaviors(app).len(), 2);
+        assert_eq!(repo.behaviors(app).generation(), 5);
+    }
+
+    #[test]
+    fn labelled_into_reuses_buffers_and_matches_labelled() {
+        let mut repo = BehaviorRepository::new();
+        let app = AppId(6);
+        repo.record_normal(app, behavior(1.0), 0);
+        repo.record_interference(app, behavior(7.0), 1);
+        let mut buf = Vec::new();
+        repo.behaviors(app).labelled_into(&mut buf);
+        assert_eq!(buf, repo.behaviors(app).labelled());
+        // Refill through the same buffer after growth: contents stay exact.
+        repo.record_normal(app, behavior(2.0), 2);
+        repo.behaviors(app).labelled_into(&mut buf);
+        assert_eq!(buf, repo.behaviors(app).labelled());
+        // Shrunk source (fresh app) truncates the buffer.
+        let other = AppId(7);
+        repo.record_normal(other, behavior(3.0), 3);
+        repo.behaviors(other).labelled_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf, repo.behaviors(other).labelled());
+    }
+
+    #[test]
+    fn equality_ignores_the_generation_counter() {
+        let mut evicted = BehaviorRepository::with_capacity(1);
+        let mut fresh = BehaviorRepository::with_capacity(1);
+        let app = AppId(8);
+        evicted.record_normal(app, behavior(0.0), 0);
+        evicted.record_normal(app, behavior(5.0), 1);
+        fresh.record_normal(app, behavior(5.0), 1);
+        assert_eq!(evicted.behaviors(app), fresh.behaviors(app));
+        assert_ne!(
+            evicted.behaviors(app).generation(),
+            fresh.behaviors(app).generation()
+        );
+    }
+
+    #[test]
     fn json_round_trip_preserves_contents() {
         let mut repo = BehaviorRepository::new();
         repo.record_normal(AppId(1), behavior(1.5), 3);
         repo.record_interference(AppId(1), behavior(8.0), 4);
         let restored = BehaviorRepository::from_json(&repo.to_json()).unwrap();
         assert_eq!(restored.behaviors(AppId(1)), repo.behaviors(AppId(1)));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_generation_counter() {
+        // Evictions push the generation past the length; a restore must not
+        // rewind it, or a reader's cached generation could collide with
+        // different contents after post-restore records.
+        let mut repo = BehaviorRepository::with_capacity(2);
+        for i in 0..5u64 {
+            repo.record_normal(AppId(1), behavior(i as f64), i);
+        }
+        let restored = BehaviorRepository::from_json(&repo.to_json()).unwrap();
+        assert_eq!(restored.generation(AppId(1)), repo.generation(AppId(1)));
+        assert_eq!(restored.generation(AppId(1)), 5);
+    }
+
+    #[test]
+    fn legacy_json_without_generation_still_parses() {
+        let mut repo = BehaviorRepository::new();
+        repo.record_normal(AppId(1), behavior(1.0), 0);
+        // Strip the generation field to emulate a pre-counter payload.
+        let legacy = repo.to_json().replace(",\"generation\":1", "");
+        assert!(!legacy.contains("generation"));
+        let restored = BehaviorRepository::from_json(&legacy).unwrap();
+        assert_eq!(restored.behaviors(AppId(1)), repo.behaviors(AppId(1)));
+        assert_eq!(restored.generation(AppId(1)), 1);
     }
 
     #[test]

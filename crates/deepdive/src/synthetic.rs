@@ -16,6 +16,7 @@
 //! least-squares search in [`analytics::regression::invert_inputs`].
 
 use analytics::regression::{invert_inputs, LinearRegression};
+use cloudsim::rngs::splitmix64;
 use hwsim::contention::{resolve_epoch, EpochOutcome, PlacedDemand};
 use hwsim::{EpochResolver, MachineSpec, ResourceDemand, EPOCH_SECONDS};
 use rand::rngs::StdRng;
@@ -123,26 +124,66 @@ impl SyntheticBenchmark {
     /// training phase): samples the input space, runs each sample solo on the
     /// machine model, and fits inputs → normalized metrics.
     ///
+    /// Training samples are independent solo resolves, so they run on
+    /// scoped threads: `DEEPDIVE_TRAIN_THREADS` selects the width (default:
+    /// all available cores).  Each sample draws from its own counter-derived
+    /// RNG stream — a pure function of `(seed, sample index)`, the same
+    /// SplitMix64 construction as `cloudsim::ClusterSeed` — so the fitted
+    /// model is **bit-identical for any thread count**.
+    ///
     /// # Panics
     /// Panics if `samples` is smaller than the number of input knobs.
     pub fn train(spec: MachineSpec, samples: usize, seed: u64) -> Self {
+        Self::train_with_threads(spec, samples, seed, trainer_threads())
+    }
+
+    /// [`Self::train`] with an explicit thread count (1 = serial).  Output
+    /// is bit-identical across thread counts; the env-driven default lives
+    /// in [`Self::train`].
+    pub fn train_with_threads(
+        spec: MachineSpec,
+        samples: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
         assert!(samples >= 8, "training needs at least a handful of samples");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut inputs = Vec::with_capacity(samples);
-        let mut outputs = Vec::with_capacity(samples);
-        // One resolver serves every training run: each sample is a solo
-        // resolve on the same machine model, so all scratch state is shared.
-        let mut resolver = EpochResolver::new(spec.clone());
-        let mut outcomes = Vec::with_capacity(1);
-        for _ in 0..samples {
-            let raw: Vec<f64> = BenchmarkInputs::BOUNDS
-                .iter()
-                .map(|(lo, hi)| rng.gen_range(*lo..=*hi))
-                .collect();
-            let sample = BenchmarkInputs::from_vec(&raw);
-            let behavior = run_solo_with(&mut resolver, &sample, &mut outcomes);
-            inputs.push(raw);
-            outputs.push(behavior.to_vec());
+        let threads = threads.clamp(1, samples);
+        let mut inputs = vec![Vec::new(); samples];
+        let mut outputs = vec![Vec::new(); samples];
+        if threads == 1 {
+            // One resolver serves every training run: each sample is a solo
+            // resolve on the same machine model, so all scratch is shared.
+            let mut resolver = EpochResolver::new(spec.clone());
+            let mut outcomes = Vec::with_capacity(1);
+            for (index, (input, output)) in inputs.iter_mut().zip(outputs.iter_mut()).enumerate() {
+                (*input, *output) = resolve_sample(seed, index, &mut resolver, &mut outcomes);
+            }
+        } else {
+            // Contiguous sample chunks on scoped threads, merged in index
+            // order by construction (each thread writes its own chunk).
+            let chunk = samples.div_ceil(threads);
+            let spec_ref = &spec;
+            std::thread::scope(|scope| {
+                for (t, (input_chunk, output_chunk)) in inputs
+                    .chunks_mut(chunk)
+                    .zip(outputs.chunks_mut(chunk))
+                    .enumerate()
+                {
+                    scope.spawn(move || {
+                        let mut resolver = EpochResolver::new(spec_ref.clone());
+                        let mut outcomes = Vec::with_capacity(1);
+                        let base = t * chunk;
+                        for (offset, (input, output)) in input_chunk
+                            .iter_mut()
+                            .zip(output_chunk.iter_mut())
+                            .enumerate()
+                        {
+                            (*input, *output) =
+                                resolve_sample(seed, base + offset, &mut resolver, &mut outcomes);
+                        }
+                    });
+                }
+            });
         }
         let model = LinearRegression::fit(&inputs, &outputs, 1e-6);
         let training_error = model.mse(&inputs, &outputs);
@@ -151,6 +192,12 @@ impl SyntheticBenchmark {
             model,
             training_error,
         }
+    }
+
+    /// The fitted inputs → metrics regression (exposed so determinism tests
+    /// can compare trainings bit-for-bit).
+    pub fn model(&self) -> &LinearRegression {
+        &self.model
     }
 
     /// Runs the benchmark with given inputs alone on the machine model and
@@ -249,6 +296,37 @@ impl SyntheticBenchmark {
     ) -> SyntheticClone {
         SyntheticClone::new(app, self.mimic(target, instructions_per_epoch))
     }
+}
+
+/// Trainer width: `DEEPDIVE_TRAIN_THREADS` if set (minimum 1), otherwise
+/// every available core.
+fn trainer_threads() -> usize {
+    std::env::var("DEEPDIVE_TRAIN_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|t| t.max(1))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// Draws and resolves one training sample from its own counter-derived
+/// stream: a pure function of `(seed, index)`, independent of the thread it
+/// runs on and of every other sample.
+fn resolve_sample(
+    seed: u64,
+    index: usize,
+    resolver: &mut EpochResolver,
+    outcomes: &mut Vec<EpochOutcome>,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ splitmix64(index as u64)));
+    let raw: Vec<f64> = BenchmarkInputs::BOUNDS
+        .iter()
+        .map(|(lo, hi)| rng.gen_range(*lo..=*hi))
+        .collect();
+    let sample = BenchmarkInputs::from_vec(&raw);
+    let behavior = run_solo_with(resolver, &sample, outcomes);
+    (raw, behavior.to_vec())
 }
 
 /// Solo run of the benchmark through a reusable resolver — the hot-path form
@@ -395,6 +473,32 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(clone.kind(), WorkloadKind::SyntheticClone);
         assert_eq!(clone.app_id(), AppId(77));
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_across_thread_counts() {
+        let spec = MachineSpec::xeon_x5472();
+        let serial = SyntheticBenchmark::train_with_threads(spec.clone(), 64, 11, 1);
+        for threads in [2usize, 8] {
+            let parallel = SyntheticBenchmark::train_with_threads(spec.clone(), 64, 11, threads);
+            assert_eq!(
+                serial.model(),
+                parallel.model(),
+                "{threads}-thread training diverged from serial"
+            );
+            assert_eq!(
+                serial.training_error().to_bits(),
+                parallel.training_error().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn thread_counts_beyond_sample_count_are_clamped() {
+        let spec = MachineSpec::xeon_x5472();
+        let narrow = SyntheticBenchmark::train_with_threads(spec.clone(), 8, 5, 1);
+        let wide = SyntheticBenchmark::train_with_threads(spec, 8, 5, 64);
+        assert_eq!(narrow.model(), wide.model());
     }
 
     #[test]

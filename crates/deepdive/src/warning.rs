@@ -17,14 +17,35 @@
 //! verified behaviours.  Before any verified behaviour exists the system
 //! runs in the paper's *conservative mode*: everything escalates, which
 //! bootstraps learning and guarantees no interference goes undetected.
+//!
+//! ## Incremental refresh
+//!
+//! [`WarningSystem::refresh_model`] is built to be called every epoch for
+//! every application and still cost nothing in the steady state:
+//!
+//! * the repository keeps a per-application **generation counter**, so an
+//!   unchanged repository short-circuits the refresh in O(1) — no clone, no
+//!   labelled-point extraction, no fit;
+//! * when the repository *did* grow, the refit is **warm-started** from the
+//!   previous model's mixture components
+//!   ([`analytics::constrained::fit_constrained_warm`]), converging in a
+//!   handful of EM iterations instead of a full from-scratch fit;
+//! * every [`WarningConfig::cold_refit_interval`]-th refit of an
+//!   application's model falls back to a full k-means++-seeded cold fit, so
+//!   warm-start drift cannot accumulate indefinitely.
 
 use std::collections::HashMap;
 
-use analytics::constrained::{fit_constrained, ConstrainedModel};
+use analytics::constrained::{fit_constrained, fit_constrained_warm, ConstrainedModel};
 use workloads::AppId;
 
 use crate::metrics::BehaviorVector;
 use crate::repository::BehaviorRepository;
+
+/// EM iteration budget for warm-started refits.  Warm starts resume from the
+/// previous local optimum, so a handful of iterations suffices (cold fits
+/// budget 100).
+const WARM_REFIT_ITERS: usize = 10;
 
 /// Outcome of the warning system's per-epoch check for one VM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +90,12 @@ pub struct WarningConfig {
     pub global_similarity: f64,
     /// Seed for the clustering initialization.
     pub seed: u64,
+    /// Refits per application between full cold refits: after
+    /// `cold_refit_interval - 1` consecutive warm-started refits the next
+    /// one re-fits from a fresh k-means++ initialization, bounding how far
+    /// warm-start drift can accumulate.  `1` (or `0`) disables warm starts
+    /// entirely — every refit is cold, the pre-incremental behaviour.
+    pub cold_refit_interval: u64,
 }
 
 impl Default for WarningConfig {
@@ -80,8 +107,21 @@ impl Default for WarningConfig {
             global_quorum: 0.6,
             global_similarity: 0.25,
             seed: 0xDEE9_D1DE,
+            cold_refit_interval: 32,
         }
     }
+}
+
+/// One application's fitted model plus the bookkeeping that drives the
+/// incremental refresh.
+#[derive(Debug)]
+struct AppModel {
+    model: ConstrainedModel,
+    /// Repository generation the model was fitted at; an equal generation
+    /// means the model is current and the refresh is a no-op.
+    generation: u64,
+    /// Consecutive warm-started refits since the last cold fit.
+    warm_refits_since_cold: u64,
 }
 
 /// The warning system: per-application cluster models plus the decision
@@ -89,10 +129,13 @@ impl Default for WarningConfig {
 #[derive(Debug)]
 pub struct WarningSystem {
     config: WarningConfig,
-    models: HashMap<u64, ConstrainedModel>,
-    /// Number of repository entries the model for each app was fitted on,
-    /// used to decide when a re-fit is needed.
-    fitted_on: HashMap<u64, usize>,
+    models: HashMap<u64, AppModel>,
+    /// Reused labelled-point buffer for refits (the only refresh scratch).
+    labelled_scratch: Vec<analytics::constrained::LabelledBehaviour>,
+    /// Full from-scratch fits performed (bookkeeping for tests/benches).
+    cold_refits: u64,
+    /// Warm-started fits performed.
+    warm_refits: u64,
 }
 
 impl WarningSystem {
@@ -110,7 +153,9 @@ impl WarningSystem {
         Self {
             config,
             models: HashMap::new(),
-            fitted_on: HashMap::new(),
+            labelled_scratch: Vec::new(),
+            cold_refits: 0,
+            warm_refits: 0,
         }
     }
 
@@ -125,26 +170,75 @@ impl WarningSystem {
     }
 
     /// Re-fits the cluster model for an application from the repository if
-    /// the repository has grown since the last fit.
+    /// the repository has changed since the last fit.
+    ///
+    /// O(1) when the application's repository generation is unchanged (the
+    /// steady-state epoch path — no clone, no refit).  When the repository
+    /// did change, the refit is warm-started from the previous model, with a
+    /// full cold refit every [`WarningConfig::cold_refit_interval`] refits to
+    /// bound warm-start drift.  The generation check also means churn in a
+    /// repository that is *at capacity* (length constant, contents rotating)
+    /// correctly triggers refits — the pre-generation length check went
+    /// permanently stale there.
     pub fn refresh_model(&mut self, app: AppId, repository: &BehaviorRepository) {
         let behaviors = repository.behaviors(app);
-        let n = behaviors.len();
-        if n < self.config.min_behaviors_for_clustering {
+        if behaviors.len() < self.config.min_behaviors_for_clustering {
             self.models.remove(&app.0);
-            self.fitted_on.remove(&app.0);
             return;
         }
-        if self.fitted_on.get(&app.0) == Some(&n) {
-            return; // Model is current.
+        let generation = behaviors.generation();
+        if self
+            .models
+            .get(&app.0)
+            .is_some_and(|m| m.generation == generation)
+        {
+            return; // Model is current: O(1) refresh.
         }
-        let model = fit_constrained(
-            &behaviors.labelled(),
-            self.config.clusters_per_app,
-            self.config.sigma_multiplier,
-            self.config.seed ^ app.0,
+        behaviors.labelled_into(&mut self.labelled_scratch);
+        let warm_source = self.models.get(&app.0).filter(|m| {
+            m.warm_refits_since_cold + 1 < self.config.cold_refit_interval
+                && m.model.mixture.k() > 0
+        });
+        let (model, warm_refits_since_cold) = match warm_source {
+            Some(prev) => (
+                fit_constrained_warm(
+                    &self.labelled_scratch,
+                    &prev.model.mixture,
+                    self.config.sigma_multiplier,
+                    WARM_REFIT_ITERS,
+                ),
+                prev.warm_refits_since_cold + 1,
+            ),
+            None => (
+                fit_constrained(
+                    &self.labelled_scratch,
+                    self.config.clusters_per_app,
+                    self.config.sigma_multiplier,
+                    self.config.seed ^ app.0,
+                ),
+                0,
+            ),
+        };
+        if warm_refits_since_cold == 0 {
+            self.cold_refits += 1;
+        } else {
+            self.warm_refits += 1;
+        }
+        self.models.insert(
+            app.0,
+            AppModel {
+                model,
+                generation,
+                warm_refits_since_cold,
+            },
         );
-        self.models.insert(app.0, model);
-        self.fitted_on.insert(app.0, n);
+    }
+
+    /// `(cold, warm)` refit counts since construction — lets tests and
+    /// benches verify that unchanged generations perform no work and that
+    /// the warm/cold cadence follows the configured interval.
+    pub fn refit_counts(&self) -> (u64, u64) {
+        (self.cold_refits, self.warm_refits)
     }
 
     /// True when the application is still in conservative (bootstrap) mode.
@@ -163,12 +257,12 @@ impl WarningSystem {
         behavior: &BehaviorVector,
         peers: &[BehaviorVector],
     ) -> WarningDecision {
-        let Some(model) = self.models.get(&app.0) else {
+        let Some(state) = self.models.get(&app.0) else {
             return WarningDecision::Bootstrap;
         };
         // Local check: does the behaviour match a learned normal cluster
         // within the per-metric thresholds MT?
-        if model.accepts(&behavior.to_vec()) {
+        if state.model.accepts(&behavior.values) {
             return WarningDecision::NormalLocal;
         }
         // Global check: are most peers deviating in the same way right now?
@@ -282,6 +376,88 @@ mod tests {
         let before = ws.modeled_apps();
         ws.refresh_model(app, &repo);
         assert_eq!(ws.modeled_apps(), before);
+    }
+
+    #[test]
+    fn unchanged_generation_performs_no_refit() {
+        let app = AppId(1);
+        let mut repo = trained_repository(app);
+        let mut ws = WarningSystem::with_defaults();
+        ws.refresh_model(app, &repo);
+        assert_eq!(ws.refit_counts(), (1, 0), "first refresh is a cold fit");
+        // Any number of refreshes against an unchanged repository is free.
+        for _ in 0..100 {
+            ws.refresh_model(app, &repo);
+        }
+        assert_eq!(ws.refit_counts(), (1, 0), "unchanged generation refitted");
+        // New data ⇒ exactly one (warm) refit.
+        repo.record_normal(app, behavior(1.52, 0.51), 100);
+        ws.refresh_model(app, &repo);
+        ws.refresh_model(app, &repo);
+        assert_eq!(ws.refit_counts(), (1, 1));
+    }
+
+    #[test]
+    fn cold_refit_interval_bounds_consecutive_warm_refits() {
+        let app = AppId(1);
+        let mut repo = trained_repository(app);
+        let mut ws = WarningSystem::new(WarningConfig {
+            cold_refit_interval: 4,
+            ..Default::default()
+        });
+        for i in 0..12u64 {
+            ws.refresh_model(app, &repo);
+            repo.record_normal(app, behavior(1.5, 0.5), 200 + i);
+        }
+        let (cold, warm) = ws.refit_counts();
+        // Cadence: cold, warm, warm, warm, cold, ... — 3 of 12 are cold.
+        assert_eq!((cold, warm), (3, 9));
+    }
+
+    #[test]
+    fn interval_of_one_disables_warm_starts() {
+        let app = AppId(1);
+        let mut repo = trained_repository(app);
+        let mut ws = WarningSystem::new(WarningConfig {
+            cold_refit_interval: 1,
+            ..Default::default()
+        });
+        for i in 0..5u64 {
+            ws.refresh_model(app, &repo);
+            repo.record_normal(app, behavior(1.5, 0.5), 200 + i);
+        }
+        assert_eq!(ws.refit_counts(), (5, 0));
+    }
+
+    #[test]
+    fn capacity_churn_still_triggers_refits() {
+        // Regression: the pre-generation staleness check compared entry
+        // *counts*, so a repository at capacity (length constant, contents
+        // rotating) never refreshed its model again.
+        let app = AppId(3);
+        let mut repo = BehaviorRepository::with_capacity(16);
+        for i in 0..16u64 {
+            repo.record_normal(app, behavior(1.5, 0.5), i);
+        }
+        let mut ws = WarningSystem::with_defaults();
+        ws.refresh_model(app, &repo);
+        let before = ws.refit_counts();
+        // The store is full: every further record evicts one entry and the
+        // length stays 16, but the contents move to a new operating point.
+        for i in 0..16u64 {
+            repo.record_normal(app, behavior(2.5 + i as f64 * 0.01, 1.5), 100 + i);
+            ws.refresh_model(app, &repo);
+        }
+        let after = ws.refit_counts();
+        assert!(
+            after.0 + after.1 > before.0 + before.1,
+            "full-capacity churn never refitted: {before:?} -> {after:?}"
+        );
+        // And the model actually tracked the move.
+        assert_eq!(
+            ws.evaluate(app, &behavior(2.58, 1.5), &[]),
+            WarningDecision::NormalLocal
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 pub use serde_derive::{Deserialize, Serialize};
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// An in-memory JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -283,6 +283,18 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     }
 }
 
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()?.iter().map(T::from_value).collect()
+    }
+}
+
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
@@ -436,6 +448,11 @@ mod tests {
     fn collections_round_trip() {
         let v = vec![1.0f64, 2.0, 3.0];
         assert_eq!(Vec::<f64>::from_value(&v.to_value()).unwrap(), v);
+        // A VecDeque serializes exactly like a Vec (a JSON array), so
+        // swapping the backing collection never changes the wire format.
+        let dq: VecDeque<f64> = v.iter().copied().collect();
+        assert_eq!(dq.to_value(), v.to_value());
+        assert_eq!(VecDeque::<f64>::from_value(&dq.to_value()).unwrap(), dq);
         let mut m = HashMap::new();
         m.insert(3u64, "three".to_string());
         m.insert(1u64, "one".to_string());
