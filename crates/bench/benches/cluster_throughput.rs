@@ -221,8 +221,7 @@ fn print_table(results: &[Measurement], migrations_per_sec: f64) {
 
 /// Dumps the measurements to `BENCH_cluster.json` at the workspace root so
 /// successive PRs can track the scaling trajectory.
-fn dump_json(results: &[Measurement], migrations_per_sec: f64) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+fn dump_json(results: &[Measurement], migrations_per_sec: f64, smoke: bool) {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut entries: Vec<String> = results
         .iter()
@@ -240,15 +239,7 @@ fn dump_json(results: &[Measurement], migrations_per_sec: f64) {
          \"available_parallelism\": {cores}}}"
     ));
     let json = format!("[\n{}\n]\n", entries.join(",\n"));
-    match std::fs::write(path, json) {
-        Ok(()) => {
-            let shown = std::fs::canonicalize(path)
-                .map(|p| p.display().to_string())
-                .unwrap_or_else(|_| path.to_string());
-            println!("# wrote {shown}");
-        }
-        Err(e) => eprintln!("# could not write {path}: {e}"),
-    }
+    bench::write_dump("cluster", smoke, &json);
 }
 
 fn bench_kernel(c: &mut Criterion) {
@@ -283,8 +274,10 @@ fn main() {
     let results = run_measurements(budget);
     let migrations_per_sec = measure_migrations_per_sec(budget.min(Duration::from_millis(100)));
     print_table(&results, migrations_per_sec);
-    if !smoke {
-        dump_json(&results, migrations_per_sec);
-    }
+    // Smoke runs dump too (to the .smoke.json sibling): CI validates the
+    // freshly written file with `cargo run -p bench --bin check_bench_json`,
+    // so a bench that breaks its own dump fails the build instead of
+    // silently corrupting the cross-PR trajectory.
+    dump_json(&results, migrations_per_sec, smoke);
     benches();
 }

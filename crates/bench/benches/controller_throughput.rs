@@ -302,8 +302,7 @@ fn print_table(results: &[Measurement], warm_us: f64, cold_us: f64) {
 
 /// Dumps the measurements to `BENCH_controller.json` at the workspace root so
 /// successive PRs can track the control-plane trajectory.
-fn dump_json(results: &[Measurement], warm_us: f64, cold_us: f64) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
+fn dump_json(results: &[Measurement], warm_us: f64, cold_us: f64, smoke: bool) {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut entries: Vec<String> = results
         .iter()
@@ -321,15 +320,7 @@ fn dump_json(results: &[Measurement], warm_us: f64, cold_us: f64) {
          \"seed_history\": {SEED_HISTORY}, \"available_parallelism\": {cores}}}"
     ));
     let json = format!("[\n{}\n]\n", entries.join(",\n"));
-    match std::fs::write(path, json) {
-        Ok(()) => {
-            let shown = std::fs::canonicalize(path)
-                .map(|p| p.display().to_string())
-                .unwrap_or_else(|_| path.to_string());
-            println!("# wrote {shown}");
-        }
-        Err(e) => eprintln!("# could not write {path}: {e}"),
-    }
+    bench::write_dump("controller", smoke, &json);
 }
 
 fn bench_kernel(c: &mut Criterion) {
@@ -377,8 +368,10 @@ fn main() {
         measure_refresh_cost_us(WarningConfig::default().cold_refit_interval, refresh_budget);
     let cold_us = measure_refresh_cost_us(1, refresh_budget);
     print_table(&results, warm_us, cold_us);
-    if !smoke {
-        dump_json(&results, warm_us, cold_us);
-    }
+    // Smoke runs dump too (to the .smoke.json sibling): CI validates the
+    // freshly written file with `cargo run -p bench --bin check_bench_json`,
+    // so a bench that breaks its own dump fails the build instead of
+    // silently corrupting the cross-PR trajectory.
+    dump_json(&results, warm_us, cold_us, smoke);
     benches();
 }

@@ -310,34 +310,33 @@ fn print_table(results: &[Measurement]) {
 }
 
 /// Dumps the measurements to `BENCH_resolver.json` at the workspace root so
-/// successive PRs can track the trajectory of this hot path.
-fn dump_json(results: &[Measurement]) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_resolver.json");
+/// successive PRs can track the trajectory of this hot path.  The runner's
+/// `available_parallelism` is recorded per row (as in the cluster and
+/// controller dumps) so single-core container numbers are never mistaken
+/// for multi-core ones; `cargo run -p bench --bin check_bench_json`
+/// validates the dump in CI.
+fn dump_json(results: &[Measurement], smoke: bool) {
+    let parallelism = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
     let entries: Vec<String> = results
         .iter()
         .map(|r| {
             format!(
                 "  {{\"fleet\": \"{}\", \"vms_per_machine\": {}, \
                  \"reused_vms_per_sec\": {:.0}, \"alloc_vms_per_sec\": {:.0}, \
-                 \"speedup\": {:.2}}}",
+                 \"speedup\": {:.2}, \"available_parallelism\": {}}}",
                 r.fleet,
                 r.vms_per_machine,
                 r.reused_vms_per_sec,
                 r.alloc_vms_per_sec,
-                r.speedup()
+                r.speedup(),
+                parallelism
             )
         })
         .collect();
     let json = format!("[\n{}\n]\n", entries.join(",\n"));
-    match std::fs::write(path, json) {
-        Ok(()) => {
-            let shown = std::fs::canonicalize(path)
-                .map(|p| p.display().to_string())
-                .unwrap_or_else(|_| path.to_string());
-            println!("# wrote {shown}");
-        }
-        Err(e) => eprintln!("# could not write {path}: {e}"),
-    }
+    bench::write_dump("resolver", smoke, &json);
 }
 
 fn bench_kernel(c: &mut Criterion) {
@@ -370,8 +369,10 @@ fn main() {
     };
     let results = run_measurements(budget);
     print_table(&results);
-    if !smoke {
-        dump_json(&results);
-    }
+    // Smoke runs dump too (to the .smoke.json sibling): CI validates the
+    // freshly written file with `cargo run -p bench --bin check_bench_json`,
+    // so a bench that breaks its own dump fails the build instead of
+    // silently corrupting the cross-PR trajectory.
+    dump_json(&results, smoke);
     benches();
 }

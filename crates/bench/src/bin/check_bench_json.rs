@@ -1,0 +1,344 @@
+//! CI validator for the throughput-bench JSON dumps.
+//!
+//! The three throughput benches (`resolver_throughput`, `cluster_throughput`,
+//! `controller_throughput`) dump machine-readable measurements to
+//! `BENCH_resolver.json`, `BENCH_cluster.json` and `BENCH_controller.json`
+//! at the workspace root so successive PRs can track the hot paths'
+//! trajectories (`--smoke` runs write `BENCH_*.smoke.json` siblings instead,
+//! so short-budget CI numbers never overwrite the committed full-budget
+//! files).  A bench that silently dumps an empty array, a non-finite rate or
+//! a row missing its keys would corrupt that trajectory without failing
+//! anything — so CI runs this checker right after the three smoke steps,
+//! over both the fresh smoke dumps and the committed files, and fails on
+//! any malformed dump.
+//!
+//! Checked per file:
+//!
+//! * the document parses as a **non-empty array of objects**,
+//! * every row carries its **required keys** (schema dispatched per file),
+//! * every rate/ratio is a **finite, strictly positive** number,
+//! * the runner's **`available_parallelism` is recorded** (≥ 1) on every
+//!   row, so single-core container numbers are never mistaken for scaling
+//!   data.
+//!
+//! Usage: `cargo run -p bench --bin check_bench_json [FILES...]` — with no
+//! arguments it validates the three dumps at the workspace root.  Exits
+//! nonzero listing every violation found.
+
+use serde::Value;
+
+/// The three dumps validated by default, relative to the workspace root.
+const DEFAULT_FILES: [&str; 3] = [
+    "BENCH_resolver.json",
+    "BENCH_cluster.json",
+    "BENCH_controller.json",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let files: Vec<String> = if args.is_empty() {
+        DEFAULT_FILES
+            .iter()
+            .map(|f| format!("{root}/{f}"))
+            .collect()
+    } else {
+        args
+    };
+
+    let mut failures = 0usize;
+    for file in &files {
+        let errors = check_file(file);
+        if errors.is_empty() {
+            println!("OK   {file}");
+        } else {
+            failures += errors.len();
+            eprintln!("FAIL {file}");
+            for error in errors {
+                eprintln!("  - {error}");
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} violation(s) across {} file(s)", files.len());
+        std::process::exit(1);
+    }
+}
+
+/// Reads, parses and validates one dump; returns every violation found.
+fn check_file(path: &str) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => return vec![format!("cannot read: {e}")],
+    };
+    let value: Value = match serde_json::from_str(&text) {
+        Ok(value) => value,
+        Err(e) => return vec![format!("invalid JSON: {e}")],
+    };
+    let schema = match schema_for(path) {
+        Some(schema) => schema,
+        None => {
+            return vec![format!(
+                "unknown dump (expected a path containing one of: resolver, cluster, controller)"
+            )]
+        }
+    };
+    validate(&value, schema)
+}
+
+/// Which per-row rules apply to a dump, dispatched on the file name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Schema {
+    Resolver,
+    Cluster,
+    Controller,
+}
+
+fn schema_for(path: &str) -> Option<Schema> {
+    let name = path.rsplit('/').next().unwrap_or(path);
+    if name.contains("resolver") {
+        Some(Schema::Resolver)
+    } else if name.contains("cluster") {
+        Some(Schema::Cluster)
+    } else if name.contains("controller") {
+        Some(Schema::Controller)
+    } else {
+        None
+    }
+}
+
+/// Validates a parsed dump against its schema.
+fn validate(doc: &Value, schema: Schema) -> Vec<String> {
+    let mut errors = Vec::new();
+    let rows = match doc.as_array() {
+        Ok(rows) => rows,
+        Err(_) => return vec![format!("document is {}, expected an array", doc.kind())],
+    };
+    if rows.is_empty() {
+        return vec!["document is an empty array".to_string()];
+    }
+    // Rows that carry the schema's main measurement (e.g. a throughput row
+    // rather than an auxiliary probe); every schema requires at least one.
+    let mut measurement_rows = 0usize;
+    for (i, row) in rows.iter().enumerate() {
+        if row.as_object().is_err() {
+            errors.push(format!("row {i}: is {}, expected an object", row.kind()));
+            continue;
+        }
+        match schema {
+            Schema::Resolver => {
+                measurement_rows += 1;
+                if !matches!(row.get("fleet"), Some(Value::Str(_))) {
+                    errors.push(format!("row {i}: missing string \"fleet\""));
+                }
+                require_positive(
+                    row,
+                    i,
+                    &mut errors,
+                    &[
+                        "vms_per_machine",
+                        "reused_vms_per_sec",
+                        "alloc_vms_per_sec",
+                        "speedup",
+                        "available_parallelism",
+                    ],
+                );
+            }
+            Schema::Cluster => {
+                if row.get("mode").is_some() {
+                    // A throughput row of the serial/sharded matrix.
+                    measurement_rows += 1;
+                    if !matches!(row.get("mode"), Some(Value::Str(_))) {
+                        errors.push(format!("row {i}: \"mode\" must be a string"));
+                    }
+                    require_positive(
+                        row,
+                        i,
+                        &mut errors,
+                        &[
+                            "machines",
+                            "vms",
+                            "threads",
+                            "epochs_per_sec",
+                            "speedup_vs_serial",
+                            "available_parallelism",
+                        ],
+                    );
+                } else {
+                    // The migration-churn probe.
+                    require_positive(
+                        row,
+                        i,
+                        &mut errors,
+                        &["migration_churn_per_sec", "available_parallelism"],
+                    );
+                }
+            }
+            Schema::Controller => {
+                if row.get("path").is_some() {
+                    // A warm-vs-cold warning-path throughput row.
+                    measurement_rows += 1;
+                    if !matches!(row.get("path"), Some(Value::Str(_))) {
+                        errors.push(format!("row {i}: \"path\" must be a string"));
+                    }
+                    require_positive(
+                        row,
+                        i,
+                        &mut errors,
+                        &[
+                            "vms",
+                            "apps",
+                            "evals_per_sec",
+                            "speedup_vs_cold",
+                            "available_parallelism",
+                        ],
+                    );
+                } else {
+                    // The refresh-cost probe.
+                    require_positive(
+                        row,
+                        i,
+                        &mut errors,
+                        &[
+                            "refresh_warm_us",
+                            "refresh_cold_us",
+                            "available_parallelism",
+                        ],
+                    );
+                }
+            }
+        }
+    }
+    if measurement_rows == 0 {
+        errors.push("no measurement rows found".to_string());
+    }
+    errors
+}
+
+/// Requires each key to be a finite, strictly positive number on the row.
+fn require_positive(row: &Value, i: usize, errors: &mut Vec<String>, keys: &[&str]) {
+    for key in keys {
+        match row.get(key).and_then(number) {
+            Some(x) if x.is_finite() && x > 0.0 => {}
+            Some(x) => errors.push(format!(
+                "row {i}: \"{key}\" must be finite and nonzero, got {x}"
+            )),
+            None => errors.push(format!("row {i}: missing numeric \"{key}\"")),
+        }
+    }
+}
+
+/// Numeric view of a JSON value, whatever integer/float variant it parsed as.
+fn number(v: &Value) -> Option<f64> {
+    match v {
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        Value::F64(x) => Some(*x),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Value {
+        serde_json::from_str(text).expect("test JSON parses")
+    }
+
+    #[test]
+    fn well_formed_dumps_pass() {
+        let resolver = parse(
+            r#"[{"fleet": "xeon", "vms_per_machine": 4, "reused_vms_per_sec": 1.1e7,
+                 "alloc_vms_per_sec": 6.0e6, "speedup": 1.96, "available_parallelism": 4}]"#,
+        );
+        assert!(validate(&resolver, Schema::Resolver).is_empty());
+
+        let cluster = parse(
+            r#"[{"machines": 64, "vms": 256, "mode": "serial", "threads": 1,
+                 "epochs_per_sec": 19248.1, "speedup_vs_serial": 1.0, "available_parallelism": 4},
+                {"migration_churn_per_sec": 8842165, "available_parallelism": 4}]"#,
+        );
+        assert!(validate(&cluster, Schema::Cluster).is_empty());
+
+        let controller = parse(
+            r#"[{"vms": 256, "apps": 8, "path": "generation_warm", "evals_per_sec": 253233,
+                 "speedup_vs_cold": 7.59, "available_parallelism": 4},
+                {"refresh_warm_us": 1119.3, "refresh_cold_us": 6660.6, "seed_history": 200,
+                 "available_parallelism": 4}]"#,
+        );
+        assert!(validate(&controller, Schema::Controller).is_empty());
+    }
+
+    #[test]
+    fn empty_and_non_array_documents_fail() {
+        assert!(!validate(&parse("[]"), Schema::Resolver).is_empty());
+        assert!(!validate(&parse(r#"{"fleet": "xeon"}"#), Schema::Resolver).is_empty());
+    }
+
+    #[test]
+    fn zero_and_missing_rates_fail() {
+        let zero_rate = parse(
+            r#"[{"fleet": "xeon", "vms_per_machine": 4, "reused_vms_per_sec": 0,
+                 "alloc_vms_per_sec": 6.0e6, "speedup": 1.96, "available_parallelism": 4}]"#,
+        );
+        let errors = validate(&zero_rate, Schema::Resolver);
+        assert!(
+            errors.iter().any(|e| e.contains("reused_vms_per_sec")),
+            "{errors:?}"
+        );
+
+        let missing_key = parse(
+            r#"[{"machines": 64, "vms": 256, "mode": "serial", "threads": 1,
+                 "speedup_vs_serial": 1.0, "available_parallelism": 4}]"#,
+        );
+        let errors = validate(&missing_key, Schema::Cluster);
+        assert!(
+            errors.iter().any(|e| e.contains("epochs_per_sec")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn missing_available_parallelism_fails() {
+        let doc = parse(
+            r#"[{"vms": 256, "apps": 8, "path": "warm", "evals_per_sec": 1000.0,
+                 "speedup_vs_cold": 2.0}]"#,
+        );
+        let errors = validate(&doc, Schema::Controller);
+        assert!(
+            errors.iter().any(|e| e.contains("available_parallelism")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn dumps_of_only_auxiliary_rows_fail() {
+        let doc = parse(r#"[{"migration_churn_per_sec": 100.0, "available_parallelism": 1}]"#);
+        let errors = validate(&doc, Schema::Cluster);
+        assert!(
+            errors.iter().any(|e| e.contains("no measurement rows")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn schema_dispatch_follows_the_file_name() {
+        assert_eq!(schema_for("BENCH_resolver.json"), Some(Schema::Resolver));
+        assert_eq!(schema_for("/a/b/BENCH_cluster.json"), Some(Schema::Cluster));
+        assert_eq!(
+            schema_for("BENCH_controller.json"),
+            Some(Schema::Controller)
+        );
+        assert_eq!(schema_for("BENCH_other.json"), None);
+    }
+
+    #[test]
+    fn committed_dumps_at_the_workspace_root_are_valid() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+        for file in DEFAULT_FILES {
+            let errors = check_file(&format!("{root}/{file}"));
+            assert!(errors.is_empty(), "{file}: {errors:?}");
+        }
+    }
+}

@@ -771,8 +771,9 @@ pub struct Fig9Point {
 /// compare client-reported degradation with the analyzer's estimate.
 pub fn fig9_degradation_accuracy(workload: CloudWorkload, seed: u64) -> Vec<Fig9Point> {
     let stress = workload.paired_stress();
-    let spec = MachineSpec::xeon_x5472();
-    let analyzer = InterferenceAnalyzer::new(spec, 0.05);
+    let analyzer = InterferenceAnalyzer::new(0.05);
+    // Counters are interpreted with the sandbox pool's machine model — the
+    // Xeon here, matching the victim cluster below.
     let sandbox = Sandbox::xeon_pool(2);
     let window = 8usize;
     let mut points = Vec::new();
@@ -908,7 +909,7 @@ pub struct Fig11Result {
 /// interference at that choice against the best / average / worst placements.
 pub fn fig11_placement_robustness(benchmark: &SyntheticBenchmark, seed: u64) -> Fig11Result {
     let spec = benchmark.spec.clone();
-    let manager = PlacementManager::new(spec.clone(), 1.0);
+    let manager = PlacementManager::new(1.0);
     let mut rng = StdRng::seed_from_u64(seed);
 
     // The aggressive VM to place: a large memory-stress kernel.
@@ -947,6 +948,7 @@ pub fn fig11_placement_robustness(benchmark: &SyntheticBenchmark, seed: u64) -> 
         real_interference.push(real);
         candidates.push(CandidateMachine {
             pm_id: PmId(10 + i as u64),
+            spec: spec.clone(),
             resident_demands: vec![resident_demand],
             free_cores: 6,
         });

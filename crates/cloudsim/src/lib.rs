@@ -28,7 +28,10 @@
 //!   replayed, mimicking the request-duplicating proxy of §4.2.
 //! * [`sandbox`] — the sandboxed environment: dedicated machines on which a
 //!   recorded demand stream is re-run in isolation (non-work-conserving,
-//!   nothing co-located).
+//!   nothing co-located).  [`sandbox::Sandbox`] is one pool of a single
+//!   machine model; [`sandbox::SandboxFleet`] holds one pool per model in a
+//!   mixed-hardware cluster and routes each analysis to the pool matching
+//!   the victim's host, so counters are never compared across models.
 //! * [`migration`] — live-migration cost model.
 //!
 //! DeepDive (crate `deepdive`) consumes only the [`pm::VmEpochReport`]s'
@@ -50,6 +53,6 @@ pub use engine::{EpochEngine, ExecutionMode};
 pub use pm::{PhysicalMachine, PmId, VmEpochReport};
 pub use proxy::RequestProxy;
 pub use rngs::ClusterSeed;
-pub use sandbox::Sandbox;
+pub use sandbox::{Sandbox, SandboxFleet};
 pub use scheduler::{PlacementPolicy, Scheduler};
 pub use vm::{Vm, VmId};

@@ -6,15 +6,26 @@
 //! produces the *isolation* counters the analyzer compares against
 //! production.
 //!
-//! Here a sandbox is a small pool of dedicated physical machines (the paper
-//! shows a handful suffice, §5.5).  Running an analysis occupies one machine
-//! for as long as the replayed window lasts; the pool size therefore bounds
-//! how many concurrent analyses can run, which is exactly the quantity the
-//! queueing experiments of Figs. 12–14 study.
+//! Here a [`Sandbox`] is a small pool of dedicated physical machines of one
+//! hardware model (the paper shows a handful suffice, §5.5).  Running an
+//! analysis occupies one machine for as long as the replayed window lasts;
+//! the pool size therefore bounds how many concurrent analyses can run,
+//! which is exactly the quantity the queueing experiments of Figs. 12–14
+//! study.
+//!
+//! Isolation counters are only directly comparable to production counters
+//! when the clone runs on the *same hardware model* as the production host.
+//! The paper's testbed is uniform (§5.1), so a single pool suffices there;
+//! a [`crate::Cluster::heterogeneous`] fleet instead needs one pool **per
+//! machine model**, selected by the victim's host spec at analysis time.
+//! That is what [`SandboxFleet`] provides; a fleet built with
+//! [`SandboxFleet::uniform`] (or `From<Sandbox>`) degenerates to the paper's
+//! single-pool setup and behaves identically to the bare [`Sandbox`].
 
 use hwsim::contention::PlacedDemand;
 use hwsim::{CounterSnapshot, EpochResolver, MachineSpec, ResourceDemand, EPOCH_SECONDS};
 
+use crate::cluster::Cluster;
 use crate::vm::VmId;
 
 /// Result of replaying one VM's recorded demand stream in isolation.
@@ -51,17 +62,19 @@ impl IsolationRun {
     }
 }
 
-/// A pool of dedicated profiling machines.
+/// A pool of dedicated profiling machines of one hardware model.
 ///
-/// The pool is homogeneous: isolation counters are only directly comparable
-/// to production counters when the clone runs on the *same hardware model*
-/// as the production host (the paper's testbed is uniform, §5.1).  On a
-/// [`crate::Cluster::heterogeneous`] fleet, analyses of VMs hosted on a
-/// model different from `spec` carry a systematic bias — e.g. a VM on a
-/// Core i7 node replayed in a Xeon sandbox compares across clock rates and
-/// memory systems.  Spec-aware sandbox pools (one per machine model in the
-/// fleet) are the ROADMAP follow-up; until then, keep analyzed tenants on
-/// machines matching the sandbox spec.
+/// The pool is homogeneous by construction: isolation counters are only
+/// directly comparable to production counters when the clone runs on the
+/// *same hardware model* as the production host (the paper's testbed is
+/// uniform, §5.1).  On a [`crate::Cluster::heterogeneous`] fleet, analyses
+/// of VMs hosted on a model different from `spec` carry a systematic bias —
+/// e.g. a VM on a Core i7 node replayed in a Xeon sandbox compares across
+/// clock rates and memory systems, and under-detects whenever the host is
+/// the faster machine for the workload.  Mixed fleets should therefore hold
+/// a [`SandboxFleet`] (one pool per machine model, selected by the victim's
+/// host spec); a bare `Sandbox` remains the right type for uniform clusters
+/// and for the queueing experiments that model a single profiling farm.
 #[derive(Debug, Clone)]
 pub struct Sandbox {
     /// Hardware model of the profiling machines (same as production, so that
@@ -137,9 +150,155 @@ impl Sandbox {
     }
 }
 
+/// A spec-aware set of sandbox pools for heterogeneous clusters: one
+/// [`Sandbox`] per machine model present in the fleet.
+///
+/// The analyzer's degradation estimate divides production instruction rates
+/// by isolation instruction rates, so the isolation replay must run on the
+/// same machine model that hosted the victim.  A `SandboxFleet` makes that
+/// routing explicit: [`SandboxFleet::pool_for`] returns the pool whose spec
+/// matches the victim's host, and [`SandboxFleet::select`] adds the
+/// fallback policy (first pool, flagged as unmatched) that reproduces the
+/// old single-pool behaviour when no model matches.
+///
+/// A machine model's **identity is its [`MachineSpec::name`]** — pools are
+/// deduplicated, routed and accounted by name, consistently with how
+/// `deepdive` keys its per-model synthetic benchmarks.  Two specs sharing a
+/// name are treated as one model (the first wins); give variants distinct
+/// names if they must be told apart.
+///
+/// [`SandboxFleet::uniform`] — or the `From<Sandbox>` conversion — builds a
+/// one-pool fleet for homogeneous clusters; `tests/sandbox_fleet.rs` pins
+/// that this compat path makes decisions bit-identical to a fleet derived
+/// from the cluster's specs on uniform fleets.
+#[derive(Debug, Clone)]
+pub struct SandboxFleet {
+    /// The pools, in construction order; `select` falls back to the first.
+    pools: Vec<Sandbox>,
+}
+
+impl SandboxFleet {
+    /// Creates a fleet from explicit pools.
+    ///
+    /// # Panics
+    /// Panics if the pool list is empty or two pools share a machine-model
+    /// name (per-pool accounting and spec routing key on the model).
+    pub fn new(pools: Vec<Sandbox>) -> Self {
+        assert!(!pools.is_empty(), "a sandbox fleet needs at least one pool");
+        for (i, pool) in pools.iter().enumerate() {
+            assert!(
+                pools[..i].iter().all(|p| p.spec.name != pool.spec.name),
+                "duplicate sandbox pool for machine model {:?}",
+                pool.spec.name
+            );
+        }
+        Self { pools }
+    }
+
+    /// A single-pool fleet: the paper's homogeneous setup (§5.1), and the
+    /// compatibility path for uniform clusters.
+    pub fn uniform(pool: Sandbox) -> Self {
+        Self::new(vec![pool])
+    }
+
+    /// One pool per distinct machine model in `specs`, in first-appearance
+    /// order, each with `machines_per_pool` machines and the given cloning
+    /// overhead.
+    ///
+    /// # Panics
+    /// Panics if `specs` is empty (via [`SandboxFleet::new`]) or a pool is
+    /// malformed (via [`Sandbox::new`]).
+    pub fn for_specs<'a>(
+        specs: impl IntoIterator<Item = &'a MachineSpec>,
+        machines_per_pool: usize,
+        clone_overhead_seconds: f64,
+    ) -> Self {
+        let mut pools: Vec<Sandbox> = Vec::new();
+        for spec in specs {
+            // Dedup by name — the same key `new` enforces and `pool_for`
+            // routes on — so a name can never reach `new` twice.
+            if pools.iter().all(|p| p.spec.name != spec.name) {
+                pools.push(Sandbox::new(
+                    spec.clone(),
+                    machines_per_pool,
+                    clone_overhead_seconds,
+                ));
+            }
+        }
+        Self::new(pools)
+    }
+
+    /// Derives the fleet a cluster actually needs: one pool per machine
+    /// model present in it, so every analysis can replay on the victim's
+    /// host model.  This is what [`SandboxFleet::for_specs`] exists for;
+    /// `deepdive`'s `DeepDive::for_cluster` calls it with its defaults.
+    pub fn for_cluster(
+        cluster: &Cluster,
+        machines_per_pool: usize,
+        clone_overhead_seconds: f64,
+    ) -> Self {
+        Self::for_specs(
+            cluster.machines().iter().map(|m| &m.spec),
+            machines_per_pool,
+            clone_overhead_seconds,
+        )
+    }
+
+    /// The pools, in construction order.
+    pub fn pools(&self) -> &[Sandbox] {
+        &self.pools
+    }
+
+    /// True when the fleet holds a single pool (the homogeneous setup).
+    pub fn is_uniform(&self) -> bool {
+        self.pools.len() == 1
+    }
+
+    /// Total number of profiling machines across every pool (the capacity
+    /// the Figs. 12–14 queueing picture divides work over).
+    pub fn total_machines(&self) -> usize {
+        self.pools.iter().map(|p| p.machines).sum()
+    }
+
+    /// The pool for the machine model named by `spec`, if any (models are
+    /// identified by [`MachineSpec::name`]).
+    pub fn pool_for(&self, spec: &MachineSpec) -> Option<&Sandbox> {
+        self.pools.iter().find(|p| p.spec.name == spec.name)
+    }
+
+    /// Selects the pool for a victim hosted on `spec`, falling back to the
+    /// first pool when no model matches.
+    ///
+    /// The boolean is `true` when the pool's model matches the host — i.e.
+    /// the isolation counters are directly comparable to production.  A
+    /// `false` means the caller is on the old cross-model path (a uniform
+    /// fleet analyzing a foreign model) and the degradation estimate is
+    /// biased; `deepdive` counts these as `sandbox_spec_fallbacks`.
+    pub fn select(&self, spec: &MachineSpec) -> (&Sandbox, bool) {
+        let (idx, matched) = self.select_index(spec);
+        (&self.pools[idx], matched)
+    }
+
+    /// Index-returning form of [`SandboxFleet::select`], for callers that
+    /// keep per-pool accounting in arrays parallel to [`SandboxFleet::pools`].
+    pub fn select_index(&self, spec: &MachineSpec) -> (usize, bool) {
+        match self.pools.iter().position(|p| p.spec.name == spec.name) {
+            Some(idx) => (idx, true),
+            None => (0, false),
+        }
+    }
+}
+
+impl From<Sandbox> for SandboxFleet {
+    fn from(pool: Sandbox) -> Self {
+        Self::uniform(pool)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::Scheduler;
     use hwsim::contention::resolve_epoch;
     use hwsim::ResourceDemand;
 
@@ -211,5 +370,85 @@ mod tests {
     #[should_panic(expected = "at least one machine")]
     fn empty_pool_rejected() {
         Sandbox::new(MachineSpec::xeon_x5472(), 0, 1.0);
+    }
+
+    #[test]
+    fn fleet_routes_each_spec_to_its_own_pool() {
+        let fleet = SandboxFleet::for_specs(
+            [
+                &MachineSpec::xeon_x5472(),
+                &MachineSpec::core_i7_nehalem(),
+                // Repeats collapse into the existing pool.
+                &MachineSpec::xeon_x5472(),
+            ],
+            3,
+            30.0,
+        );
+        assert_eq!(fleet.pools().len(), 2);
+        assert!(!fleet.is_uniform());
+        assert_eq!(fleet.total_machines(), 6);
+        let (xeon, matched) = fleet.select(&MachineSpec::xeon_x5472());
+        assert!(matched);
+        assert_eq!(xeon.spec, MachineSpec::xeon_x5472());
+        let (i7, matched) = fleet.select(&MachineSpec::core_i7_nehalem());
+        assert!(matched);
+        assert_eq!(i7.spec, MachineSpec::core_i7_nehalem());
+    }
+
+    #[test]
+    fn uniform_fleet_falls_back_to_its_only_pool_for_foreign_models() {
+        let fleet = SandboxFleet::from(Sandbox::xeon_pool(2));
+        assert!(fleet.is_uniform());
+        assert!(fleet.pool_for(&MachineSpec::core_i7_nehalem()).is_none());
+        let (pool, matched) = fleet.select(&MachineSpec::core_i7_nehalem());
+        assert!(!matched, "cross-model selection must be flagged");
+        assert_eq!(pool.spec, MachineSpec::xeon_x5472());
+    }
+
+    #[test]
+    fn fleet_for_cluster_covers_every_model_present() {
+        let cluster = Cluster::heterogeneous(
+            &[
+                (MachineSpec::xeon_x5472(), 2),
+                (MachineSpec::core_i7_nehalem(), 1),
+            ],
+            Scheduler::default(),
+        );
+        let fleet = SandboxFleet::for_cluster(&cluster, 4, 30.0);
+        assert_eq!(fleet.pools().len(), 2);
+        for machine in cluster.machines() {
+            let (pool, matched) = fleet.select(&machine.spec);
+            assert!(matched, "no pool for {}", machine.spec.name);
+            assert_eq!(pool.spec, machine.spec);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate sandbox pool")]
+    fn duplicate_pool_models_rejected() {
+        SandboxFleet::new(vec![Sandbox::xeon_pool(1), Sandbox::xeon_pool(2)]);
+    }
+
+    #[test]
+    fn model_identity_is_the_spec_name() {
+        // Two spec values sharing a name are one model: `for_specs` must
+        // collapse them into a single pool (first wins) instead of pushing
+        // two same-named pools into the duplicate assert, and routing must
+        // accept the variant.
+        let stock = MachineSpec::xeon_x5472();
+        let mut overclocked = MachineSpec::xeon_x5472();
+        overclocked.clock_hz *= 1.1;
+        let fleet = SandboxFleet::for_specs([&stock, &overclocked], 2, 30.0);
+        assert!(fleet.is_uniform());
+        assert_eq!(fleet.pools()[0].spec, stock);
+        let (pool, matched) = fleet.select(&overclocked);
+        assert!(matched, "same-named variant must route to its name's pool");
+        assert_eq!(pool.spec.name, stock.name);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pool")]
+    fn empty_fleet_rejected() {
+        SandboxFleet::new(Vec::new());
     }
 }

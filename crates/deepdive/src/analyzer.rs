@@ -15,10 +15,20 @@
 //! exceeds the threshold, the analyzer builds the augmented CPI stack for
 //! both environments, attributes the degradation to the culprit resource,
 //! and hands the case to the placement manager.
+//!
+//! The analyzer itself is machine-model agnostic: every analysis interprets
+//! counters with the datasheet constants of the sandbox pool it is handed,
+//! because the comparison is only sound when the clone runs on the same
+//! hardware model as the production host.  On heterogeneous clusters the
+//! controller routes each analysis to the matching pool of a
+//! [`cloudsim::SandboxFleet`]; handing the analyzer a pool of a *different*
+//! model (the old single-pool path) silently biases the estimate — e.g. an
+//! i7-hosted victim replayed in a Xeon sandbox under-detects whenever the
+//! i7 is the faster machine for the workload.
 
 use cloudsim::sandbox::Sandbox;
 use cloudsim::VmId;
-use hwsim::{CounterSnapshot, MachineSpec, ResourceDemand};
+use hwsim::{CounterSnapshot, ResourceDemand};
 use serde::{Deserialize, Serialize};
 
 use crate::cpi_stack::{CpiStack, Resource};
@@ -57,8 +67,6 @@ pub struct AnalysisResult {
 /// The interference analyzer.
 #[derive(Debug, Clone)]
 pub struct InterferenceAnalyzer {
-    /// Machine model used to interpret counters (datasheet constants).
-    pub spec: MachineSpec,
     /// Operator-defined performance threshold: degradations below this are
     /// treated as acceptable / false alarms (§4.2).
     pub performance_threshold: f64,
@@ -69,13 +77,12 @@ impl InterferenceAnalyzer {
     ///
     /// # Panics
     /// Panics if the threshold is not a fraction in `(0, 1)`.
-    pub fn new(spec: MachineSpec, performance_threshold: f64) -> Self {
+    pub fn new(performance_threshold: f64) -> Self {
         assert!(
             performance_threshold > 0.0 && performance_threshold < 1.0,
             "performance threshold must be a fraction in (0, 1)"
         );
         Self {
-            spec,
             performance_threshold,
         }
     }
@@ -86,7 +93,11 @@ impl InterferenceAnalyzer {
     ///   production over the analysis window.
     /// * `replayed_demands` — the request stream recorded by the proxy for
     ///   the same window (what the sandbox clone executes).
-    /// * `sandbox` — the sandboxed environment to run the clone in.
+    /// * `sandbox` — the sandboxed environment to run the clone in.  Its
+    ///   machine model supplies the datasheet constants for both CPI stacks,
+    ///   so it must match the victim's production host for the comparison to
+    ///   be unbiased (the controller guarantees this on spec-matched
+    ///   fleets).
     /// * `vcpus` — the VM's vCPU allocation (the clone gets the same).
     ///
     /// # Panics
@@ -124,9 +135,10 @@ impl InterferenceAnalyzer {
             (1.0 - inst_prod / inst_iso).clamp(0.0, 1.0)
         };
 
-        // Augmented CPI stacks and per-resource factors.
-        let stack_prod = CpiStack::from_counters(&production_mean, &self.spec);
-        let stack_iso = CpiStack::from_counters(&isolation_mean, &self.spec);
+        // Augmented CPI stacks and per-resource factors, interpreted with
+        // the sandbox pool's machine model (== the host's on matched fleets).
+        let stack_prod = CpiStack::from_counters(&production_mean, &sandbox.spec);
+        let stack_iso = CpiStack::from_counters(&isolation_mean, &sandbox.spec);
         let factors = CpiStack::degradation_factors(&stack_prod, &stack_iso);
         let interference_confirmed = degradation >= self.performance_threshold;
         let culprit = if interference_confirmed {
@@ -168,6 +180,7 @@ fn mean_counters(counters: &[CounterSnapshot]) -> CounterSnapshot {
 mod tests {
     use super::*;
     use hwsim::contention::{resolve_epoch, PlacedDemand};
+    use hwsim::MachineSpec;
 
     fn victim_demand() -> ResourceDemand {
         ResourceDemand::builder()
@@ -203,7 +216,7 @@ mod tests {
     }
 
     fn analyzer() -> InterferenceAnalyzer {
-        InterferenceAnalyzer::new(MachineSpec::xeon_x5472(), 0.15)
+        InterferenceAnalyzer::new(0.15)
     }
 
     #[test]
@@ -311,6 +324,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "performance threshold")]
     fn invalid_threshold_rejected() {
-        InterferenceAnalyzer::new(MachineSpec::xeon_x5472(), 1.5);
+        InterferenceAnalyzer::new(1.5);
     }
 }

@@ -11,13 +11,24 @@
 //! The controller also keeps the bookkeeping the evaluation needs: number of
 //! analyzer invocations, confirmed detections, false alarms, migrations and
 //! accumulated profiling time (Figs. 8 and 12).
+//!
+//! On heterogeneous clusters the controller holds a [`SandboxFleet`] — one
+//! sandbox pool per machine model — and routes every analysis to the pool
+//! matching the victim's host, so isolation counters are never compared
+//! across machine models.  Profiling time is accounted both in total and
+//! per pool ([`DeepDive::profiling_seconds_by_pool`], the per-farm load of
+//! the Figs. 12–14 queueing picture), and analyses that had to fall back to
+//! a mismatched pool are counted in
+//! [`DeepDiveStats::sandbox_spec_fallbacks`].  Build the controller with
+//! [`DeepDive::for_cluster`] to derive the fleet from the cluster's actual
+//! machine models.
 
 use std::collections::{HashMap, VecDeque};
 
 use cloudsim::cluster::ClusterError;
 use cloudsim::pm::VmEpochReport;
-use cloudsim::{Cluster, PmId, RequestProxy, Sandbox, VmId};
-use hwsim::CounterSnapshot;
+use cloudsim::{Cluster, PmId, RequestProxy, SandboxFleet, VmId};
+use hwsim::{CounterSnapshot, MachineSpec};
 use serde::{Deserialize, Serialize};
 use workloads::AppId;
 
@@ -94,6 +105,12 @@ pub struct DeepDiveStats {
     pub profiling_seconds: f64,
     /// Behaviours accepted via the global-information check.
     pub global_matches: u64,
+    /// Analyses whose victim was hosted on a machine model with no matching
+    /// sandbox pool, so the replay fell back to the fleet's first pool and
+    /// compared counters across models.  Nonzero means biased degradation
+    /// estimates; a fleet built with [`DeepDive::for_cluster`] keeps this at
+    /// zero by construction.
+    pub sandbox_spec_fallbacks: u64,
 }
 
 /// Events the controller emits each epoch, for logging and for the benches'
@@ -141,9 +158,18 @@ pub struct DeepDive {
     analyzer: InterferenceAnalyzer,
     repository: BehaviorRepository,
     proxy: RequestProxy,
-    sandbox: Sandbox,
+    /// One sandbox pool per machine model; each analysis replays in the pool
+    /// matching the victim's host so counters are never compared across
+    /// models (a uniform fleet reproduces the paper's single-pool setup).
+    fleet: SandboxFleet,
     placement: PlacementManager,
-    synthetic: Option<SyntheticBenchmark>,
+    /// One trained synthetic benchmark per machine model (keyed by spec
+    /// name), trained lazily the first time a placement decision needs it.
+    synthetic: HashMap<String, SyntheticBenchmark>,
+    /// Profiling seconds consumed per sandbox pool, parallel to
+    /// `fleet.pools()` — the per-farm load the Figs. 12–14 queueing
+    /// experiments size profiling capacity from.
+    profiling_by_pool: Vec<f64>,
     stats: DeepDiveStats,
     recent_counters: HashMap<VmId, VecDeque<CounterSnapshot>>,
     cooldown_until: HashMap<VmId, u64>,
@@ -159,25 +185,38 @@ pub struct DeepDive {
     window_scratch: Vec<CounterSnapshot>,
 }
 
+/// Machines per pool when the fleet is derived from a cluster
+/// ([`DeepDive::for_cluster`]); matches [`cloudsim::Sandbox::xeon_pool`]'s
+/// historical default so uniform clusters behave identically either way.
+const DEFAULT_POOL_MACHINES: usize = 4;
+/// Cloning overhead for derived fleets, in seconds (the paper's testbed
+/// value, as in [`cloudsim::Sandbox::xeon_pool`]).
+const DEFAULT_CLONE_OVERHEAD_SECONDS: f64 = 30.0;
+
 impl DeepDive {
-    /// Creates the controller with a sandbox pool for the analyzer.
-    pub fn new(config: DeepDiveConfig, sandbox: Sandbox) -> Self {
-        let analyzer =
-            InterferenceAnalyzer::new(sandbox.spec.clone(), config.performance_threshold);
-        let placement = PlacementManager::new(
-            sandbox.spec.clone(),
-            config.acceptable_destination_interference,
-        );
+    /// Creates the controller with a sandbox fleet for the analyzer.
+    ///
+    /// Accepts anything convertible into a [`SandboxFleet`]; passing a bare
+    /// [`cloudsim::Sandbox`] builds a uniform single-pool fleet (the
+    /// paper's homogeneous setup).  For a mixed-hardware cluster, prefer
+    /// [`DeepDive::for_cluster`], which derives one pool per machine model
+    /// actually present instead of hard-coding one.
+    pub fn new(config: DeepDiveConfig, sandboxes: impl Into<SandboxFleet>) -> Self {
+        let fleet = sandboxes.into();
+        let analyzer = InterferenceAnalyzer::new(config.performance_threshold);
+        let placement = PlacementManager::new(config.acceptable_destination_interference);
         let warning = WarningSystem::new(config.warning.clone());
+        let profiling_by_pool = vec![0.0; fleet.pools().len()];
         Self {
             config,
             warning,
             analyzer,
             repository: BehaviorRepository::new(),
             proxy: RequestProxy::with_default_window(),
-            sandbox,
+            fleet,
             placement,
-            synthetic: None,
+            synthetic: HashMap::new(),
+            profiling_by_pool,
             stats: DeepDiveStats::default(),
             recent_counters: HashMap::new(),
             cooldown_until: HashMap::new(),
@@ -188,9 +227,44 @@ impl DeepDive {
         }
     }
 
+    /// Creates the controller with the sandbox fleet the cluster actually
+    /// needs: one pool per machine model present in it (four machines per
+    /// pool, the paper's 30-second cloning overhead).
+    ///
+    /// This is the right default for any cluster — on a uniform fleet it is
+    /// equivalent to the old `DeepDive::new(config, Sandbox::xeon_pool(4))`
+    /// construction (pinned by `tests/sandbox_fleet.rs`), and on a mixed
+    /// fleet it guarantees every analysis replays on the victim's host
+    /// model (`stats().sandbox_spec_fallbacks` stays zero).
+    pub fn for_cluster(config: DeepDiveConfig, cluster: &Cluster) -> Self {
+        let fleet = SandboxFleet::for_cluster(
+            cluster,
+            DEFAULT_POOL_MACHINES,
+            DEFAULT_CLONE_OVERHEAD_SECONDS,
+        );
+        Self::new(config, fleet)
+    }
+
     /// The running statistics.
     pub fn stats(&self) -> DeepDiveStats {
         self.stats
+    }
+
+    /// The sandbox fleet backing the analyzer.
+    pub fn sandbox_fleet(&self) -> &SandboxFleet {
+        &self.fleet
+    }
+
+    /// Profiling seconds consumed per sandbox pool, as `(machine model,
+    /// seconds)` in pool order.  The sum equals
+    /// [`DeepDiveStats::profiling_seconds`]; the split is what sizes each
+    /// per-model profiling farm in the Figs. 12–14 queueing picture.
+    pub fn profiling_seconds_by_pool(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.fleet
+            .pools()
+            .iter()
+            .zip(&self.profiling_by_pool)
+            .map(|(pool, &seconds)| (pool.spec.name.as_str(), seconds))
     }
 
     /// The behaviour repository (read access for the evaluation).
@@ -294,7 +368,10 @@ impl DeepDive {
                     {
                         continue;
                     }
-                    let result = self.run_analysis(report);
+                    // Route the analysis to the sandbox pool matching the
+                    // victim's host model.
+                    let host_spec = self.host_spec(cluster, report.pm_id);
+                    let result = self.run_analysis(report, &host_spec);
                     let cooldown = if result.interference_confirmed {
                         self.config
                             .confirmed_cooldown
@@ -321,9 +398,27 @@ impl DeepDive {
         events
     }
 
-    /// Runs the interference analyzer for one VM and updates the repository.
-    fn run_analysis(&mut self, report: &VmEpochReport) -> AnalysisResult {
+    /// The machine model hosting `pm`.  Reports always come from machines
+    /// in `cluster`, so the fallback to the fleet's first pool model is
+    /// belt-and-braces; an actual cross-model fallback is detected (and
+    /// counted) by the fleet selection in [`DeepDive::run_analysis`].
+    fn host_spec(&self, cluster: &Cluster, pm: PmId) -> MachineSpec {
+        cluster
+            .machine(pm)
+            .map(|m| m.spec.clone())
+            .unwrap_or_else(|| self.fleet.pools()[0].spec.clone())
+    }
+
+    /// Runs the interference analyzer for one VM in the sandbox pool
+    /// matching `host_spec` and updates the repository.
+    fn run_analysis(&mut self, report: &VmEpochReport, host_spec: &MachineSpec) -> AnalysisResult {
         self.stats.analyzer_invocations += 1;
+        let (pool_idx, matched) = self.fleet.select_index(host_spec);
+        if !matched {
+            // Cross-model replay: the estimate is biased (the old
+            // single-pool behaviour on mixed fleets); surface it in stats.
+            self.stats.sandbox_spec_fallbacks += 1;
+        }
         // The analysis window lives in reused scratch (taken out of `self`
         // for the duration of the borrow-heavy analyzer call).
         let mut window = std::mem::take(&mut self.window_scratch);
@@ -338,11 +433,16 @@ impl DeepDive {
         if replay.is_empty() {
             replay.push(report.demand.clone());
         }
-        let result = self
-            .analyzer
-            .analyze(report.vm_id, &window, &replay, &self.sandbox, 2);
+        let result = self.analyzer.analyze(
+            report.vm_id,
+            &window,
+            &replay,
+            &self.fleet.pools()[pool_idx],
+            2,
+        );
         self.window_scratch = window;
         self.stats.profiling_seconds += result.profiling_seconds;
+        self.profiling_by_pool[pool_idx] += result.profiling_seconds;
         // Every isolation epoch is a verified normal behaviour — the set S
         // the analyzer hands the warning system (§4.1).
         for behavior in &result.isolation_behaviors {
@@ -395,14 +495,16 @@ impl DeepDive {
             });
             return events;
         }
-        // Candidate destinations: every other machine, with its residents'
-        // latest demands.
+        // Candidate destinations: every other machine, each with its own
+        // hardware model and its residents' latest demands, so predictions
+        // run against the destination's actual spec.
         let candidates: Vec<CandidateMachine> = cluster
             .machines()
             .iter()
             .filter(|m| m.id != pm)
             .map(|m| CandidateMachine {
                 pm_id: m.id,
+                spec: m.spec.clone(),
                 resident_demands: reports
                     .iter()
                     .filter(|r| r.pm_id == m.id)
@@ -419,15 +521,22 @@ impl DeepDive {
             return events;
         }
 
-        // Train the synthetic benchmark lazily, once per server type.
-        if self.synthetic.is_none() {
-            self.synthetic = Some(SyntheticBenchmark::train(
-                self.sandbox.spec.clone(),
+        // Train the synthetic benchmark lazily, once per server type: the
+        // mimic inverts behaviours observed on the afflicted machine, so it
+        // is trained on that machine's model.
+        let host_spec = self.host_spec(cluster, pm);
+        if !self.synthetic.contains_key(&host_spec.name) {
+            let benchmark = SyntheticBenchmark::train(
+                host_spec.clone(),
                 self.config.synthetic_training_samples,
                 self.config.seed,
-            ));
+            );
+            self.synthetic.insert(host_spec.name.clone(), benchmark);
         }
-        let benchmark = self.synthetic.as_ref().expect("benchmark trained above");
+        let benchmark = self
+            .synthetic
+            .get(&host_spec.name)
+            .expect("benchmark trained above");
 
         let decision = self
             .placement
@@ -490,13 +599,15 @@ mod tests {
         )
     }
 
-    fn controller(auto_migrate: bool) -> DeepDive {
+    /// Builds the controller the recommended way: fleet derived from the
+    /// cluster's machine models (one pool per model), never hard-coded.
+    fn controller(auto_migrate: bool, cluster: &Cluster) -> DeepDive {
         let config = DeepDiveConfig {
             auto_migrate,
             synthetic_training_samples: 80,
             ..Default::default()
         };
-        DeepDive::new(config, Sandbox::xeon_pool(4))
+        DeepDive::for_cluster(config, cluster)
     }
 
     /// Runs `epochs` epochs through `engine` and returns all events.
@@ -519,7 +630,7 @@ mod tests {
     fn bootstrap_learns_then_goes_quiet() {
         let mut cluster = Cluster::homogeneous(1, MachineSpec::xeon_x5472(), Scheduler::default());
         cluster.place_on(PmId(0), serving_vm(1, 1)).unwrap();
-        let mut dd = controller(false);
+        let mut dd = controller(false, &cluster);
         let engine = EpochEngine::serial(ClusterSeed::new(2));
         run(&mut cluster, &mut dd, &engine, 60, 0.8);
         let stats = dd.stats();
@@ -549,7 +660,7 @@ mod tests {
     fn injected_interference_is_detected_and_mitigated() {
         let mut cluster = Cluster::homogeneous(2, MachineSpec::xeon_x5472(), Scheduler::default());
         cluster.place_on(PmId(0), serving_vm(1, 1)).unwrap();
-        let mut dd = controller(true);
+        let mut dd = controller(true, &cluster);
         let engine = EpochEngine::serial(ClusterSeed::new(3));
         // Learn normal behaviour first.
         run(&mut cluster, &mut dd, &engine, 50, 0.8);
@@ -574,7 +685,7 @@ mod tests {
     fn profiling_time_accumulates_only_when_analyzer_runs() {
         let mut cluster = Cluster::homogeneous(1, MachineSpec::xeon_x5472(), Scheduler::default());
         cluster.place_on(PmId(0), serving_vm(1, 1)).unwrap();
-        let mut dd = controller(false);
+        let mut dd = controller(false, &cluster);
         let engine = EpochEngine::serial(ClusterSeed::new(4));
         run(&mut cluster, &mut dd, &engine, 40, 0.8);
         let after_learning = dd.stats().profiling_seconds;
@@ -594,7 +705,7 @@ mod tests {
         for i in 0..9 {
             cluster.place_first_fit(serving_vm(i, 1)).unwrap();
         }
-        let mut dd = controller(false);
+        let mut dd = controller(false, &cluster);
         let engine = EpochEngine::serial(ClusterSeed::new(5));
         run(&mut cluster, &mut dd, &engine, 40, 0.8);
         let before = dd.stats();
@@ -610,8 +721,69 @@ mod tests {
 
     #[test]
     fn stats_start_at_zero() {
-        let dd = controller(true);
+        let cluster = Cluster::homogeneous(1, MachineSpec::xeon_x5472(), Scheduler::default());
+        let dd = controller(true, &cluster);
         assert_eq!(dd.stats(), DeepDiveStats::default());
         assert!(dd.repository().known_apps().is_empty());
+        assert!(dd.profiling_seconds_by_pool().all(|(_, s)| s == 0.0));
+    }
+
+    #[test]
+    fn for_cluster_derives_one_pool_per_machine_model() {
+        let mixed = Cluster::heterogeneous(
+            &[
+                (MachineSpec::xeon_x5472(), 2),
+                (MachineSpec::core_i7_nehalem(), 2),
+            ],
+            Scheduler::default(),
+        );
+        let dd = DeepDive::for_cluster(DeepDiveConfig::default(), &mixed);
+        let fleet = dd.sandbox_fleet();
+        assert_eq!(fleet.pools().len(), 2);
+        for machine in mixed.machines() {
+            assert!(
+                fleet.pool_for(&machine.spec).is_some(),
+                "no pool for {}",
+                machine.spec.name
+            );
+        }
+        // The uniform constructor keeps hard-coding possible but explicit.
+        let uniform = DeepDive::new(DeepDiveConfig::default(), cloudsim::Sandbox::xeon_pool(4));
+        assert!(uniform.sandbox_fleet().is_uniform());
+    }
+
+    #[test]
+    fn profiling_time_is_accounted_against_the_matching_pool() {
+        // One i7-hosted tenant on a mixed cluster: every analysis must book
+        // its profiling seconds against the i7 pool, none against the Xeon
+        // pool, and no spec fallbacks may occur.
+        let mut cluster = Cluster::heterogeneous(
+            &[
+                (MachineSpec::xeon_x5472(), 1),
+                (MachineSpec::core_i7_nehalem(), 1),
+            ],
+            Scheduler::default(),
+        );
+        cluster.place_on(PmId(1), serving_vm(1, 1)).unwrap();
+        let mut dd = controller(false, &cluster);
+        let engine = EpochEngine::serial(ClusterSeed::new(7));
+        run(&mut cluster, &mut dd, &engine, 40, 0.8);
+        let stats = dd.stats();
+        assert!(stats.analyzer_invocations >= 1);
+        assert_eq!(stats.sandbox_spec_fallbacks, 0);
+        let by_pool: Vec<(String, f64)> = dd
+            .profiling_seconds_by_pool()
+            .map(|(name, s)| (name.to_string(), s))
+            .collect();
+        let i7 = MachineSpec::core_i7_nehalem();
+        let total: f64 = by_pool.iter().map(|(_, s)| s).sum();
+        assert!((total - stats.profiling_seconds).abs() < 1e-9);
+        for (name, seconds) in &by_pool {
+            if *name == i7.name {
+                assert!(*seconds > 0.0, "i7 pool never used: {by_pool:?}");
+            } else {
+                assert_eq!(*seconds, 0.0, "wrong pool charged: {by_pool:?}");
+            }
+        }
     }
 }

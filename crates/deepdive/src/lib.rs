@@ -17,7 +17,12 @@
 //!   ground-truth path: it clones the suspect VM into a sandbox, replays the
 //!   duplicated request stream, compares instructions retired in production
 //!   vs. isolation to estimate the degradation, and attributes it to a
-//!   culprit resource with an augmented CPI stack ([`cpi_stack`]);
+//!   culprit resource with an augmented CPI stack ([`cpi_stack`]).  On
+//!   heterogeneous clusters the controller holds a
+//!   [`cloudsim::SandboxFleet`] — one pool per machine model — and routes
+//!   each analysis to the pool matching the victim's host, since comparing
+//!   counters across models biases the estimate (build it with
+//!   [`controller::DeepDive::for_cluster`]);
 //! * the **placement manager** ([`placement`]) mitigates confirmed
 //!   interference: it picks the VM most aggressive on the culprit resource,
 //!   predicts — using a regression-trained synthetic benchmark
@@ -60,7 +65,7 @@
 //! ## Quick start
 //!
 //! ```
-//! use cloudsim::{Cluster, ClusterSeed, EpochEngine, Sandbox, Scheduler, Vm, VmId, PmId};
+//! use cloudsim::{Cluster, ClusterSeed, EpochEngine, Scheduler, Vm, VmId, PmId};
 //! use deepdive::controller::{DeepDive, DeepDiveConfig};
 //! use hwsim::MachineSpec;
 //! use workloads::{AppId, ClientEmulator, DataServing, MemoryStress};
@@ -73,7 +78,9 @@
 //!     ClientEmulator::new(8_000.0, 4.0),
 //! )).unwrap();
 //!
-//! let mut deepdive = DeepDive::new(DeepDiveConfig::default(), Sandbox::xeon_pool(2));
+//! // The sandbox fleet is derived from the cluster: one pool per machine
+//! // model present, so analyses never compare counters across models.
+//! let mut deepdive = DeepDive::for_cluster(DeepDiveConfig::default(), &cluster);
 //! // One seed determines every VM's demand stream; the engine can also run
 //! // `ExecutionMode::Sharded { threads }` with bit-identical results.
 //! let engine = EpochEngine::serial(ClusterSeed::new(1));

@@ -15,6 +15,11 @@
 //! snapshots: placing the clone's demand next to them and resolving one
 //! epoch of contention is exactly "running the benchmark for a short time on
 //! another machine (with other VMs present)".
+//!
+//! Each [`CandidateMachine`] carries its own [`MachineSpec`], so on a
+//! heterogeneous cluster the clone is evaluated against every destination's
+//! *actual* hardware model — a memory-bus hog predicts far worse on an
+//! FSB-attached Xeon than on a QuickPath i7, and the manager sees that.
 
 use cloudsim::{PmId, VmId};
 use hwsim::contention::{resolve_epoch, PlacedDemand};
@@ -48,6 +53,9 @@ pub struct ResidentVm {
 pub struct CandidateMachine {
     /// The machine.
     pub pm_id: PmId,
+    /// The machine's hardware model — interference is predicted against the
+    /// destination's own spec, not some fleet-wide constant.
+    pub spec: MachineSpec,
     /// Latest demands of the VMs already hosted there.
     pub resident_demands: Vec<ResourceDemand>,
     /// Free cores available for the incoming VM.
@@ -79,25 +87,24 @@ pub struct PlacementDecision {
 /// The placement manager.
 #[derive(Debug, Clone)]
 pub struct PlacementManager {
-    /// Machine model of the candidate destinations.
-    pub spec: MachineSpec,
     /// Maximum predicted interference the manager accepts at a destination.
     pub acceptable_interference: f64,
 }
 
 impl PlacementManager {
-    /// Creates a placement manager.
+    /// Creates a placement manager.  The manager is machine-model agnostic:
+    /// every prediction resolves contention against the candidate machine's
+    /// own [`MachineSpec`].
     ///
     /// # Panics
     /// Panics if the acceptable-interference limit is not a fraction in
     /// `(0, 1]`.
-    pub fn new(spec: MachineSpec, acceptable_interference: f64) -> Self {
+    pub fn new(acceptable_interference: f64) -> Self {
         assert!(
             acceptable_interference > 0.0 && acceptable_interference <= 1.0,
             "acceptable interference must be a fraction in (0, 1]"
         );
         Self {
-            spec,
             acceptable_interference,
         }
     }
@@ -141,21 +148,21 @@ impl PlacementManager {
 
     /// Predicts the interference the aggressor's synthetic clone would cause
     /// on one candidate machine: place the clone next to the candidate's
-    /// residents, resolve one epoch, and report the worst fractional
-    /// slowdown relative to each workload running uncontended.
+    /// residents, resolve one epoch *on the candidate's own hardware model*,
+    /// and report the worst fractional slowdown relative to each workload
+    /// running uncontended there.
     pub fn predict_on_candidate(
         &self,
         clone_demand: &ResourceDemand,
         clone_vcpus: usize,
         candidate: &CandidateMachine,
     ) -> f64 {
-        // Baselines: every demand resolved alone on an idle machine.
+        let spec = &candidate.spec;
+        // Baselines: every demand resolved alone on an idle machine of the
+        // candidate's model.
         let solo_fraction = |demand: &ResourceDemand, vcpus: usize| -> f64 {
-            resolve_epoch(
-                &self.spec,
-                &[PlacedDemand::new(0, demand.clone(), vcpus, 0)],
-            )[0]
-            .achieved_fraction
+            resolve_epoch(spec, &[PlacedDemand::new(0, demand.clone(), vcpus, 0)])[0]
+                .achieved_fraction
         };
 
         let mut placements = Vec::with_capacity(candidate.resident_demands.len() + 1);
@@ -165,7 +172,7 @@ impl PlacementManager {
                 i as u64,
                 demand.clone(),
                 2,
-                (i / 2) % self.spec.cache_groups().max(1),
+                (i / 2) % spec.cache_groups().max(1),
             ));
             baselines.push(solo_fraction(demand, 2));
         }
@@ -174,11 +181,11 @@ impl PlacementManager {
             u64::MAX,
             clone_demand.clone(),
             clone_vcpus,
-            (clone_slot / 2) % self.spec.cache_groups().max(1),
+            (clone_slot / 2) % spec.cache_groups().max(1),
         ));
         baselines.push(solo_fraction(clone_demand, clone_vcpus));
 
-        let outcomes = resolve_epoch(&self.spec, &placements);
+        let outcomes = resolve_epoch(spec, &placements);
         outcomes
             .iter()
             .zip(&baselines)
@@ -302,7 +309,20 @@ mod tests {
     }
 
     fn manager() -> PlacementManager {
-        PlacementManager::new(MachineSpec::xeon_x5472(), 0.15)
+        PlacementManager::new(0.15)
+    }
+
+    fn xeon_candidate(
+        id: u64,
+        resident_demands: Vec<ResourceDemand>,
+        free_cores: usize,
+    ) -> CandidateMachine {
+        CandidateMachine {
+            pm_id: PmId(id),
+            spec: MachineSpec::xeon_x5472(),
+            resident_demands,
+            free_cores,
+        }
     }
 
     #[test]
@@ -329,22 +349,41 @@ mod tests {
     fn prediction_is_low_on_an_empty_machine_and_high_on_a_loaded_one() {
         let m = manager();
         let clone_demand = busy_memory_demand();
-        let empty = CandidateMachine {
-            pm_id: PmId(1),
-            resident_demands: vec![],
-            free_cores: 8,
-        };
-        let loaded = CandidateMachine {
-            pm_id: PmId(2),
-            resident_demands: vec![busy_memory_demand(), quiet_demand()],
-            free_cores: 4,
-        };
+        let empty = xeon_candidate(1, vec![], 8);
+        let loaded = xeon_candidate(2, vec![busy_memory_demand(), quiet_demand()], 4);
         let empty_pred = m.predict_on_candidate(&clone_demand, 2, &empty);
         let loaded_pred = m.predict_on_candidate(&clone_demand, 2, &loaded);
         assert!(empty_pred < 0.05, "empty machine prediction {empty_pred}");
         assert!(
             loaded_pred > empty_pred,
             "loaded {loaded_pred} vs empty {empty_pred}"
+        );
+    }
+
+    #[test]
+    fn prediction_respects_the_candidate_machine_model() {
+        // The same memory-bus-hungry clone lands next to the same resident
+        // on a Xeon (FSB) and an i7 (QuickPath) candidate.  The two machine
+        // models must yield materially different predictions — on the Xeon
+        // the *solo* baseline is already FSB-throttled, so the relative
+        // extra slowdown is far smaller than on the i7, whose clean solo
+        // baseline exposes the full cache/bus contention.  A spec-blind
+        // manager would report the same number for both.
+        let m = manager();
+        let clone_demand = busy_memory_demand();
+        let residents = vec![busy_memory_demand()];
+        let xeon = xeon_candidate(1, residents.clone(), 6);
+        let i7 = CandidateMachine {
+            pm_id: PmId(2),
+            spec: MachineSpec::core_i7_nehalem(),
+            resident_demands: residents,
+            free_cores: 6,
+        };
+        let on_xeon = m.predict_on_candidate(&clone_demand, 2, &xeon);
+        let on_i7 = m.predict_on_candidate(&clone_demand, 2, &i7);
+        assert!(
+            (on_xeon - on_i7).abs() > 0.05,
+            "spec-blind prediction: xeon {on_xeon} vs i7 {on_i7}"
         );
     }
 
@@ -378,16 +417,8 @@ mod tests {
             },
         ];
         let candidates = vec![
-            CandidateMachine {
-                pm_id: PmId(10),
-                resident_demands: vec![busy_memory_demand(), busy_memory_demand()],
-                free_cores: 4,
-            },
-            CandidateMachine {
-                pm_id: PmId(11),
-                resident_demands: vec![],
-                free_cores: 8,
-            },
+            xeon_candidate(10, vec![busy_memory_demand(), busy_memory_demand()], 4),
+            xeon_candidate(11, vec![], 8),
         ];
         let decision = m.decide(&residents, Resource::CacheMemory, &candidates, &benchmark);
         assert_eq!(
@@ -405,18 +436,18 @@ mod tests {
 
     #[test]
     fn decision_declines_when_every_candidate_is_bad() {
-        let m = PlacementManager::new(MachineSpec::xeon_x5472(), 0.01);
+        let m = PlacementManager::new(0.01);
         let benchmark = SyntheticBenchmark::train(MachineSpec::xeon_x5472(), 120, 3);
         let residents = vec![resident(1, counters_with(5.0e7, 0.0, 0.0))];
-        let candidates = vec![CandidateMachine {
-            pm_id: PmId(10),
-            resident_demands: vec![
+        let candidates = vec![xeon_candidate(
+            10,
+            vec![
                 busy_memory_demand(),
                 busy_memory_demand(),
                 busy_memory_demand(),
             ],
-            free_cores: 2,
-        }];
+            2,
+        )];
         let decision = m.decide(&residents, Resource::CacheMemory, &candidates, &benchmark);
         assert_eq!(decision.destination, None);
     }
@@ -426,11 +457,7 @@ mod tests {
         let m = manager();
         let benchmark = SyntheticBenchmark::train(MachineSpec::xeon_x5472(), 120, 3);
         let residents = vec![resident(1, counters_with(5.0e7, 0.0, 0.0))];
-        let candidates = vec![CandidateMachine {
-            pm_id: PmId(10),
-            resident_demands: vec![quiet_demand()],
-            free_cores: 0,
-        }];
+        let candidates = vec![xeon_candidate(10, vec![quiet_demand()], 0)];
         let decision = m.decide(&residents, Resource::CacheMemory, &candidates, &benchmark);
         assert!(decision.predictions.is_empty());
         assert_eq!(decision.destination, None);
@@ -445,7 +472,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "acceptable interference")]
     fn invalid_limit_rejected() {
-        PlacementManager::new(MachineSpec::xeon_x5472(), 0.0);
+        PlacementManager::new(0.0);
     }
 
     #[test]

@@ -124,6 +124,22 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// A `Value` converts to and from itself, so callers can deserialize into
+// the dynamic tree and inspect it structurally (as `serde_json::Value`
+// permits) — e.g. the bench-JSON validator checking dumps whose rows are
+// heterogeneous objects.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

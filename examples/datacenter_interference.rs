@@ -5,15 +5,19 @@
 //! (the paper's §4.4 port) — hosts Data Serving, Web Search and Data
 //! Analytics VMs.  Client load follows a HotMail-style diurnal trace;
 //! EC2-style interference episodes inject a memory-stress aggressor next to
-//! the Data Serving VM.  DeepDive detects each episode, attributes it, and
-//! migrates the aggressor; the run ends with a report of detections, false
-//! alarms, migrations and profiling overhead.  Epochs are stepped by an
-//! `EpochEngine` honouring the `CLOUDSIM_THREADS` knob (serial and sharded
-//! runs print identical numbers).
+//! a tenant, alternating between the Xeon-hosted Data Serving VM and the
+//! i7-hosted Data Analytics worker.  DeepDive's spec-aware sandbox fleet
+//! (one pool per machine model, derived from the cluster) routes each
+//! analysis to the pool matching the victim's host, so both targets are
+//! analyzed without cross-model counter bias; the run ends with a report of
+//! detections, false alarms, migrations and the per-pool profiling
+//! overhead.  Epochs are stepped by an `EpochEngine` honouring the
+//! `CLOUDSIM_THREADS` knob (serial and sharded runs print identical
+//! numbers).
 //!
 //! Run with: `cargo run --release --example datacenter_interference`
 
-use cloudsim::{Cluster, ClusterSeed, EpochEngine, PmId, Sandbox, Scheduler, Vm, VmId};
+use cloudsim::{Cluster, ClusterSeed, EpochEngine, PmId, Scheduler, Vm, VmId};
 use deepdive::controller::{DeepDive, DeepDiveConfig, EpochEvent};
 use hwsim::MachineSpec;
 use traces::{InterferenceSchedule, LoadTrace};
@@ -32,12 +36,10 @@ fn main() {
         Scheduler::default(),
     );
     // Tenants: a key-value store, a search node and two analytics workers
-    // (the analytics pair lands on the i7 nodes).  Note the known limit:
-    // the sandbox pool below is Xeon, so analyses of i7-hosted VMs compare
-    // counters across machine models and their degradation estimates are
-    // biased — the interference episodes in this run all target the
-    // Xeon-hosted Data Serving VM, where isolation replay is exact.
-    // Spec-aware sandbox pools are a ROADMAP open item.
+    // (the analytics pair lands on the i7 nodes).  The sandbox fleet below
+    // is derived from this cluster — one Xeon pool and one i7 pool — so
+    // interference episodes can target tenants on either machine model and
+    // every analysis replays on hardware matching the victim's host.
     cluster
         .place_on(
             PmId(0),
@@ -94,20 +96,41 @@ fn main() {
         analysis_cooldown: 4,
         ..DeepDiveConfig::default()
     };
-    let mut deepdive = DeepDive::new(config, Sandbox::xeon_pool(4));
+    // One sandbox pool per machine model in the cluster, selected by each
+    // victim's host spec at analysis time.
+    let mut deepdive = DeepDive::for_cluster(config, &cluster);
+    println!(
+        "sandbox fleet: {} pools ({})",
+        deepdive.sandbox_fleet().pools().len(),
+        deepdive
+            .sandbox_fleet()
+            .pools()
+            .iter()
+            .map(|p| p.spec.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
     // CLOUDSIM_THREADS picks the execution mode; results are bit-identical
     // across serial and any shard count.
     let engine = EpochEngine::from_env(ClusterSeed::new(3));
 
     let mut aggressor_placed = false;
+    let mut episodes_seen = 0usize;
     for hour in 0..72usize {
         let t = hour as u64 * 3_600;
         let load = trace.load_at_hour(hour);
         let episode = schedule.active_at(t);
         if episode.is_some() && !aggressor_placed {
-            // The aggressor lands next to the Data Serving tenant.  It may have
-            // been migrated elsewhere during a previous episode; start it fresh.
-            let home = cluster.locate(VmId(1)).unwrap();
+            // Episodes alternate targets: the Xeon-hosted Data Serving VM
+            // and the i7-hosted Data Analytics worker — the fleet analyzes
+            // both without cross-model bias.  The target may have been
+            // migrated during a previous episode; chase its current home.
+            let target = if episodes_seen.is_multiple_of(2) {
+                VmId(1)
+            } else {
+                VmId(3)
+            };
+            let home = cluster.locate(target).unwrap();
             if cluster
                 .place_on(
                     home,
@@ -120,7 +143,11 @@ fn main() {
                 .is_ok()
             {
                 aggressor_placed = true;
-                println!("hour {hour:2}: interference episode begins (aggressor lands on {home})");
+                episodes_seen += 1;
+                println!(
+                    "hour {hour:2}: interference episode begins (aggressor lands on {home}, \
+                     next to {target})"
+                );
             }
         } else if episode.is_none() && aggressor_placed {
             cluster.remove_vm(VmId(99));
@@ -157,6 +184,13 @@ fn main() {
     println!(
         "profiling time       : {:.1} min over 3 days",
         stats.profiling_seconds / 60.0
+    );
+    for (pool, seconds) in deepdive.profiling_seconds_by_pool() {
+        println!("  {:32} : {:.1} min", pool, seconds / 60.0);
+    }
+    println!(
+        "cross-model fallbacks: {} (0 = every analysis replayed on its host's model)",
+        stats.sandbox_spec_fallbacks
     );
     println!(
         "repository footprint : {} bytes across {} applications",

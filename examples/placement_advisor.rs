@@ -51,14 +51,17 @@ fn main() {
             Box::new(DataAnalytics::worker(AppId(3))),
         ),
     ];
-    let manager = PlacementManager::new(spec.clone(), 1.0);
+    let manager = PlacementManager::new(1.0);
     let clone_demand = inputs.demand();
     println!("predicted interference if the VM moved to each candidate:");
     let mut best: Option<(&str, f64)> = None;
     for (i, (name, workload)) in residents.iter_mut().enumerate() {
         let resident_demand = workload.next_demand(0.9, &mut rng);
+        // Every candidate carries its own machine model; on a mixed fleet
+        // the manager would predict against each destination's actual spec.
         let candidate = CandidateMachine {
             pm_id: cloudsim::PmId(10 + i as u64),
+            spec: spec.clone(),
             resident_demands: vec![resident_demand],
             free_cores: 6,
         };

@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use cloudsim::{Cluster, ClusterSeed, EpochEngine, PmId, Sandbox, Scheduler, Vm, VmId};
+use cloudsim::{Cluster, ClusterSeed, EpochEngine, PmId, Scheduler, Vm, VmId};
 use deepdive::controller::{DeepDive, DeepDiveConfig, EpochEvent};
 use hwsim::MachineSpec;
 use workloads::{AppId, ClientEmulator, DataServing, MemoryStress};
@@ -27,7 +27,11 @@ fn main() {
         )
         .expect("machine 0 is empty");
 
-    let mut deepdive = DeepDive::new(DeepDiveConfig::default(), Sandbox::xeon_pool(2));
+    // The sandbox fleet is derived from the cluster: one pool per machine
+    // model present (a single Xeon pool here).  On a mixed-hardware cluster
+    // the same constructor adds a pool per model and routes each analysis
+    // to the pool matching the victim's host.
+    let mut deepdive = DeepDive::for_cluster(DeepDiveConfig::default(), &cluster);
     // One cluster seed drives every VM's demand stream; serial stepping is
     // plenty for two machines (Sharded mode would be bit-identical anyway).
     let engine = EpochEngine::serial(ClusterSeed::new(42));

@@ -113,6 +113,20 @@
 //!   Synthetic-benchmark training is parallel the same way the epoch
 //!   engine is: per-sample SplitMix64 streams on scoped threads,
 //!   bit-identical for any thread count (`DEEPDIVE_TRAIN_THREADS`).
+//! * **Spec-aware sandbox fleets** — the analyzer's degradation estimate
+//!   divides production instruction rates by isolation rates, which is
+//!   only sound when the clone replays on the victim's host machine
+//!   model.  `cloudsim::SandboxFleet` therefore holds one sandbox pool
+//!   per model in the cluster (`DeepDive::for_cluster` derives it;
+//!   `From<Sandbox>` keeps the uniform single-pool path, pinned
+//!   bit-identical on homogeneous clusters by `tests/sandbox_fleet.rs`),
+//!   and the controller routes each analysis to the matching pool,
+//!   trains one synthetic benchmark per model, predicts placements
+//!   against each candidate's own spec, and accounts profiling seconds
+//!   per pool.  Cross-model fallbacks — the old biased path, which can
+//!   miss ~98%-degradation episodes outright when the victim's host is
+//!   the faster machine for the workload — are counted in
+//!   `DeepDiveStats::sandbox_spec_fallbacks`.
 //!
 //! # Test-suite map
 //!
@@ -135,8 +149,19 @@
 //!   model refreshes produce equivalent warning *decisions* (detections
 //!   always, divergence bounded) over randomized growing repositories, and
 //!   an unchanged repository generation makes refreshes free,
+//! * `tests/sandbox_fleet.rs` — spec-aware fleet contracts: on uniform
+//!   clusters the derived fleet is bit-identical to the old single-pool
+//!   construction (proptest), and on a mixed Xeon+i7 cluster the
+//!   spec-matched fleet detects an i7-hosted victim that the frozen
+//!   Xeon-only path under-detects to zero,
 //! * `crates/bench/tests/figures_smoke.rs` — every figure entry point runs
 //!   under plain `cargo test`, not only under Criterion.
+//!
+//! CI runs the whole suite twice — once default (Serial engine pinned in
+//! tests) and once with `CLOUDSIM_THREADS=4 DEEPDIVE_TRAIN_THREADS=4` so
+//! the sharded engine and parallel trainer execute multi-threaded — and
+//! validates the three `BENCH_*.json` throughput dumps with
+//! `cargo run -p bench --bin check_bench_json` after the smoke steps.
 //!
 //! Everything is seeded: a `cloudsim::ClusterSeed` determines every VM's
 //! demand stream per `(vm, epoch)`, so the same seed gives the same

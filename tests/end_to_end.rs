@@ -207,6 +207,12 @@ fn heterogeneous_fleet_detects_and_migrates_across_machine_models() {
     // A mixed rack (ROADMAP heterogeneous-fleet scenario): two Xeon X5472
     // machines extended with two Core i7/Nehalem nodes (the §4.4 port),
     // stepped sharded to exercise the parallel path end to end.
+    //
+    // The interference victim lives on an *i7* node: with the spec-aware
+    // sandbox fleet there is no longer any reason to keep analyzed tenants
+    // on hosts matching a hard-coded sandbox model (the pre-fleet versions
+    // of this test did exactly that).  The analysis must replay in the i7
+    // pool — no cross-model counter comparison — and detect the episode.
     let mut cluster = Cluster::heterogeneous(
         &[
             (MachineSpec::xeon_x5472(), 2),
@@ -219,17 +225,21 @@ fn heterogeneous_fleet_detects_and_migrates_across_machine_models() {
         MachineSpec::core_i7_nehalem(),
         "the i7 group must actually back the high-numbered machines"
     );
-    cluster.place_on(PmId(0), serving_vm(1)).unwrap();
-    // A second instance of the same application runs on i7 hardware.
-    cluster.place_on(PmId(2), serving_vm(2)).unwrap();
+    // The analyzed tenant runs on i7 hardware; a second instance of the
+    // same application runs on a Xeon node.
+    cluster.place_on(PmId(2), serving_vm(1)).unwrap();
+    cluster.place_on(PmId(0), serving_vm(2)).unwrap();
 
-    let mut deepdive = DeepDive::new(DeepDiveConfig::default(), Sandbox::xeon_pool(2));
+    // The fleet is derived from the cluster: one pool per machine model.
+    let mut deepdive = DeepDive::for_cluster(DeepDiveConfig::default(), &cluster);
+    assert_eq!(deepdive.sandbox_fleet().pools().len(), 2);
     let engine = EpochEngine::new(ClusterSeed::new(6), ExecutionMode::Sharded { threads: 2 });
     run_epochs(&mut cluster, &mut deepdive, &engine, 50, 0.8);
 
+    // A cache/bus aggressor lands next to the i7-hosted victim.
     cluster
         .place_on(
-            PmId(0),
+            PmId(2),
             Vm::new(
                 VmId(99),
                 Box::new(MemoryStress::new(AppId(900), 512.0)),
@@ -237,16 +247,58 @@ fn heterogeneous_fleet_detects_and_migrates_across_machine_models() {
             ),
         )
         .unwrap();
-    run_epochs(&mut cluster, &mut deepdive, &engine, 40, 0.8);
+    let events = run_epochs(&mut cluster, &mut deepdive, &engine, 40, 0.8);
 
     let stats = deepdive.stats();
     assert!(
         stats.interference_confirmed >= 1,
         "interference on the mixed fleet was never confirmed: {stats:?}"
     );
+    assert_eq!(
+        stats.sandbox_spec_fallbacks, 0,
+        "an analysis compared counters across machine models: {stats:?}"
+    );
     assert!(stats.migrations >= 1, "no mitigation happened: {stats:?}");
-    // The aggressor left the victim's machine; the victim stayed put.
-    assert_ne!(cluster.locate(VmId(99)), Some(PmId(0)));
-    assert_eq!(cluster.locate(VmId(1)), Some(PmId(0)));
-    assert_eq!(cluster.locate(VmId(2)), Some(PmId(2)));
+    // The aggressor left the victim's machine; the victims stayed put.
+    assert_ne!(cluster.locate(VmId(99)), Some(PmId(2)));
+    assert_eq!(cluster.locate(VmId(1)), Some(PmId(2)));
+    assert_eq!(cluster.locate(VmId(2)), Some(PmId(0)));
+
+    // Confirmed analyses of the afflicted i7 machine's tenants (victim or
+    // aggressor — whichever the warning system escalated first) must also
+    // attribute the episode to the memory subsystem: attribution runs on
+    // the i7 pool's CPI stack, so a cross-model replay would skew it.
+    // (The quantitative estimate-vs-ground-truth contract is pinned by
+    // `tests/sandbox_fleet.rs`.)
+    let confirmed_culprits: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            EpochEvent::Analyzed { vm, result, .. }
+                if (*vm == VmId(1) || *vm == VmId(99)) && result.interference_confirmed =>
+            {
+                Some(result.culprit)
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !confirmed_culprits.is_empty(),
+        "no i7-hosted tenant was ever confirmed: {events:?}"
+    );
+    assert!(
+        confirmed_culprits
+            .iter()
+            .all(|c| matches!(c, Some(Resource::CacheMemory) | Some(Resource::MemoryBus))),
+        "memory aggressor blamed on the wrong resource: {confirmed_culprits:?}"
+    );
+
+    // Profiling time for the i7-hosted victim was booked against the i7
+    // pool (the per-pool split the queueing experiments size farms from).
+    let i7_name = MachineSpec::core_i7_nehalem().name;
+    let i7_seconds: f64 = deepdive
+        .profiling_seconds_by_pool()
+        .filter(|(name, _)| *name == i7_name)
+        .map(|(_, s)| s)
+        .sum();
+    assert!(i7_seconds > 0.0, "the i7 pool was never exercised");
 }
