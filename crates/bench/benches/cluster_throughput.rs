@@ -1,21 +1,26 @@
-//! Cluster stepping throughput: epochs/sec through the sharded
-//! [`EpochEngine`] at production fleet sizes, serial vs sharded.
+//! Cluster stepping throughput: epochs/sec through the [`EpochEngine`] at
+//! production fleet sizes — serial vs spawn-per-call sharding vs the
+//! persistent worker pool.
 //!
 //! This is the scaling item the engine refactor unlocks: with per-`(vm,
 //! epoch)` RNG streams, machines are data-independent within an epoch, so
-//! the engine can step contiguous machine shards on scoped threads and merge
-//! reports in machine order — bit-identical to serial, but using every core.
-//! The bench steps 64-, 256- and 512-machine Xeon fleets at the testbed's
-//! real density (four 2-vCPU VMs per 8-core machine, mixed
-//! serving/search/analytics/stress tenants) through `Serial` and
-//! `Sharded { 1, 2, 4, 8 }`, plus the `CLOUDSIM_THREADS` env-default mode,
-//! and additionally through the batched `step_epochs` path (one thread
-//! spawn per 8-epoch batch instead of per epoch — the amortisation
-//! available to callers that do not mutate the cluster between epochs).
-//! A sharded run can only beat serial when the OS actually grants more than
-//! one hardware thread, so each JSON record carries `available_parallelism`
-//! — on a single-core runner the sharded rows measure pure threading
-//! overhead and say nothing about multi-core scaling.
+//! the engine can step balanced contiguous machine shards in parallel and
+//! merge reports in machine order — bit-identical to serial, but using
+//! every core.  The bench steps 64-, 256- and 512-machine Xeon fleets at
+//! the testbed's real density (four 2-vCPU VMs per 8-core machine, mixed
+//! serving/search/analytics/stress tenants) through `Serial`,
+//! `Sharded { 1, 2, 4, 8 }` (scoped threads spawned per call — the old
+//! baseline), `Pooled { 2, 4, 8 }` (persistent workers, barrier handoff —
+//! the production mode), plus the `CLOUDSIM_THREADS` env-default mode, and
+//! additionally through the batched `step_epochs` path (one barrier per
+//! 8-epoch batch instead of per epoch — the amortisation available to
+//! callers that do not mutate the cluster between epochs).
+//! A parallel run can only beat serial when the OS actually grants more
+//! than one hardware thread, so each JSON record carries
+//! `available_parallelism`, and rows with `threads > 1` on a single-core
+//! runner additionally carry `"overhead_only": true` — they measure pure
+//! coordination overhead and say nothing about multi-core scaling
+//! (`check_bench_json` enforces the flag).
 //!
 //! The run also measures migration churn (`Cluster::migrate` round-trips per
 //! second) to back the `PhysicalMachine::remove_vm` linear-scan decision:
@@ -68,13 +73,14 @@ fn mode_label(mode: ExecutionMode) -> String {
     match mode {
         ExecutionMode::Serial => "serial".to_string(),
         ExecutionMode::Sharded { threads } => format!("sharded-{threads}"),
+        ExecutionMode::Pooled { threads } => format!("pooled-{threads}"),
     }
 }
 
 fn mode_threads(mode: ExecutionMode) -> usize {
     match mode {
         ExecutionMode::Serial => 1,
-        ExecutionMode::Sharded { threads } => threads,
+        ExecutionMode::Sharded { threads } | ExecutionMode::Pooled { threads } => threads,
     }
 }
 
@@ -155,6 +161,9 @@ fn run_measurements(budget: Duration) -> Vec<Measurement> {
             ExecutionMode::Sharded { threads: 2 },
             ExecutionMode::Sharded { threads: 4 },
             ExecutionMode::Sharded { threads: 8 },
+            ExecutionMode::Pooled { threads: 2 },
+            ExecutionMode::Pooled { threads: 4 },
+            ExecutionMode::Pooled { threads: 8 },
         ];
         let env_mode = ExecutionMode::from_env();
         if !modes.contains(&env_mode) {
@@ -175,19 +184,24 @@ fn run_measurements(budget: Duration) -> Vec<Measurement> {
                 speedup_vs_serial: rate / serial_rate.expect("serial measured first"),
             });
         }
-        // Batched stepping: thread-spawn amortisation via step_epochs.
+        // Batched stepping: one spawn set (Sharded) or one barrier (Pooled)
+        // per 8-epoch batch via step_epochs.
         const BATCH: usize = 8;
         for threads in [2usize, 4, 8] {
-            let mode = ExecutionMode::Sharded { threads };
-            let rate = measure_batched_epochs_per_sec(machines, mode, BATCH, budget);
-            results.push(Measurement {
-                machines,
-                vms: machines * VMS_PER_MACHINE,
-                label: format!("{}-batch{BATCH}", mode_label(mode)),
-                threads,
-                epochs_per_sec: rate,
-                speedup_vs_serial: rate / serial_rate.expect("serial measured first"),
-            });
+            for mode in [
+                ExecutionMode::Sharded { threads },
+                ExecutionMode::Pooled { threads },
+            ] {
+                let rate = measure_batched_epochs_per_sec(machines, mode, BATCH, budget);
+                results.push(Measurement {
+                    machines,
+                    vms: machines * VMS_PER_MACHINE,
+                    label: format!("{}-batch{BATCH}", mode_label(mode)),
+                    threads,
+                    epochs_per_sec: rate,
+                    speedup_vs_serial: rate / serial_rate.expect("serial measured first"),
+                });
+            }
         }
     }
     results
@@ -195,9 +209,12 @@ fn run_measurements(budget: Duration) -> Vec<Measurement> {
 
 fn print_table(results: &[Measurement], migrations_per_sec: f64) {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    println!("# Cluster throughput — EpochEngine serial vs sharded ({cores} core(s) available)");
+    println!(
+        "# Cluster throughput — EpochEngine serial vs sharded vs pooled \
+         ({cores} core(s) available)"
+    );
     if cores == 1 {
-        println!("# NOTE: single-core runner; sharded rows measure threading overhead only.");
+        println!("# NOTE: single-core runner; parallel rows measure coordination overhead only.");
     }
     println!("machines,vms,mode,threads,epochs_per_sec,vm_epochs_per_sec,speedup_vs_serial");
     for r in results {
@@ -226,11 +243,15 @@ fn dump_json(results: &[Measurement], migrations_per_sec: f64, smoke: bool) {
     let mut entries: Vec<String> = results
         .iter()
         .map(|r| {
+            // A multi-threaded row measured on a single-core runner records
+            // coordination overhead, not scaling — say so in the row itself
+            // (check_bench_json rejects dumps that omit the flag).
+            let overhead_only = r.threads > 1 && cores == 1;
             format!(
                 "  {{\"machines\": {}, \"vms\": {}, \"mode\": \"{}\", \"threads\": {}, \
                  \"epochs_per_sec\": {:.1}, \"speedup_vs_serial\": {:.2}, \
-                 \"available_parallelism\": {}}}",
-                r.machines, r.vms, r.label, r.threads, r.epochs_per_sec, r.speedup_vs_serial, cores
+                 \"available_parallelism\": {cores}, \"overhead_only\": {overhead_only}}}",
+                r.machines, r.vms, r.label, r.threads, r.epochs_per_sec, r.speedup_vs_serial
             )
         })
         .collect();
@@ -250,6 +271,10 @@ fn bench_kernel(c: &mut Criterion) {
         (
             "epoch_64_machines_sharded_4",
             ExecutionMode::Sharded { threads: 4 },
+        ),
+        (
+            "epoch_64_machines_pooled_4",
+            ExecutionMode::Pooled { threads: 4 },
         ),
     ];
     for (name, mode) in cases {

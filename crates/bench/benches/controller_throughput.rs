@@ -22,16 +22,27 @@
 //! measurement reports the per-refresh cost (µs) of warm-started vs cold
 //! refits on a grown repository.
 //!
+//! A third section measures the **refit fan-out**: refits/sec through
+//! [`WarningSystem::refresh_models`] when every application's repository
+//! generation changed in the same epoch — the serial per-app loop versus
+//! the same sweep scattered over a persistent [`WorkerPool`] (the way the
+//! controller drives it when handed a pool).  The pooled sweep is
+//! bit-identical to the serial one (pinned by
+//! `tests/warning_equivalence.rs`), so these rows isolate pure scheduling
+//! cost vs multi-core win.
+//!
 //! Results are printed as a table and dumped to `BENCH_controller.json` at
 //! the workspace root (with `available_parallelism`, following the
-//! `BENCH_cluster.json` caveat convention — this bench is single-threaded,
-//! the field just records the runner).  `--smoke` (the CI step) shrinks the
-//! measurement budget.
+//! `BENCH_cluster.json` caveat convention).  Fan-out rows claiming
+//! `threads > 1` on a single-core runner carry `"overhead_only": true` —
+//! `check_bench_json` enforces the flag.  `--smoke` (the CI step) shrinks
+//! the measurement budget.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use analytics::constrained::{fit_constrained, ConstrainedModel};
+use cloudsim::WorkerPool;
 use criterion::{criterion_group, Criterion};
 use deepdive::metrics::{BehaviorVector, DIMENSIONS};
 use deepdive::repository::BehaviorRepository;
@@ -263,6 +274,65 @@ fn run_measurements(budget: Duration) -> Vec<Measurement> {
     results
 }
 
+/// One refit fan-out measurement: the sweep discipline, its lane count and
+/// the achieved refit rate.
+struct SweepMeasurement {
+    apps: usize,
+    sweep: String,
+    threads: usize,
+    refits_per_sec: f64,
+    speedup_vs_serial: f64,
+}
+
+/// Refits/sec through [`WarningSystem::refresh_models`] when **every**
+/// application's repository generation changed in the same epoch — the
+/// worst-case sweep the controller can face.  `pool: None` is the serial
+/// per-app loop; `Some(pool)` scatters the fits over the pool's lanes and
+/// installs the results in input order (bit-identical results either way).
+fn measure_refit_sweep_per_sec(apps: usize, pool: Option<&WorkerPool>, budget: Duration) -> f64 {
+    let bench = Workbench::build(apps * 16, apps);
+    let mut repo = bench.repository();
+    let ids: Vec<AppId> = (0..apps as u64).map(AppId).collect();
+    let mut ws = WarningSystem::new(WarningConfig::default());
+    ws.refresh_models(&ids, &repo, pool); // Warm-up: initial cold fits.
+    let mut rng = StdRng::seed_from_u64(0xFA4);
+    let mut epoch = (SEED_HISTORY + 2) as u64;
+    let start = Instant::now();
+    let mut rounds = 0u64;
+    while start.elapsed() < budget {
+        for &app in &ids {
+            repo.record_normal(app, behavior_near(app.0 as usize, 0.01, &mut rng), epoch);
+            epoch += 1;
+        }
+        ws.refresh_models(&ids, &repo, pool);
+        rounds += 1;
+    }
+    apps as f64 * rounds as f64 / start.elapsed().as_secs_f64()
+}
+
+fn run_sweep_measurements(budget: Duration) -> Vec<SweepMeasurement> {
+    const SWEEP_APPS: usize = 16;
+    let serial = measure_refit_sweep_per_sec(SWEEP_APPS, None, budget);
+    let pool = WorkerPool::for_threads(4);
+    let pooled = measure_refit_sweep_per_sec(SWEEP_APPS, Some(&pool), budget);
+    vec![
+        SweepMeasurement {
+            apps: SWEEP_APPS,
+            sweep: "serial".to_string(),
+            threads: 1,
+            refits_per_sec: serial,
+            speedup_vs_serial: 1.0,
+        },
+        SweepMeasurement {
+            apps: SWEEP_APPS,
+            sweep: format!("pooled-{}", pool.lanes()),
+            threads: pool.lanes(),
+            refits_per_sec: pooled,
+            speedup_vs_serial: pooled / serial,
+        },
+    ]
+}
+
 /// Per-refresh cost in µs on a grown repository: every iteration records one
 /// behaviour (invalidating the model) and refreshes.  `cold_refit_interval:
 /// 1` forces the cold path through the same `WarningSystem` API.
@@ -285,7 +355,7 @@ fn measure_refresh_cost_us(cold_refit_interval: u64, budget: Duration) -> f64 {
     start.elapsed().as_secs_f64() * 1.0e6 / refreshes as f64
 }
 
-fn print_table(results: &[Measurement], warm_us: f64, cold_us: f64) {
+fn print_table(results: &[Measurement], sweeps: &[SweepMeasurement], warm_us: f64, cold_us: f64) {
     println!("# Controller throughput — generation+warm-start warning path vs cold-refit baseline");
     println!("vms,apps,path,evals_per_sec,speedup_vs_cold");
     for r in results {
@@ -298,11 +368,25 @@ fn print_table(results: &[Measurement], warm_us: f64, cold_us: f64) {
         "# refresh cost on a grown repository ({SEED_HISTORY}+ entries): \
          warm-started {warm_us:.0} us, cold {cold_us:.0} us per refit"
     );
+    println!("# refit fan-out (every app invalidated per epoch)");
+    println!("apps,sweep,threads,refits_per_sec,speedup_vs_serial");
+    for s in sweeps {
+        println!(
+            "{},{},{},{:.0},{:.2}",
+            s.apps, s.sweep, s.threads, s.refits_per_sec, s.speedup_vs_serial
+        );
+    }
 }
 
 /// Dumps the measurements to `BENCH_controller.json` at the workspace root so
 /// successive PRs can track the control-plane trajectory.
-fn dump_json(results: &[Measurement], warm_us: f64, cold_us: f64, smoke: bool) {
+fn dump_json(
+    results: &[Measurement],
+    sweeps: &[SweepMeasurement],
+    warm_us: f64,
+    cold_us: f64,
+    smoke: bool,
+) {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut entries: Vec<String> = results
         .iter()
@@ -315,6 +399,18 @@ fn dump_json(results: &[Measurement], warm_us: f64, cold_us: f64, smoke: bool) {
             )
         })
         .collect();
+    for s in sweeps {
+        // Same caveat convention as BENCH_cluster.json: a multi-lane sweep
+        // on a single-core runner records coordination overhead, not
+        // scaling, and must say so (check_bench_json enforces the flag).
+        let overhead_only = s.threads > 1 && cores == 1;
+        entries.push(format!(
+            "  {{\"apps\": {}, \"sweep\": \"{}\", \"threads\": {}, \
+             \"refits_per_sec\": {:.0}, \"speedup_vs_serial\": {:.2}, \
+             \"available_parallelism\": {cores}, \"overhead_only\": {overhead_only}}}",
+            s.apps, s.sweep, s.threads, s.refits_per_sec, s.speedup_vs_serial
+        ));
+    }
     entries.push(format!(
         "  {{\"refresh_warm_us\": {warm_us:.1}, \"refresh_cold_us\": {cold_us:.1}, \
          \"seed_history\": {SEED_HISTORY}, \"available_parallelism\": {cores}}}"
@@ -363,15 +459,16 @@ fn main() {
         Duration::from_millis(400)
     };
     let results = run_measurements(budget);
+    let sweeps = run_sweep_measurements(budget.min(Duration::from_millis(250)));
     let refresh_budget = budget.min(Duration::from_millis(150));
     let warm_us =
         measure_refresh_cost_us(WarningConfig::default().cold_refit_interval, refresh_budget);
     let cold_us = measure_refresh_cost_us(1, refresh_budget);
-    print_table(&results, warm_us, cold_us);
+    print_table(&results, &sweeps, warm_us, cold_us);
     // Smoke runs dump too (to the .smoke.json sibling): CI validates the
     // freshly written file with `cargo run -p bench --bin check_bench_json`,
     // so a bench that breaks its own dump fails the build instead of
     // silently corrupting the cross-PR trajectory.
-    dump_json(&results, warm_us, cold_us, smoke);
+    dump_json(&results, &sweeps, warm_us, cold_us, smoke);
     benches();
 }

@@ -19,7 +19,11 @@
 //! * every rate/ratio is a **finite, strictly positive** number,
 //! * the runner's **`available_parallelism` is recorded** (≥ 1) on every
 //!   row, so single-core container numbers are never mistaken for scaling
-//!   data.
+//!   data,
+//! * any row claiming `threads > 1` while `available_parallelism` is 1
+//!   carries **`"overhead_only": true`** — a multi-threaded measurement on
+//!   a single-core runner records coordination overhead, not scaling, and
+//!   the row itself must say so.
 //!
 //! Usage: `cargo run -p bench --bin check_bench_json [FILES...]` — with no
 //! arguments it validates the three dumps at the workspace root.  Exits
@@ -146,7 +150,7 @@ fn validate(doc: &Value, schema: Schema) -> Vec<String> {
             }
             Schema::Cluster => {
                 if row.get("mode").is_some() {
-                    // A throughput row of the serial/sharded matrix.
+                    // A throughput row of the serial/sharded/pooled matrix.
                     measurement_rows += 1;
                     if !matches!(row.get("mode"), Some(Value::Str(_))) {
                         errors.push(format!("row {i}: \"mode\" must be a string"));
@@ -193,6 +197,24 @@ fn validate(doc: &Value, schema: Schema) -> Vec<String> {
                             "available_parallelism",
                         ],
                     );
+                } else if row.get("sweep").is_some() {
+                    // A refit fan-out row (serial vs pooled refresh sweep).
+                    measurement_rows += 1;
+                    if !matches!(row.get("sweep"), Some(Value::Str(_))) {
+                        errors.push(format!("row {i}: \"sweep\" must be a string"));
+                    }
+                    require_positive(
+                        row,
+                        i,
+                        &mut errors,
+                        &[
+                            "apps",
+                            "threads",
+                            "refits_per_sec",
+                            "speedup_vs_serial",
+                            "available_parallelism",
+                        ],
+                    );
                 } else {
                     // The refresh-cost probe.
                     require_positive(
@@ -208,11 +230,26 @@ fn validate(doc: &Value, schema: Schema) -> Vec<String> {
                 }
             }
         }
+        require_overhead_flag(row, i, &mut errors);
     }
     if measurement_rows == 0 {
         errors.push("no measurement rows found".to_string());
     }
     errors
+}
+
+/// Schema-independent rule: a row measured with more threads than the
+/// runner has cores records pure coordination overhead, and must carry
+/// `"overhead_only": true` so the number is never read as scaling data.
+fn require_overhead_flag(row: &Value, i: usize, errors: &mut Vec<String>) {
+    let threads = row.get("threads").and_then(number).unwrap_or(1.0);
+    let cores = row.get("available_parallelism").and_then(number);
+    if threads > 1.0 && cores == Some(1.0) && row.get("overhead_only") != Some(&Value::Bool(true)) {
+        errors.push(format!(
+            "row {i}: threads > 1 with available_parallelism == 1 \
+             requires \"overhead_only\": true"
+        ));
+    }
 }
 
 /// Requires each key to be a finite, strictly positive number on the row.
@@ -268,6 +305,68 @@ mod tests {
                  "available_parallelism": 4}]"#,
         );
         assert!(validate(&controller, Schema::Controller).is_empty());
+    }
+
+    #[test]
+    fn pooled_and_sweep_rows_validate_against_their_schemas() {
+        let cluster = parse(
+            r#"[{"machines": 256, "vms": 1024, "mode": "pooled-4", "threads": 4,
+                 "epochs_per_sec": 310.0, "speedup_vs_serial": 2.4, "available_parallelism": 4,
+                 "overhead_only": false}]"#,
+        );
+        assert!(validate(&cluster, Schema::Cluster).is_empty());
+
+        let controller = parse(
+            r#"[{"vms": 256, "apps": 8, "path": "generation_warm", "evals_per_sec": 253233,
+                 "speedup_vs_cold": 7.59, "available_parallelism": 4},
+                {"apps": 16, "sweep": "pooled-4", "threads": 4, "refits_per_sec": 1200.0,
+                 "speedup_vs_serial": 2.1, "available_parallelism": 4}]"#,
+        );
+        assert!(validate(&controller, Schema::Controller).is_empty());
+
+        let broken_sweep = parse(
+            r#"[{"apps": 16, "sweep": "pooled-4", "threads": 4,
+                 "speedup_vs_serial": 2.1, "available_parallelism": 4}]"#,
+        );
+        let errors = validate(&broken_sweep, Schema::Controller);
+        assert!(
+            errors.iter().any(|e| e.contains("refits_per_sec")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn single_core_multi_thread_rows_must_be_flagged_overhead_only() {
+        let unflagged = parse(
+            r#"[{"machines": 64, "vms": 256, "mode": "pooled-4", "threads": 4,
+                 "epochs_per_sec": 300.0, "speedup_vs_serial": 0.9, "available_parallelism": 1}]"#,
+        );
+        let errors = validate(&unflagged, Schema::Cluster);
+        assert!(
+            errors.iter().any(|e| e.contains("overhead_only")),
+            "{errors:?}"
+        );
+
+        // `"overhead_only": false` is a contradiction, not a flag.
+        let denied = parse(
+            r#"[{"apps": 16, "sweep": "pooled-4", "threads": 4, "refits_per_sec": 900.0,
+                 "speedup_vs_serial": 0.8, "available_parallelism": 1, "overhead_only": false}]"#,
+        );
+        let errors = validate(&denied, Schema::Controller);
+        assert!(
+            errors.iter().any(|e| e.contains("overhead_only")),
+            "{errors:?}"
+        );
+
+        // Flagged rows pass; single-threaded and multi-core rows need no flag.
+        let fine = parse(
+            r#"[{"machines": 64, "vms": 256, "mode": "pooled-4", "threads": 4,
+                 "epochs_per_sec": 300.0, "speedup_vs_serial": 0.9, "available_parallelism": 1,
+                 "overhead_only": true},
+                {"machines": 64, "vms": 256, "mode": "serial", "threads": 1,
+                 "epochs_per_sec": 330.0, "speedup_vs_serial": 1.0, "available_parallelism": 1}]"#,
+        );
+        assert!(validate(&fine, Schema::Cluster).is_empty());
     }
 
     #[test]

@@ -1,26 +1,56 @@
-//! The epoch engine: serial or sharded-parallel stepping of a cluster.
+//! The epoch engine: serial, sharded, or pool-backed stepping of a cluster.
 //!
 //! [`EpochEngine`] owns the two knobs that used to be implicit in
 //! `Cluster::step_epoch`: the RNG policy (a [`ClusterSeed`] deriving an
 //! independent stream per `(vm, epoch)`, see [`crate::rngs`]) and the
 //! execution strategy ([`ExecutionMode`]).  Because every VM's demand stream
 //! is a pure function of its id, the epoch and the cluster seed, machines
-//! are data-independent within an epoch — so sharded execution partitions
-//! them into contiguous shards, steps each shard on its own
-//! [`std::thread::scope`] thread, and merges the per-machine reports back in
-//! machine-index order.  Serial and sharded runs are **bit-identical** (the
-//! equivalence proptest at `tests/engine_equivalence.rs` pins this), which
+//! are data-independent within an epoch — so parallel execution partitions
+//! them into contiguous, balanced shards
+//! ([`crate::pool::split_balanced`]: shard count equals the effective
+//! thread count, sizes differ by at most one) and merges the per-machine
+//! reports back in machine-index order.  Serial and parallel runs are
+//! **bit-identical** in every mode (the equivalence proptest at
+//! `tests/engine_equivalence.rs` pins Serial vs Sharded vs Pooled), which
 //! means the thread count is purely a throughput knob, never a results knob.
+//!
+//! Two parallel strategies exist:
+//!
+//! * [`ExecutionMode::Sharded`] — the original spawn-per-call strategy:
+//!   scoped threads created and joined inside every `step`/`step_epochs`
+//!   call.  Kept as the measured baseline; it only pays off when
+//!   [`EpochEngine::step_epochs`] amortises the spawns over a batch.
+//! * [`ExecutionMode::Pooled`] — the production strategy: shard jobs are
+//!   enqueued on a persistent [`WorkerPool`] (spawned once, at engine
+//!   construction) and `step` blocks on the pool's epoch barrier.  This is
+//!   what lets the controller loop — which migrates VMs between epochs and
+//!   therefore must step one epoch at a time — go parallel without paying a
+//!   thread spawn per epoch.
+//!
+//! ## Panic policy
+//!
+//! A panicking `load_for` (or workload model) in any shard is re-raised on
+//! the calling thread with its original payload, after **all** shards have
+//! reached the barrier; when several shards panic, the lowest shard index
+//! wins.  The cluster may be left half-stepped (some machines advanced,
+//! others not), but the cluster epoch counter is **not** advanced, and a
+//! pooled engine's workers survive — the pool is fully usable for the next
+//! call.  See [`crate::pool`] for the pool's own contract.
+
+use std::sync::Arc;
 
 use crate::cluster::Cluster;
 use crate::pm::{PhysicalMachine, VmEpochReport};
+use crate::pool::{split_balanced, WorkerPool};
 use crate::rngs::ClusterSeed;
 use crate::vm::VmId;
 
 /// Environment variable read by [`ExecutionMode::from_env`]: `serial` (or
 /// `1`) forces serial stepping, any larger integer selects
-/// `Sharded { threads: n }`, unset/invalid falls back to the machine's
-/// available parallelism.
+/// `Pooled { threads: n }`, unset falls back to the machine's available
+/// parallelism.  Any other value — `0`, negatives, non-numeric — is a hard
+/// error (`from_env` panics with the offending value) rather than a silent
+/// fallback, so a typo in a CI matrix cannot masquerade as all-cores.
 pub const THREADS_ENV_VAR: &str = "CLOUDSIM_THREADS";
 
 /// How the engine walks the machines of one epoch.
@@ -28,37 +58,75 @@ pub const THREADS_ENV_VAR: &str = "CLOUDSIM_THREADS";
 pub enum ExecutionMode {
     /// One thread steps every machine in index order.
     Serial,
-    /// Machines are split into `threads` contiguous shards, each stepped on
-    /// its own scoped thread; reports are merged in machine-index order so
-    /// the output is bit-identical to [`ExecutionMode::Serial`].
+    /// Machines are split into `threads` balanced contiguous shards, each
+    /// stepped on its own freshly spawned [`std::thread::scope`] thread;
+    /// reports are merged in machine-index order so the output is
+    /// bit-identical to [`ExecutionMode::Serial`].  Spawn-per-call: only
+    /// wins when batched via [`EpochEngine::step_epochs`]; prefer
+    /// [`ExecutionMode::Pooled`] for step-at-a-time callers.
     Sharded {
         /// Number of shards/worker threads (clamped to the machine count; a
         /// value of 0 or 1 degenerates to serial stepping).
+        threads: usize,
+    },
+    /// Machines are split into the same balanced contiguous shards, but the
+    /// shard jobs run on a persistent [`WorkerPool`] owned by the engine —
+    /// no thread churn per call.  Output is bit-identical to
+    /// [`ExecutionMode::Serial`].
+    Pooled {
+        /// Parallel lanes (pool workers + the calling thread; clamped to
+        /// the machine count; 0 or 1 degenerates to serial stepping).
         threads: usize,
     },
 }
 
 impl ExecutionMode {
     /// Resolves the mode from the [`THREADS_ENV_VAR`] environment variable,
-    /// defaulting to `Sharded { threads: available_parallelism }`.
+    /// defaulting to `Pooled { threads: available_parallelism }` when the
+    /// variable is **unset**.
+    ///
+    /// A set-but-malformed value (`"0"`, `"-2"`, `"four"`, …) panics with
+    /// the offending value instead of silently falling back — CI matrices
+    /// set this variable, and a typo mapped to all-cores would make a
+    /// mislabelled lane look like a healthy one.
     ///
     /// This is the benches' thread-count matrix knob; tests that pin exact
     /// values should construct [`ExecutionMode::Serial`] explicitly instead
     /// (the results are bit-identical either way — serial merely avoids
-    /// paying thread spawns for tiny clusters).
+    /// paying parallelism overhead for tiny clusters).
     pub fn from_env() -> Self {
         match std::env::var(THREADS_ENV_VAR) {
-            Ok(v) if v.trim().eq_ignore_ascii_case("serial") => ExecutionMode::Serial,
-            Ok(v) => match v.trim().parse::<usize>() {
-                Ok(0) | Err(_) => Self::available_parallelism(),
-                Ok(1) => ExecutionMode::Serial,
-                Ok(n) => ExecutionMode::Sharded { threads: n },
+            Ok(raw) => match Self::parse_env_value(&raw) {
+                Ok(mode) => mode,
+                Err(message) => panic!("{message}"),
             },
             Err(_) => Self::available_parallelism(),
         }
     }
 
-    /// `Sharded` over every hardware thread the OS grants this process
+    /// Strict parser behind [`ExecutionMode::from_env`], separated out so
+    /// tests can pin its behaviour without mutating process-global
+    /// environment (the test binary runs threads in parallel, and the CI
+    /// multi-thread lane sets the real variable).
+    ///
+    /// Accepts `serial` (case-insensitive) and positive integers, with
+    /// surrounding whitespace tolerated; everything else — including `0`
+    /// and negative numbers — is an error carrying the offending value.
+    pub fn parse_env_value(raw: &str) -> Result<Self, String> {
+        let value = raw.trim();
+        if value.eq_ignore_ascii_case("serial") {
+            return Ok(ExecutionMode::Serial);
+        }
+        match value.parse::<usize>() {
+            Ok(0) | Err(_) => Err(format!(
+                "{THREADS_ENV_VAR} must be `serial` or a positive thread count, got {raw:?}"
+            )),
+            Ok(1) => Ok(ExecutionMode::Serial),
+            Ok(n) => Ok(ExecutionMode::Pooled { threads: n }),
+        }
+    }
+
+    /// `Pooled` over every hardware thread the OS grants this process
     /// (`Serial` on single-core machines).
     pub fn available_parallelism() -> Self {
         let threads = std::thread::available_parallelism()
@@ -67,7 +135,7 @@ impl ExecutionMode {
         if threads <= 1 {
             ExecutionMode::Serial
         } else {
-            ExecutionMode::Sharded { threads }
+            ExecutionMode::Pooled { threads }
         }
     }
 
@@ -75,7 +143,9 @@ impl ExecutionMode {
     fn effective_threads(self, machines: usize) -> usize {
         match self {
             ExecutionMode::Serial => 1,
-            ExecutionMode::Sharded { threads } => threads.clamp(1, machines.max(1)),
+            ExecutionMode::Sharded { threads } | ExecutionMode::Pooled { threads } => {
+                threads.clamp(1, machines.max(1))
+            }
         }
     }
 }
@@ -85,28 +155,76 @@ impl ExecutionMode {
 /// The engine is deliberately separate from the cluster: the cluster owns
 /// *state* (machines, placements, the epoch counter), the engine owns
 /// *policy* (seed derivation and parallelism), so one cluster can be driven
-/// serially in a test and sharded in a capacity run without touching its
+/// serially in a test and pooled in a capacity run without touching its
 /// construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// A `Pooled` engine owns (a shared handle to) its [`WorkerPool`]; cloning
+/// the engine shares the pool rather than spawning a second set of workers,
+/// and [`EpochEngine::worker_pool`] exposes the handle so other subsystems
+/// (the DeepDive controller's model refits and benchmark training) can ride
+/// the same threads.  Equality ignores the pool: two engines are equal when
+/// they produce identical results, i.e. same seed and mode.
+#[derive(Debug, Clone)]
 pub struct EpochEngine {
     seed: ClusterSeed,
     mode: ExecutionMode,
+    pool: Option<Arc<WorkerPool>>,
 }
 
+impl PartialEq for EpochEngine {
+    fn eq(&self, other: &Self) -> bool {
+        self.seed == other.seed && self.mode == other.mode
+    }
+}
+
+impl Eq for EpochEngine {}
+
 impl EpochEngine {
-    /// Creates an engine with an explicit execution mode.
-    pub const fn new(seed: ClusterSeed, mode: ExecutionMode) -> Self {
-        Self { seed, mode }
+    /// Creates an engine with an explicit execution mode.  A
+    /// `Pooled { threads: n > 1 }` mode spawns the persistent worker pool
+    /// here, once, sized `n - 1` (the calling thread is the n-th lane).
+    pub fn new(seed: ClusterSeed, mode: ExecutionMode) -> Self {
+        Self {
+            seed,
+            mode,
+            pool: Self::pool_for(mode),
+        }
     }
 
     /// Serial engine — the right default for tests and small clusters.
     pub const fn serial(seed: ClusterSeed) -> Self {
-        Self::new(seed, ExecutionMode::Serial)
+        Self {
+            seed,
+            mode: ExecutionMode::Serial,
+            pool: None,
+        }
     }
 
     /// Engine honouring the [`THREADS_ENV_VAR`] knob (default: all cores).
     pub fn from_env(seed: ClusterSeed) -> Self {
         Self::new(seed, ExecutionMode::from_env())
+    }
+
+    /// Pooled engine running on an existing pool (shared via `Arc`), for
+    /// callers that already own one — the controller benches use this to
+    /// share a single pool between stepping and model refits.
+    pub fn with_pool(seed: ClusterSeed, pool: Arc<WorkerPool>) -> Self {
+        Self {
+            seed,
+            mode: ExecutionMode::Pooled {
+                threads: pool.lanes(),
+            },
+            pool: Some(pool),
+        }
+    }
+
+    fn pool_for(mode: ExecutionMode) -> Option<Arc<WorkerPool>> {
+        match mode {
+            ExecutionMode::Pooled { threads } if threads > 1 => {
+                Some(Arc::new(WorkerPool::for_threads(threads)))
+            }
+            _ => None,
+        }
     }
 
     /// The cluster seed every stream derives from.
@@ -119,8 +237,20 @@ impl EpochEngine {
         self.mode
     }
 
+    /// The engine's persistent worker pool (`Some` exactly for
+    /// `Pooled { threads > 1 }`).  Share it to fan other independent work —
+    /// model refits, benchmark training — across the same threads.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
+    }
+
     /// Switches execution mode (results are unaffected — bit-identical).
+    /// Entering a pooled mode spawns the pool; leaving it releases this
+    /// engine's handle (workers shut down when the last clone lets go).
     pub fn set_mode(&mut self, mode: ExecutionMode) {
+        if self.mode != mode {
+            self.pool = Self::pool_for(mode);
+        }
         self.mode = mode;
     }
 
@@ -143,19 +273,23 @@ impl EpochEngine {
     /// Advances the cluster `epochs` epochs in one call and returns the
     /// reports of each epoch (outer index: epoch offset; inner order: the
     /// same machine-then-placement order [`EpochEngine::step`] produces).
+    /// `epochs == 0` is a no-op returning an empty vec.
     ///
-    /// Bit-identical to calling [`EpochEngine::step`] `epochs` times — but
-    /// in sharded mode every worker thread is spawned **once per batch**
-    /// instead of once per epoch, amortising thread-churn across the batch
-    /// (machines are independent across epochs as well as within one, so a
-    /// shard can run its machines all the way to the horizon).  Use this
-    /// whenever nothing needs to mutate the cluster between epochs — batch
-    /// capacity sweeps, warm-up phases, throughput measurement; the
-    /// controller loop, which migrates VMs between epochs, must keep
-    /// calling [`EpochEngine::step`].
+    /// Bit-identical to calling [`EpochEngine::step`] `epochs` times — but a
+    /// shard runs its machines all the way to the horizon (machines are
+    /// independent across epochs as well as within one), so one
+    /// barrier covers the whole batch.  Use this whenever nothing needs to
+    /// mutate the cluster between epochs — capacity sweeps, warm-up phases,
+    /// throughput measurement; the controller loop, which migrates VMs
+    /// between epochs, calls [`EpochEngine::step`] and relies on
+    /// [`ExecutionMode::Pooled`] to make that cheap.
     ///
     /// `load_for` receives the absolute epoch index alongside the VM, so
     /// trace-driven loads stay expressible.
+    ///
+    /// If `load_for` (or a workload model) panics, the panic propagates per
+    /// the [module](self) policy: barrier first, lowest shard's payload
+    /// re-raised here, epoch counter untouched, pool workers intact.
     pub fn step_epochs<F>(
         &self,
         cluster: &mut Cluster,
@@ -165,6 +299,9 @@ impl EpochEngine {
     where
         F: Fn(u64, VmId) -> f64 + Sync,
     {
+        if epochs == 0 {
+            return Vec::new();
+        }
         let first_epoch = cluster.epoch();
         let seed = self.seed;
         let machines = cluster.machines_mut();
@@ -182,32 +319,78 @@ impl EpochEngine {
         };
 
         let reports = if threads <= 1 {
+            // Zero- and one-machine clusters (and serial mode) step entirely
+            // on the calling thread: no shards, no pool traffic.
             step_shard(machines)
         } else {
-            // Contiguous shards preserve machine order; the first shard runs
-            // on the calling thread while the spawned ones work, and merging
-            // in spawn order restores the serial report order exactly.
-            let shard_len = machines.len().div_ceil(threads);
-            let mut shards = machines.chunks_mut(shard_len);
-            let first = shards.next().expect("cluster has at least one machine");
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .map(|shard| scope.spawn(|| step_shard(shard)))
-                    .collect();
-                let mut merged = step_shard(first);
-                for handle in handles {
-                    let shard_epochs = handle.join().expect("shard thread panicked");
-                    for (into, from) in merged.iter_mut().zip(shard_epochs) {
-                        into.extend(from);
-                    }
+            // Balanced contiguous shards preserve machine order — exactly
+            // `threads` shards whose sizes differ by at most one (the old
+            // `chunks_mut(len.div_ceil(threads))` sizing could leave half
+            // the workers idle: 65 machines at 64 threads → 33 shards of 2).
+            // Merging in shard order restores the serial report order.
+            let shards = split_balanced(machines, threads);
+            match (&self.pool, self.mode) {
+                (Some(pool), ExecutionMode::Pooled { .. }) => {
+                    let step_shard = &step_shard;
+                    let jobs: Vec<_> = shards
+                        .into_iter()
+                        .map(|shard| move || step_shard(shard))
+                        .collect();
+                    // The pool re-raises the lowest shard's panic after the
+                    // barrier; workers survive it.
+                    Self::merge_shards(pool.scatter(jobs), epochs)
                 }
-                merged
-            })
+                _ => {
+                    let mut shards = shards.into_iter();
+                    let first = shards.next().expect("at least one shard");
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = shards
+                            .map(|shard| scope.spawn(|| step_shard(shard)))
+                            .collect();
+                        // Run shard 0 here under catch_unwind so a panic
+                        // still joins every spawned shard (the barrier)
+                        // before being re-raised.
+                        let mut results = vec![std::panic::catch_unwind(
+                            std::panic::AssertUnwindSafe(|| step_shard(first)),
+                        )];
+                        results.extend(handles.into_iter().map(|h| h.join()));
+                        let mut merged: Vec<Vec<Vec<VmEpochReport>>> = Vec::new();
+                        let mut panic = None;
+                        for result in results {
+                            match result {
+                                Ok(shard_epochs) => merged.push(shard_epochs),
+                                Err(payload) => {
+                                    panic.get_or_insert(payload);
+                                }
+                            }
+                        }
+                        if let Some(payload) = panic {
+                            std::panic::resume_unwind(payload);
+                        }
+                        Self::merge_shards(merged, epochs)
+                    })
+                }
+            }
         };
         for _ in 0..epochs {
             cluster.advance_epoch();
         }
         reports
+    }
+
+    /// Merges per-shard `[epoch][report]` batches (shards in machine-index
+    /// order) into one `[epoch][report]` batch matching serial order.
+    fn merge_shards(
+        shard_results: Vec<Vec<Vec<VmEpochReport>>>,
+        epochs: usize,
+    ) -> Vec<Vec<VmEpochReport>> {
+        let mut merged: Vec<Vec<VmEpochReport>> = (0..epochs).map(|_| Vec::new()).collect();
+        for shard_epochs in shard_results {
+            for (into, from) in merged.iter_mut().zip(shard_epochs) {
+                into.extend(from);
+            }
+        }
+        merged
     }
 }
 
@@ -252,11 +435,47 @@ mod tests {
     }
 
     #[test]
-    fn serial_and_sharded_are_bit_identical() {
+    fn serial_sharded_and_pooled_are_bit_identical() {
         let serial = run(ExecutionMode::Serial, 4);
         for threads in [1, 2, 3, 8, 64] {
             let sharded = run(ExecutionMode::Sharded { threads }, 4);
-            assert_eq!(serial, sharded, "divergence at {threads} threads");
+            assert_eq!(serial, sharded, "sharded divergence at {threads} threads");
+            let pooled = run(ExecutionMode::Pooled { threads }, 4);
+            assert_eq!(serial, pooled, "pooled divergence at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn non_dividing_machine_thread_combos_use_every_shard() {
+        // The regression the balanced split fixes: machine/thread counts
+        // that do not divide evenly (65 @ 64 being the pathological case —
+        // div_ceil chunking produced 33 shards of 2).  Equivalence is the
+        // contract; shard-count correctness is pinned in `pool::tests`.
+        for (machines, threads) in [(65usize, 64usize), (7, 3), (9, 4), (5, 64)] {
+            let vms = machines; // one VM per machine is plenty
+            let build = || {
+                let mut c = cluster(machines, vms);
+                assert_eq!(c.machines_mut().len(), machines);
+                c
+            };
+            let serial = EpochEngine::serial(ClusterSeed::new(13));
+            let mut c_serial = build();
+            let expected = serial.step_epochs(&mut c_serial, 3, |e, vm| {
+                0.2 + 0.05 * ((e + vm.0) % 7) as f64
+            });
+            for mode in [
+                ExecutionMode::Sharded { threads },
+                ExecutionMode::Pooled { threads },
+            ] {
+                let engine = EpochEngine::new(ClusterSeed::new(13), mode);
+                let mut c = build();
+                let got =
+                    engine.step_epochs(&mut c, 3, |e, vm| 0.2 + 0.05 * ((e + vm.0) % 7) as f64);
+                assert_eq!(
+                    expected, got,
+                    "{machines} machines at {threads} threads diverged under {mode:?}"
+                );
+            }
         }
     }
 
@@ -275,16 +494,21 @@ mod tests {
 
     #[test]
     fn reports_come_back_in_machine_then_placement_order() {
-        let mut c = cluster(3, 9);
-        let expected: Vec<(PmId, VmId)> = c
-            .machines()
-            .iter()
-            .flat_map(|m| m.vms().iter().map(|v| (m.id, v.id)))
-            .collect();
-        let engine = EpochEngine::new(ClusterSeed::new(3), ExecutionMode::Sharded { threads: 3 });
-        let reports = engine.step(&mut c, |_| 0.8);
-        let got: Vec<(PmId, VmId)> = reports.iter().map(|r| (r.pm_id, r.vm_id)).collect();
-        assert_eq!(got, expected);
+        for mode in [
+            ExecutionMode::Sharded { threads: 3 },
+            ExecutionMode::Pooled { threads: 3 },
+        ] {
+            let mut c = cluster(3, 9);
+            let expected: Vec<(PmId, VmId)> = c
+                .machines()
+                .iter()
+                .flat_map(|m| m.vms().iter().map(|v| (m.id, v.id)))
+                .collect();
+            let engine = EpochEngine::new(ClusterSeed::new(3), mode);
+            let reports = engine.step(&mut c, |_| 0.8);
+            let got: Vec<(PmId, VmId)> = reports.iter().map(|r| (r.pm_id, r.vm_id)).collect();
+            assert_eq!(got, expected, "order broke under {mode:?}");
+        }
     }
 
     #[test]
@@ -340,6 +564,8 @@ mod tests {
             ExecutionMode::Serial,
             ExecutionMode::Sharded { threads: 2 },
             ExecutionMode::Sharded { threads: 8 },
+            ExecutionMode::Pooled { threads: 2 },
+            ExecutionMode::Pooled { threads: 8 },
         ] {
             let mut c = cluster(5, 12);
             let engine = EpochEngine::new(ClusterSeed::new(21), mode);
@@ -356,7 +582,50 @@ mod tests {
         let mut engine = EpochEngine::serial(ClusterSeed::new(4));
         assert_eq!(engine.mode(), ExecutionMode::Serial);
         assert_eq!(engine.seed(), ClusterSeed::new(4));
+        assert!(engine.worker_pool().is_none());
         engine.set_mode(ExecutionMode::Sharded { threads: 4 });
         assert_eq!(engine.mode(), ExecutionMode::Sharded { threads: 4 });
+        assert!(engine.worker_pool().is_none(), "sharded mode owns no pool");
+        engine.set_mode(ExecutionMode::Pooled { threads: 4 });
+        let pool = engine.worker_pool().expect("pooled mode spawns the pool");
+        assert_eq!(pool.lanes(), 4);
+        engine.set_mode(ExecutionMode::Serial);
+        assert!(engine.worker_pool().is_none(), "leaving pooled drops it");
+    }
+
+    #[test]
+    fn cloned_pooled_engines_share_one_pool() {
+        let engine = EpochEngine::new(ClusterSeed::new(9), ExecutionMode::Pooled { threads: 3 });
+        let clone = engine.clone();
+        let a = engine.worker_pool().expect("pooled");
+        let b = clone.worker_pool().expect("pooled");
+        assert!(Arc::ptr_eq(a, b), "clone must not spawn a second pool");
+        assert_eq!(engine, clone);
+    }
+
+    #[test]
+    fn strict_env_parsing_pins_the_documented_grammar() {
+        use ExecutionMode::{Pooled, Serial};
+        assert_eq!(ExecutionMode::parse_env_value("serial"), Ok(Serial));
+        assert_eq!(ExecutionMode::parse_env_value("SERIAL"), Ok(Serial));
+        assert_eq!(ExecutionMode::parse_env_value(" serial "), Ok(Serial));
+        assert_eq!(ExecutionMode::parse_env_value("1"), Ok(Serial));
+        assert_eq!(
+            ExecutionMode::parse_env_value(" 8 "),
+            Ok(Pooled { threads: 8 })
+        );
+        assert_eq!(
+            ExecutionMode::parse_env_value("4"),
+            Ok(Pooled { threads: 4 })
+        );
+        // Malformed values are hard errors, not an all-cores fallback.
+        for bad in ["0", "-2", "four", "", "  ", "8x", "1.5"] {
+            let err = ExecutionMode::parse_env_value(bad)
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert!(
+                err.contains(THREADS_ENV_VAR) && err.contains(&format!("{bad:?}")),
+                "error for {bad:?} must name the variable and the value: {err}"
+            );
+        }
     }
 }

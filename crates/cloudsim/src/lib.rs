@@ -20,10 +20,17 @@
 //!   independent RNG stream per `(vm, epoch)`, making every VM's demand
 //!   sequence a pure function of its id, the epoch and the cluster seed —
 //!   independent of placement and stepping order.
+//! * [`pool`] — [`pool::WorkerPool`]: persistent worker threads with
+//!   per-worker queues and a barrier-style `scatter`, the execution
+//!   substrate behind pooled stepping (and, via `deepdive`, parallel model
+//!   refits and benchmark training); plus [`pool::split_balanced`], the
+//!   shard partitioner every parallel path shares.
 //! * [`engine`] — [`engine::EpochEngine`]: epoch stepping as a policy
-//!   object, either [`engine::ExecutionMode::Serial`] or
-//!   [`engine::ExecutionMode::Sharded`] across scoped threads, with
-//!   bit-identical output in every mode.
+//!   object — [`engine::ExecutionMode::Serial`],
+//!   [`engine::ExecutionMode::Sharded`] (spawn-per-call scoped threads,
+//!   the measured baseline) or [`engine::ExecutionMode::Pooled`]
+//!   (persistent [`pool::WorkerPool`], the production mode) — with
+//!   bit-identical output in every mode and a barrier-first panic policy.
 //! * [`proxy`] — records each VM's offered load / demand stream so it can be
 //!   replayed, mimicking the request-duplicating proxy of §4.2.
 //! * [`sandbox`] — the sandboxed environment: dedicated machines on which a
@@ -42,6 +49,7 @@ pub mod cluster;
 pub mod engine;
 pub mod migration;
 pub mod pm;
+pub mod pool;
 pub mod proxy;
 pub mod rngs;
 pub mod sandbox;
@@ -51,6 +59,7 @@ pub mod vm;
 pub use cluster::Cluster;
 pub use engine::{EpochEngine, ExecutionMode};
 pub use pm::{PhysicalMachine, PmId, VmEpochReport};
+pub use pool::WorkerPool;
 pub use proxy::RequestProxy;
 pub use rngs::ClusterSeed;
 pub use sandbox::{Sandbox, SandboxFleet};

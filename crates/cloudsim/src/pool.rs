@@ -1,0 +1,428 @@
+//! A persistent worker pool for epoch-parallel work.
+//!
+//! [`WorkerPool`] owns long-lived OS threads, one bounded-lifetime work
+//! queue per worker, and a barrier-style handoff: [`WorkerPool::scatter`]
+//! enqueues one job per shard, runs the first shard on the calling thread,
+//! blocks until every job has completed, and returns the results in job
+//! order.  This is the execution substrate behind
+//! [`ExecutionMode::Pooled`](crate::engine::ExecutionMode::Pooled) — and,
+//! via the `deepdive` controller, behind parallel warning-model refits and
+//! synthetic-benchmark training.  It exists because spawn-per-step scoped
+//! threads made sharded stepping a *pessimization*: the controller loop
+//! steps one epoch at a time (it migrates VMs between epochs), so it paid a
+//! full thread spawn + join per epoch and could never amortise the way
+//! batched `step_epochs` callers do.
+//!
+//! ## Contract
+//!
+//! * **Determinism** — the pool never reorders results: `scatter(jobs)`
+//!   returns `jobs[i]`'s result at index `i` regardless of which worker ran
+//!   it or in what order jobs finished.  Callers that merge shard results
+//!   in input order therefore get output bit-identical to running the jobs
+//!   serially.
+//! * **Panic policy** — every job runs under [`std::panic::catch_unwind`].
+//!   A panicking job never takes its worker down; `scatter` waits for the
+//!   full barrier (so no job can outlive the borrows it captured), then
+//!   re-raises the **first panicking job's payload** (lowest job index) on
+//!   the calling thread via [`std::panic::resume_unwind`].  The pool stays
+//!   fully usable for the next `scatter`.
+//! * **Shutdown** — dropping the pool closes every queue and joins every
+//!   worker thread; no threads outlive the pool.
+//! * **No nesting** — a job must not call `scatter` on the pool that is
+//!   running it: the inner call would enqueue work onto workers that may be
+//!   blocked on the outer barrier (including the job's own worker) and
+//!   deadlock.  Use a separate pool, or restructure so only the
+//!   coordinating thread scatters.
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A type-erased unit of work.  Tasks are constructed by [`WorkerPool::
+/// scatter`], which guarantees (via its completion barrier) that every
+/// borrow a task captures outlives the task — that is what makes the
+/// lifetime erasure in `scatter` sound.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Raw-pointer wrapper so a task can carry the address of its private
+/// result slot across threads.  Safety rests on `scatter`'s barrier: the
+/// slot storage outlives every task, and each task writes only its own
+/// slot.
+struct SlotPtr<T>(*mut Option<std::thread::Result<T>>);
+
+impl<T> SlotPtr<T> {
+    /// Writes the slot through the wrapper (a method, so closures capture
+    /// the `Send` wrapper rather than its non-`Send` raw-pointer field).
+    ///
+    /// # Safety
+    /// Caller must guarantee exclusive ownership of the pointee and that it
+    /// is alive — `scatter`'s per-task slot assignment plus its barrier.
+    unsafe fn write(self, value: Option<std::thread::Result<T>>) {
+        self.0.write(value);
+    }
+}
+
+// SAFETY: the pointee is written exactly once, by exactly one task, and the
+// write is published to the coordinating thread through the completion
+// channel's happens-before edge.
+unsafe impl<T: Send> Send for SlotPtr<T> {}
+
+/// Long-lived worker threads with one work queue each.
+///
+/// See the [module docs](self) for the determinism, panic and shutdown
+/// contract.  The pool is `Send + Sync`; share it across owners with
+/// [`std::sync::Arc`] (the epoch engine and the DeepDive controller are
+/// designed to share one pool this way).
+pub struct WorkerPool {
+    /// One queue per worker, index-aligned with `handles`.
+    queues: Vec<Sender<Task>>,
+    /// The worker threads; joined (in order) on drop, after their queues
+    /// are closed.
+    handles: Vec<JoinHandle<()>>,
+    /// Upgradeable while at least one worker thread is still running —
+    /// each worker owns one strong clone of the token, and nothing else
+    /// does.  This is what lets lifecycle tests prove drop really joins.
+    liveness: std::sync::Weak<()>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` persistent worker threads.
+    ///
+    /// `workers` counts *helper* threads only: `scatter` always runs the
+    /// first job on the calling thread, so a pool built for `t`-way
+    /// parallelism wants `t - 1` workers (see [`WorkerPool::for_threads`]).
+    /// A pool with zero workers is valid — `scatter` then runs every job
+    /// inline, which is the degenerate serial case.
+    pub fn new(workers: usize) -> Self {
+        let token = Arc::new(());
+        let liveness = Arc::downgrade(&token);
+        let mut queues = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for index in 0..workers {
+            let (tx, rx) = mpsc::channel::<Task>();
+            let alive = Arc::clone(&token);
+            let handle = std::thread::Builder::new()
+                .name(format!("cloudsim-pool-{index}"))
+                .spawn(move || {
+                    let _alive = alive;
+                    // Tasks never unwind (scatter wraps every job in
+                    // catch_unwind), so this loop only ends when the queue
+                    // disconnects at pool drop.
+                    for task in rx {
+                        task();
+                    }
+                })
+                .expect("spawn cloudsim pool worker");
+            queues.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            queues,
+            handles,
+            liveness,
+        }
+    }
+
+    /// A pool sized for `threads`-way parallelism: `threads - 1` workers
+    /// plus the calling thread (`threads <= 1` yields an inline-only pool).
+    pub fn for_threads(threads: usize) -> Self {
+        Self::new(threads.saturating_sub(1))
+    }
+
+    /// Number of worker threads (excluding the calling thread).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Total parallel lanes a `scatter` call can use: the workers plus the
+    /// calling thread.
+    pub fn lanes(&self) -> usize {
+        self.workers() + 1
+    }
+
+    /// A probe that upgrades while any worker thread is still running and
+    /// fails once the pool has been dropped — the hook lifecycle tests use
+    /// to prove drop joins every worker instead of leaking them.
+    pub fn liveness(&self) -> std::sync::Weak<()> {
+        self.liveness.clone()
+    }
+
+    /// Runs the jobs concurrently and returns their results in job order.
+    ///
+    /// Job 0 runs on the calling thread; jobs `1..` are distributed
+    /// round-robin over the per-worker queues (with more jobs than workers,
+    /// a worker drains its queue in FIFO order).  The call blocks until
+    /// every job has finished — the epoch barrier — and only then returns,
+    /// so jobs may freely borrow from the caller's stack.  Panics follow
+    /// the [module](self) policy: barrier first, then the lowest-index
+    /// panic payload is re-raised here.
+    pub fn scatter<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        let n = jobs.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut slots: Vec<Option<std::thread::Result<T>>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let slot_base = slots.as_mut_ptr();
+        let mut jobs = jobs.into_iter();
+        let first = jobs.next().expect("n >= 1");
+        let dispatched = n - 1;
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        for (offset, job) in jobs.enumerate() {
+            // SAFETY: index < n, within the `slots` allocation.
+            let slot = SlotPtr(unsafe { slot_base.add(offset + 1) });
+            let done = done_tx.clone();
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(job));
+                // SAFETY: this task exclusively owns its slot, and the
+                // barrier below keeps `slots` alive until the completion
+                // signal (sent after the write) has been received.
+                unsafe { slot.write(Some(result)) };
+                let _ = done.send(());
+            });
+            // SAFETY: lifetime erasure to queue the task on a persistent
+            // thread.  The barrier below guarantees the task has finished
+            // (or been destroyed unrun, dropping its captures) before any
+            // borrow it holds expires, so the 'static lie is never
+            // observable.
+            let task: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+            if self.queues.is_empty() {
+                task();
+            } else if let Err(rejected) = self.queues[offset % self.queues.len()].send(task) {
+                // A closed queue is unreachable while the pool is alive
+                // (workers only exit when their Sender drops, in Drop), but
+                // degrade to inline execution rather than lose the job.
+                (rejected.0)();
+            }
+        }
+        drop(done_tx);
+        // The calling thread is lane 0.  catch_unwind so a panicking first
+        // shard still reaches the barrier below — unwinding past it while
+        // workers hold pointers into `slots` would be undefined behaviour.
+        let first_result = catch_unwind(AssertUnwindSafe(first));
+        // SAFETY: slot 0 belongs to the calling thread; written through the
+        // same pointer provenance as the workers' slots.
+        unsafe { slot_base.write(Some(first_result)) };
+        // The barrier: every dispatched task signals exactly once after
+        // writing its slot.  Err (all senders gone) can only mean every
+        // remaining task was destroyed without running, so no pointers are
+        // outstanding either way.
+        for _ in 0..dispatched {
+            if done_rx.recv().is_err() {
+                break;
+            }
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut panic: Option<Box<dyn Any + Send>> = None;
+        for slot in slots {
+            match slot.expect("barrier guarantees every job ran") {
+                Ok(value) => out.push(value),
+                Err(payload) => {
+                    panic.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing a worker's queue ends its receive loop; joining then
+        // completes promptly.  Workers never unwind (tasks are
+        // catch_unwind-wrapped), so a join error is unreachable.
+        self.queues.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Splits `items` into at most `shards` contiguous chunks whose lengths
+/// differ by at most one (the first `len % shards` chunks take the extra
+/// item).  With `len >= shards` the result has **exactly** `shards`
+/// non-empty chunks — unlike `chunks_mut(len.div_ceil(shards))`, which can
+/// produce far fewer (65 items at 64 shards → 33 chunks of 2, half the
+/// workers idle).  Concatenating the chunks in order reproduces `items`.
+pub fn split_balanced<T>(mut items: &mut [T], shards: usize) -> Vec<&mut [T]> {
+    let shards = shards.clamp(1, items.len().max(1));
+    let base = items.len() / shards;
+    let extra = items.len() % shards;
+    let mut out = Vec::with_capacity(shards);
+    for index in 0..shards {
+        let take = base + usize::from(index < extra);
+        let (head, rest) = items.split_at_mut(take);
+        out.push(head);
+        items = rest;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_preserves_job_order() {
+        let pool = WorkerPool::new(3);
+        for jobs in [1usize, 2, 4, 17] {
+            let work: Vec<_> = (0..jobs).map(|i| move || i * i).collect();
+            let results = pool.scatter(work);
+            let expected: Vec<_> = (0..jobs).map(|i| i * i).collect();
+            assert_eq!(results, expected, "order lost at {jobs} jobs");
+        }
+    }
+
+    #[test]
+    fn scatter_runs_inline_with_zero_workers() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 0);
+        assert_eq!(pool.lanes(), 1);
+        let results = pool.scatter((0..5).map(|i| move || i + 10).collect::<Vec<_>>());
+        assert_eq!(results, vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn scatter_borrows_caller_state_mutably() {
+        let pool = WorkerPool::new(2);
+        let mut buckets = [0u64; 6];
+        {
+            let shards = split_balanced(&mut buckets, 3);
+            let jobs: Vec<_> = shards
+                .into_iter()
+                .enumerate()
+                .map(|(i, shard)| {
+                    move || {
+                        for slot in shard.iter_mut() {
+                            *slot = 100 + i as u64;
+                        }
+                    }
+                })
+                .collect();
+            pool.scatter(jobs);
+        }
+        assert_eq!(buckets, [100, 100, 101, 101, 102, 102]);
+    }
+
+    #[test]
+    fn panic_payload_of_the_lowest_index_job_is_reraised() {
+        let pool = WorkerPool::new(3);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scatter(
+                (0..6)
+                    .map(|i| {
+                        move || {
+                            if i >= 2 {
+                                panic!("job {i} failed");
+                            }
+                            i
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        let payload = result.expect_err("scatter must re-raise the panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("payload preserved verbatim");
+        assert_eq!(message, "job 2 failed");
+    }
+
+    #[test]
+    fn workers_survive_panicking_jobs() {
+        let pool = WorkerPool::new(2);
+        for round in 0..3 {
+            let crashed = catch_unwind(AssertUnwindSafe(|| {
+                pool.scatter(
+                    (0..4)
+                        .map(|i| move || if i == 3 { panic!("boom {round}") } else { i })
+                        .collect::<Vec<_>>(),
+                )
+            }));
+            assert!(crashed.is_err());
+            // The pool must keep working after every crash.
+            let ok = pool.scatter((0..4).map(|i| move || i * 2).collect::<Vec<_>>());
+            assert_eq!(ok, vec![0, 2, 4, 6]);
+        }
+    }
+
+    #[test]
+    fn drop_joins_every_worker() {
+        let pool = WorkerPool::new(4);
+        let probe = pool.liveness();
+        assert!(probe.upgrade().is_some(), "workers must be running");
+        drop(pool);
+        assert!(
+            probe.upgrade().is_none(),
+            "drop returned before all workers exited"
+        );
+    }
+
+    #[test]
+    fn repeated_construction_leaks_no_threads() {
+        let mut probes = Vec::new();
+        for _ in 0..32 {
+            let pool = WorkerPool::new(4);
+            pool.scatter((0..8).map(|i| move || i).collect::<Vec<_>>());
+            probes.push(pool.liveness());
+        }
+        for (i, probe) in probes.iter().enumerate() {
+            assert!(probe.upgrade().is_none(), "pool {i} leaked workers");
+        }
+    }
+
+    #[test]
+    fn balanced_split_produces_exactly_the_requested_shards() {
+        // (len, shards, expected shard count) — including the 65-at-64 case
+        // the old div_ceil chunking got wrong (33 shards of 2).
+        for (len, shards, expected) in [
+            (65usize, 64usize, 64usize),
+            (7, 3, 3),
+            (16, 5, 5),
+            (12, 4, 4),
+            (3, 8, 3),
+            (1, 1, 1),
+            (1, 16, 1),
+            (0, 4, 1),
+        ] {
+            let mut items: Vec<usize> = (0..len).collect();
+            let chunks = split_balanced(&mut items, shards);
+            assert_eq!(chunks.len(), expected, "{len} items at {shards} shards");
+            let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+            let max = sizes.iter().max().copied().unwrap_or(0);
+            let min = sizes.iter().min().copied().unwrap_or(0);
+            assert!(
+                max - min <= 1,
+                "{len} items at {shards} shards: uneven sizes {sizes:?}"
+            );
+            let rejoined: Vec<usize> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+            let expected_items: Vec<usize> = (0..len).collect();
+            assert_eq!(rejoined, expected_items, "order not preserved");
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_workers_queue_fifo_per_worker() {
+        let pool = WorkerPool::new(2);
+        let results = pool.scatter((0..33).map(|i| move || i).collect::<Vec<_>>());
+        assert_eq!(results, (0..33).collect::<Vec<_>>());
+    }
+}

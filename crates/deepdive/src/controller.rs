@@ -22,11 +22,28 @@
 //! [`DeepDiveStats::sandbox_spec_fallbacks`].  Build the controller with
 //! [`DeepDive::for_cluster`] to derive the fleet from the cluster's actual
 //! machine models.
+//!
+//! ## Parallelism
+//!
+//! The control plane's two heavyweight jobs are embarrassingly parallel and
+//! can ride the epoch engine's persistent [`WorkerPool`]
+//! ([`DeepDive::use_worker_pool`]): per-application model refits fan out in
+//! [`WarningSystem::refresh_models`] (applications are independent), and
+//! per-machine-model synthetic-benchmark training fans out in
+//! [`DeepDive::pretrain_benchmarks`] / lazily in the mitigation path (models
+//! are independent, and each training sample has its own counter-derived
+//! RNG stream).  Every pooled path is **bit-identical** to its serial
+//! equivalent — the pool is a throughput knob, never a results knob — and a
+//! panic in pooled work follows the engine's policy (barrier first, payload
+//! re-raised on the controller's thread, workers survive; see
+//! [`cloudsim::pool`]).
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use cloudsim::cluster::ClusterError;
 use cloudsim::pm::VmEpochReport;
+use cloudsim::pool::WorkerPool;
 use cloudsim::{Cluster, PmId, RequestProxy, SandboxFleet, VmId};
 use hwsim::{CounterSnapshot, MachineSpec};
 use serde::{Deserialize, Serialize};
@@ -173,12 +190,21 @@ pub struct DeepDive {
     stats: DeepDiveStats,
     recent_counters: HashMap<VmId, VecDeque<CounterSnapshot>>,
     cooldown_until: HashMap<VmId, u64>,
+    /// Persistent worker pool the controller fans independent work over —
+    /// per-application model refits and synthetic-benchmark training.
+    /// Typically the epoch engine's own pool
+    /// ([`DeepDive::use_worker_pool`]), so stepping and the control plane
+    /// share one set of threads; `None` keeps every path serial.  Results
+    /// are bit-identical either way.
+    pool: Option<Arc<WorkerPool>>,
     // Reusable per-epoch scratch: cleared (not dropped) every epoch so the
     // steady-state warning path performs no heap allocation.
     /// Current behaviour of every reporting VM.
     behavior_scratch: HashMap<VmId, BehaviorVector>,
     /// Reporting VMs grouped by application (the global-information index).
     by_app_scratch: HashMap<AppId, Vec<VmId>>,
+    /// Applications reporting this epoch (the refresh sweep's work list).
+    apps_scratch: Vec<AppId>,
     /// Same-application peer behaviours for the VM under evaluation.
     peer_scratch: Vec<BehaviorVector>,
     /// Analysis window handed to the interference analyzer.
@@ -220,8 +246,10 @@ impl DeepDive {
             stats: DeepDiveStats::default(),
             recent_counters: HashMap::new(),
             cooldown_until: HashMap::new(),
+            pool: None,
             behavior_scratch: HashMap::new(),
             by_app_scratch: HashMap::new(),
+            apps_scratch: Vec::new(),
             peer_scratch: Vec::new(),
             window_scratch: Vec::new(),
         }
@@ -243,6 +271,78 @@ impl DeepDive {
             DEFAULT_CLONE_OVERHEAD_SECONDS,
         );
         Self::new(config, fleet)
+    }
+
+    /// Fans the controller's independent work — per-application model
+    /// refits, synthetic-benchmark training — out over a persistent
+    /// [`WorkerPool`].  Pass the epoch engine's pool
+    /// (`engine.worker_pool().cloned()` via the shared `Arc`) so the control
+    /// plane rides the same threads that step the cluster: the engine's
+    /// barrier has released the workers by the time `process_epoch` runs.
+    ///
+    /// Purely a throughput knob: every pooled path is bit-identical to its
+    /// serial equivalent (each refit and each training sample is a pure
+    /// function of its inputs), pinned by `tests/warning_equivalence.rs`
+    /// and the controller equivalence test below.
+    pub fn use_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// The worker pool the control plane fans work over, if any.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Trains the synthetic benchmark for every machine model in `cluster`
+    /// up front — one independent training job per model, fanned over the
+    /// worker pool when one is attached — instead of lazily on the first
+    /// placement decision per model.  Already-trained models are kept.
+    ///
+    /// Training is a pure function of `(spec, samples, seed)`, so eager,
+    /// lazy, pooled and serial training all produce bit-identical
+    /// benchmarks; pretraining only moves the cost out of the first
+    /// mitigation episode (and, with a pool, overlaps the models).
+    pub fn pretrain_benchmarks(&mut self, cluster: &Cluster) {
+        let mut specs: Vec<MachineSpec> = Vec::new();
+        for machine in cluster.machines() {
+            if !self.synthetic.contains_key(&machine.spec.name)
+                && !specs.iter().any(|s| s.name == machine.spec.name)
+            {
+                specs.push(machine.spec.clone());
+            }
+        }
+        if specs.is_empty() {
+            return;
+        }
+        let samples = self.config.synthetic_training_samples;
+        let seed = self.config.seed;
+        let trained: Vec<SyntheticBenchmark> = match &self.pool {
+            Some(pool) if pool.lanes() > 1 && specs.len() > 1 => {
+                // One job per machine model.  Jobs run *on* the pool, so
+                // each trains serially inside (nested scatter on the same
+                // pool would deadlock); the parallelism is across models.
+                let jobs: Vec<_> = specs
+                    .iter()
+                    .map(|spec| {
+                        let spec = spec.clone();
+                        move || SyntheticBenchmark::train_with_threads(spec, samples, seed, 1)
+                    })
+                    .collect();
+                pool.scatter(jobs)
+            }
+            Some(pool) => specs
+                .iter()
+                .map(|spec| SyntheticBenchmark::train_with_pool(spec.clone(), samples, seed, pool))
+                .collect(),
+            None => specs
+                .iter()
+                .map(|spec| SyntheticBenchmark::train(spec.clone(), samples, seed))
+                .collect(),
+        };
+        for benchmark in trained {
+            self.synthetic
+                .insert(benchmark.spec.name.clone(), benchmark);
+        }
     }
 
     /// The running statistics.
@@ -325,14 +425,20 @@ impl DeepDive {
             self.by_app_scratch.entry(r.app).or_default().push(r.vm_id);
         }
 
-        // One model refresh per application per epoch.  Order between apps is
-        // irrelevant (models are independent), and each refresh is O(1) when
-        // that application's repository generation is unchanged.
-        for (&app, vms) in &self.by_app_scratch {
-            if !vms.is_empty() {
-                self.warning.refresh_model(app, &self.repository);
-            }
-        }
+        // One model refresh per application per epoch.  Order between apps
+        // is irrelevant (models are independent), each refresh is O(1) when
+        // that application's repository generation is unchanged, and when
+        // several applications do need a refit the fits fan out over the
+        // worker pool (bit-identical to the serial sweep).
+        self.apps_scratch.clear();
+        self.apps_scratch.extend(
+            self.by_app_scratch
+                .iter()
+                .filter(|(_, vms)| !vms.is_empty())
+                .map(|(&app, _)| app),
+        );
+        self.warning
+            .refresh_models(&self.apps_scratch, &self.repository, self.pool.as_deref());
 
         for report in reports {
             self.stats.evaluations += 1;
@@ -523,14 +629,20 @@ impl DeepDive {
 
         // Train the synthetic benchmark lazily, once per server type: the
         // mimic inverts behaviours observed on the afflicted machine, so it
-        // is trained on that machine's model.
+        // is trained on that machine's model.  With a worker pool attached
+        // the sample resolves ride the pool; the fitted model is
+        // bit-identical either way (use `pretrain_benchmarks` to move this
+        // cost out of the episode entirely).
         let host_spec = self.host_spec(cluster, pm);
         if !self.synthetic.contains_key(&host_spec.name) {
-            let benchmark = SyntheticBenchmark::train(
-                host_spec.clone(),
-                self.config.synthetic_training_samples,
-                self.config.seed,
-            );
+            let samples = self.config.synthetic_training_samples;
+            let seed = self.config.seed;
+            let benchmark = match &self.pool {
+                Some(pool) => {
+                    SyntheticBenchmark::train_with_pool(host_spec.clone(), samples, seed, pool)
+                }
+                None => SyntheticBenchmark::train(host_spec.clone(), samples, seed),
+            };
             self.synthetic.insert(host_spec.name.clone(), benchmark);
         }
         let benchmark = self
@@ -750,6 +862,51 @@ mod tests {
         // The uniform constructor keeps hard-coding possible but explicit.
         let uniform = DeepDive::new(DeepDiveConfig::default(), cloudsim::Sandbox::xeon_pool(4));
         assert!(uniform.sandbox_fleet().is_uniform());
+    }
+
+    #[test]
+    fn pooled_controller_run_is_bit_identical_to_serial() {
+        use cloudsim::ExecutionMode;
+
+        // Three apps across three machines plus an aggressor, long enough to
+        // cover bootstrap, multi-app refits, confirmed interference, lazy
+        // benchmark training and migration — the full control plane.
+        let build = || {
+            let mut cluster =
+                Cluster::homogeneous(4, MachineSpec::xeon_x5472(), Scheduler::default());
+            for i in 0..5 {
+                cluster
+                    .place_first_fit(serving_vm(i, 1 + i % 3))
+                    .expect("room");
+            }
+            // First-fit packs two VMs per machine, so PM 2 has one slot
+            // left for the aggressor and PM 3 stays free as a destination.
+            cluster.place_on(PmId(2), aggressor_vm(99)).unwrap();
+            cluster
+        };
+
+        let serial_engine = EpochEngine::serial(ClusterSeed::new(5));
+        let mut serial_cluster = build();
+        let mut serial_dd = controller(true, &serial_cluster);
+        let serial_events = run(&mut serial_cluster, &mut serial_dd, &serial_engine, 50, 0.8);
+
+        let pooled_engine =
+            EpochEngine::new(ClusterSeed::new(5), ExecutionMode::Pooled { threads: 3 });
+        let mut pooled_cluster = build();
+        let mut pooled_dd = controller(true, &pooled_cluster);
+        pooled_dd.use_worker_pool(Arc::clone(
+            pooled_engine.worker_pool().expect("pooled engine"),
+        ));
+        pooled_dd.pretrain_benchmarks(&pooled_cluster);
+        let pooled_events = run(&mut pooled_cluster, &mut pooled_dd, &pooled_engine, 50, 0.8);
+
+        assert_eq!(serial_events, pooled_events, "event streams diverged");
+        assert_eq!(serial_dd.stats(), pooled_dd.stats(), "stats diverged");
+        assert_eq!(
+            serial_cluster.locate(VmId(99)),
+            pooled_cluster.locate(VmId(99)),
+            "final placements diverged"
+        );
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! least-squares search in [`analytics::regression::invert_inputs`].
 
 use analytics::regression::{invert_inputs, LinearRegression};
+use cloudsim::pool::{split_balanced, WorkerPool};
 use cloudsim::rngs::splitmix64;
 use hwsim::contention::{resolve_epoch, EpochOutcome, PlacedDemand};
 use hwsim::{EpochResolver, MachineSpec, ResourceDemand, EPOCH_SECONDS};
@@ -184,6 +185,68 @@ impl SyntheticBenchmark {
                     });
                 }
             });
+        }
+        let model = LinearRegression::fit(&inputs, &outputs, 1e-6);
+        let training_error = model.mse(&inputs, &outputs);
+        Self {
+            spec,
+            model,
+            training_error,
+        }
+    }
+
+    /// [`Self::train`] running its sample resolves on a persistent
+    /// [`WorkerPool`] instead of freshly spawned scoped threads — the form
+    /// the DeepDive controller uses so lazy in-episode training rides the
+    /// epoch engine's pool rather than paying thread churn.
+    ///
+    /// Bit-identical to every other training path: each sample is a pure
+    /// function of `(seed, index)`, and balanced contiguous chunks preserve
+    /// index order no matter which worker resolves them.
+    ///
+    /// # Panics
+    /// Panics if `samples` is smaller than the number of input knobs.
+    pub fn train_with_pool(
+        spec: MachineSpec,
+        samples: usize,
+        seed: u64,
+        pool: &WorkerPool,
+    ) -> Self {
+        assert!(samples >= 8, "training needs at least a handful of samples");
+        let lanes = pool.lanes().clamp(1, samples);
+        if lanes <= 1 {
+            return Self::train_with_threads(spec, samples, seed, 1);
+        }
+        let mut inputs = vec![Vec::new(); samples];
+        let mut outputs = vec![Vec::new(); samples];
+        {
+            let spec_ref = &spec;
+            // Equal-length slices split the same way yield index-aligned
+            // chunk pairs; each job owns one pair plus its base offset.
+            let input_chunks = split_balanced(&mut inputs, lanes);
+            let output_chunks = split_balanced(&mut outputs, lanes);
+            let mut base = 0usize;
+            let jobs: Vec<_> = input_chunks
+                .into_iter()
+                .zip(output_chunks)
+                .map(|(input_chunk, output_chunk)| {
+                    let start = base;
+                    base += input_chunk.len();
+                    move || {
+                        let mut resolver = EpochResolver::new(spec_ref.clone());
+                        let mut outcomes = Vec::with_capacity(1);
+                        for (offset, (input, output)) in input_chunk
+                            .iter_mut()
+                            .zip(output_chunk.iter_mut())
+                            .enumerate()
+                        {
+                            (*input, *output) =
+                                resolve_sample(seed, start + offset, &mut resolver, &mut outcomes);
+                        }
+                    }
+                })
+                .collect();
+            pool.scatter(jobs);
         }
         let model = LinearRegression::fit(&inputs, &outputs, 1e-6);
         let training_error = model.mse(&inputs, &outputs);
@@ -489,6 +552,25 @@ mod tests {
             assert_eq!(
                 serial.training_error().to_bits(),
                 parallel.training_error().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn pool_training_is_bit_identical_to_serial() {
+        let spec = MachineSpec::xeon_x5472();
+        let serial = SyntheticBenchmark::train_with_threads(spec.clone(), 64, 11, 1);
+        for workers in [0usize, 1, 3] {
+            let pool = WorkerPool::new(workers);
+            let pooled = SyntheticBenchmark::train_with_pool(spec.clone(), 64, 11, &pool);
+            assert_eq!(
+                serial.model(),
+                pooled.model(),
+                "{workers}-worker pool training diverged from serial"
+            );
+            assert_eq!(
+                serial.training_error().to_bits(),
+                pooled.training_error().to_bits()
             );
         }
     }

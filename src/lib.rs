@@ -77,21 +77,30 @@
 //!   neighbours, or the order machines are stepped in. A mid-run migration
 //!   cannot perturb any other VM's stream (pinned by
 //!   `tests/engine_equivalence.rs`).
-//! * **The sharded epoch engine** — `cloudsim::engine::EpochEngine` steps a
-//!   cluster under `ExecutionMode::Serial` or `ExecutionMode::Sharded {
-//!   threads }`: contiguous machine shards on `std::thread::scope` threads,
-//!   reports merged in machine-index order, output **bit-identical** across
-//!   all modes (a proptest pins Serial vs `Sharded{2}` vs `Sharded{8}`).
-//!   `EpochEngine::step_epochs` batches a whole epoch horizon into one
-//!   spawn set (machines are independent across epochs too) for callers
-//!   that do not mutate the cluster between epochs.
-//!   The `CLOUDSIM_THREADS` env var selects the mode where callers defer to
-//!   `ExecutionMode::from_env()` (default: all available cores). Measured
-//!   by `cargo bench -p bench --bench cluster_throughput` (64–512-machine
-//!   fleets at real density, serial vs 1/2/4/8 shards, plus migration
-//!   churn; dumps `BENCH_cluster.json` with the runner's
-//!   `available_parallelism` so single-core numbers are not mistaken for
-//!   scaling data).
+//! * **The parallel epoch engine** — `cloudsim::engine::EpochEngine` steps
+//!   a cluster under `ExecutionMode::Serial`, `ExecutionMode::Sharded {
+//!   threads }` (scoped threads spawned per call — the baseline) or
+//!   `ExecutionMode::Pooled { threads }` (the production mode): a
+//!   persistent `cloudsim::WorkerPool` with per-worker queues and an
+//!   epoch-barrier scatter, stepping balanced contiguous machine shards
+//!   (`pool::split_balanced` — exactly `threads` shards whenever enough
+//!   machines exist) and merging reports in machine-index order, output
+//!   **bit-identical** across all modes (a proptest pins Serial vs
+//!   Sharded vs Pooled at several thread counts). The pool joins its
+//!   workers on drop, and a panicking shard reaches the barrier first,
+//!   then re-raises the original payload without poisoning the workers
+//!   (`tests/pool_lifecycle.rs`). `EpochEngine::step_epochs` batches a
+//!   whole epoch horizon into one handoff for callers that do not mutate
+//!   the cluster between epochs.
+//!   The `CLOUDSIM_THREADS` env var selects the mode where callers defer
+//!   to `ExecutionMode::from_env()` (unset: `Pooled` over all available
+//!   cores; malformed values are a hard error, never a silent fallback).
+//!   Measured by `cargo bench -p bench --bench cluster_throughput`
+//!   (64–512-machine fleets at real density, serial vs sharded vs pooled
+//!   at 1/2/4/8 threads, plus migration churn; dumps `BENCH_cluster.json`
+//!   with the runner's `available_parallelism`, and `threads > 1` rows on
+//!   a 1-core runner are flagged `overhead_only` so they are never
+//!   mistaken for scaling data).
 //! * **O(1) bookkeeping** — `cloudsim::Cluster` keeps id→index maps so VM
 //!   location and machine lookups are O(1) per migration instead of scans.
 //! * **Incremental control plane** — the warning path (every VM, every
@@ -110,9 +119,16 @@
 //!   nothing.  Measured by `cargo bench -p bench --bench
 //!   controller_throughput` (dumps `BENCH_controller.json`): ~8.6×
 //!   evaluations/sec at 1024 VMs over the cold-refit baseline.
-//!   Synthetic-benchmark training is parallel the same way the epoch
-//!   engine is: per-sample SplitMix64 streams on scoped threads,
-//!   bit-identical for any thread count (`DEEPDIVE_TRAIN_THREADS`).
+//!   When the controller is handed the engine's pool
+//!   (`DeepDive::use_worker_pool`), the per-app refits of one epoch fan
+//!   out over it (`WarningSystem::refresh_models` — pure fits scattered,
+//!   results installed serially in input order, bit-identical to the
+//!   serial loop by proptest), and synthetic-benchmark training fans out
+//!   too: across machine models at pretrain time
+//!   (`DeepDive::pretrain_benchmarks`) and across samples within one
+//!   model (`SyntheticBenchmark::train_with_pool`), on top of the older
+//!   scoped-thread path (`DEEPDIVE_TRAIN_THREADS`) — per-sample
+//!   SplitMix64 streams keep every variant bit-identical to serial.
 //! * **Spec-aware sandbox fleets** — the analyzer's degradation estimate
 //!   divides production instruction rates by isolation rates, which is
 //!   only sound when the clone replays on the victim's host machine
@@ -142,13 +158,20 @@
 //!   contention monotonicity, queueing monotonicity),
 //! * `tests/persistence.rs` — repository JSON round-trip and the §5.5
 //!   "≈5 KB per VM per day" footprint bound,
-//! * `tests/engine_equivalence.rs` — proptest: serial and sharded stepping
-//!   bit-identical over arbitrary placements/loads/epochs, and migrations
-//!   never perturb other VMs' demand streams,
+//! * `tests/engine_equivalence.rs` — proptest: serial, sharded and pooled
+//!   stepping bit-identical over arbitrary placements/loads/epochs
+//!   (including thread counts that exceed or do not divide the machine
+//!   count), and migrations never perturb other VMs' demand streams,
+//! * `tests/pool_lifecycle.rs` — worker-pool guarantees: drop joins every
+//!   worker (no leaked threads across repeated construction), degenerate
+//!   clusters step on the calling thread, zero-epoch batches are no-ops,
+//!   and a panicking shard propagates its original payload after the
+//!   barrier without advancing the epoch or poisoning the pool,
 //! * `tests/warning_equivalence.rs` — proptest: warm-started and forced-cold
 //!   model refreshes produce equivalent warning *decisions* (detections
-//!   always, divergence bounded) over randomized growing repositories, and
-//!   an unchanged repository generation makes refreshes free,
+//!   always, divergence bounded) over randomized growing repositories, an
+//!   unchanged repository generation makes refreshes free, and the pooled
+//!   refit sweep is exactly equivalent to the serial refresh loop,
 //! * `tests/sandbox_fleet.rs` — spec-aware fleet contracts: on uniform
 //!   clusters the derived fleet is bit-identical to the old single-pool
 //!   construction (proptest), and on a mixed Xeon+i7 cluster the
@@ -159,7 +182,7 @@
 //!
 //! CI runs the whole suite twice — once default (Serial engine pinned in
 //! tests) and once with `CLOUDSIM_THREADS=4 DEEPDIVE_TRAIN_THREADS=4` so
-//! the sharded engine and parallel trainer execute multi-threaded — and
+//! the pooled engine and parallel trainer execute multi-threaded — and
 //! validates the three `BENCH_*.json` throughput dumps with
 //! `cargo run -p bench --bin check_bench_json` after the smoke steps.
 //!

@@ -1,12 +1,14 @@
 //! Execution-mode equivalence and stream-independence guarantees of the
 //! epoch engine.
 //!
-//! Two properties the sharded engine is built on:
+//! Two properties the parallel engine is built on:
 //!
-//! 1. **Mode equivalence** — `Serial`, `Sharded { 2 }` and `Sharded { 8 }`
-//!    produce bit-identical `VmEpochReport` sequences over arbitrary
-//!    placements, loads and epoch counts (the thread count is a throughput
-//!    knob, never a results knob).
+//! 1. **Mode equivalence** — `Serial`, `Sharded` (spawn-per-call scoped
+//!    threads) and `Pooled` (persistent worker pool) produce bit-identical
+//!    `VmEpochReport` sequences over arbitrary placements, loads and epoch
+//!    counts — including thread counts that exceed or do not divide the
+//!    machine count (the thread count is a throughput knob, never a results
+//!    knob).
 //! 2. **Stream independence** — a mid-run migration does not change any
 //!    VM's subsequent demand stream, because streams are derived per
 //!    `(vm, epoch)` from the cluster seed rather than threaded through a
@@ -98,6 +100,8 @@ proptest! {
             ExecutionMode::Serial,
             ExecutionMode::Sharded { threads: 2 },
             ExecutionMode::Sharded { threads: 8 },
+            ExecutionMode::Pooled { threads: 3 },
+            ExecutionMode::Pooled { threads: 8 },
         ];
         let mut runs: Vec<Vec<VmEpochReport>> = Vec::new();
         for mode in modes {
@@ -115,8 +119,9 @@ proptest! {
         }
         let serial = &runs[0];
         prop_assert!(!serial.is_empty());
-        prop_assert_eq!(serial, &runs[1]);
-        prop_assert_eq!(serial, &runs[2]);
+        for (mode, run) in modes.iter().zip(&runs).skip(1) {
+            prop_assert_eq!(serial, run, "{:?} diverged from Serial", mode);
+        }
     }
 }
 

@@ -1,0 +1,171 @@
+//! Lifecycle and panic-policy guarantees of the pooled epoch engine.
+//!
+//! The persistent worker pool behind `ExecutionMode::Pooled` carries three
+//! promises beyond bit-identical results (those live in
+//! `tests/engine_equivalence.rs`):
+//!
+//! 1. **Clean shutdown** — dropping a pooled engine joins every worker;
+//!    constructing engines in a loop leaks no threads.
+//! 2. **Degenerate clusters degrade gracefully** — VM-less and
+//!    single-machine clusters step entirely on the calling thread, and a
+//!    zero-epoch batch is a no-op.
+//! 3. **Panic containment** — a panicking `load_for` in a shard propagates
+//!    its original payload to the caller *after* the shard barrier, leaves
+//!    the cluster epoch counter un-advanced, and does **not** poison the
+//!    pool: the very next step on the same engine works and stays
+//!    bit-identical to serial.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use cloudsim::{Cluster, ClusterSeed, EpochEngine, ExecutionMode, Scheduler, Vm, VmId};
+use hwsim::MachineSpec;
+use workloads::{AppId, ClientEmulator, DataServing};
+
+fn cluster(machines: usize, vms: usize) -> Cluster {
+    let mut c = Cluster::homogeneous(machines, MachineSpec::xeon_x5472(), Scheduler::default());
+    for i in 0..vms {
+        let vm = Vm::new(
+            VmId(i as u64),
+            Box::new(DataServing::with_defaults(AppId(1))),
+            ClientEmulator::new(8_000.0, 4.0),
+        );
+        c.place_first_fit(vm).expect("cluster has room");
+    }
+    c
+}
+
+#[test]
+fn dropping_pooled_engines_joins_all_workers() {
+    // Repeated construction must not accumulate threads: every engine's
+    // pool exposes a liveness probe that stops upgrading once its workers
+    // have exited, which can only happen if drop really joins them.
+    let mut probes = Vec::new();
+    for round in 0..24 {
+        let engine = EpochEngine::new(
+            ClusterSeed::new(round),
+            ExecutionMode::Pooled { threads: 4 },
+        );
+        let pool = engine.worker_pool().expect("pooled engine owns a pool");
+        assert_eq!(pool.workers(), 3, "4 lanes = 3 workers + calling thread");
+        probes.push(pool.liveness());
+        let mut c = cluster(6, 10);
+        let reports = engine.step(&mut c, |_| 0.6);
+        assert_eq!(reports.len(), 10);
+    }
+    for (round, probe) in probes.iter().enumerate() {
+        assert!(
+            probe.upgrade().is_none(),
+            "engine {round} leaked pool workers after drop"
+        );
+    }
+}
+
+#[test]
+fn degenerate_clusters_step_on_the_calling_thread() {
+    for mode in [
+        ExecutionMode::Pooled { threads: 8 },
+        ExecutionMode::Sharded { threads: 8 },
+    ] {
+        let engine = EpochEngine::new(ClusterSeed::new(1), mode);
+        // Empty cluster (machines but no VMs — Cluster rejects zero
+        // machines at construction): no reports, epoch still counts.
+        let mut empty = cluster(2, 0);
+        let reports = engine.step(&mut empty, |_| 0.5);
+        assert!(reports.is_empty(), "VM-less step produced reports");
+        assert_eq!(empty.epoch(), 1);
+        // One machine: serial path, identical to a serial engine's output.
+        let serial = EpochEngine::serial(ClusterSeed::new(1));
+        let mut single_parallel = cluster(1, 2);
+        let mut single_serial = cluster(1, 2);
+        for _ in 0..3 {
+            assert_eq!(
+                engine.step(&mut single_parallel, |_| 0.7),
+                serial.step(&mut single_serial, |_| 0.7),
+                "single-machine divergence under {mode:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_epoch_batches_are_no_ops() {
+    for mode in [
+        ExecutionMode::Serial,
+        ExecutionMode::Sharded { threads: 4 },
+        ExecutionMode::Pooled { threads: 4 },
+    ] {
+        let engine = EpochEngine::new(ClusterSeed::new(9), mode);
+        let mut c = cluster(3, 6);
+        let batches = engine.step_epochs(&mut c, 0, |_, _| 0.5);
+        assert!(batches.is_empty(), "zero epochs returned batches: {mode:?}");
+        assert_eq!(c.epoch(), 0, "zero-epoch batch advanced the epoch");
+    }
+}
+
+#[test]
+fn shard_panic_propagates_without_poisoning_the_pool() {
+    let engine = EpochEngine::new(ClusterSeed::new(7), ExecutionMode::Pooled { threads: 4 });
+    let pool_probe = engine
+        .worker_pool()
+        .expect("pooled engine owns a pool")
+        .liveness();
+    let mut c = cluster(8, 16);
+
+    // A load closure that blows up for one specific VM: some shards finish,
+    // the one holding VM 5 panics.
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        engine.step(&mut c, |vm| {
+            if vm.0 == 5 {
+                panic!("load trace corrupted for vm {}", vm.0);
+            }
+            0.5
+        })
+    }));
+    let payload = crashed.expect_err("the shard panic must propagate");
+    let message = payload
+        .downcast_ref::<String>()
+        .expect("original payload, not a join wrapper");
+    assert_eq!(message, "load trace corrupted for vm 5");
+
+    // The failed step must not have advanced the epoch counter, and the
+    // pool's workers must all still be alive.
+    assert_eq!(c.epoch(), 0, "failed step advanced the cluster epoch");
+    assert!(
+        pool_probe.upgrade().is_some(),
+        "a shard panic killed pool workers"
+    );
+
+    // The engine remains fully usable and bit-identical to serial: compare
+    // a post-panic run against a fresh serial run over the same horizon.
+    // (The panicking step half-stepped some machines' internal workload
+    // state, so rebuild the cluster for the comparison.)
+    let mut after_panic = cluster(8, 16);
+    let mut reference = cluster(8, 16);
+    let serial = EpochEngine::serial(ClusterSeed::new(7));
+    for _ in 0..3 {
+        assert_eq!(
+            engine.step(&mut after_panic, |_| 0.5),
+            serial.step(&mut reference, |_| 0.5),
+            "post-panic pooled stepping diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn sharded_mode_panic_also_reaches_the_barrier_first() {
+    // The scoped-thread baseline follows the same policy: original payload,
+    // epoch not advanced, no abort via a bare join().expect.
+    let engine = EpochEngine::new(ClusterSeed::new(3), ExecutionMode::Sharded { threads: 4 });
+    let mut c = cluster(8, 16);
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        engine.step(&mut c, |vm| {
+            if vm.0 == 0 {
+                panic!("boom");
+            }
+            0.4
+        })
+    }));
+    let payload = crashed.expect_err("the shard panic must propagate");
+    assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom"));
+    assert_eq!(c.epoch(), 0);
+}
