@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # analytics — statistics and learning substrate for the DeepDive reproduction
 //!
 //! DeepDive's warning system learns "normal" VM behaviours with an

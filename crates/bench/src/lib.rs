@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # bench — experiment harness regenerating every figure of the paper
 //!
 //! Each figure or table of DeepDive's evaluation has a corresponding bench

@@ -38,7 +38,7 @@
 //! re-raised on the controller's thread, workers survive; see
 //! [`cloudsim::pool`]).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
 use cloudsim::cluster::ClusterError;
@@ -182,7 +182,9 @@ pub struct DeepDive {
     placement: PlacementManager,
     /// One trained synthetic benchmark per machine model (keyed by spec
     /// name), trained lazily the first time a placement decision needs it.
-    synthetic: HashMap<String, SyntheticBenchmark>,
+    /// A `BTreeMap` so that if per-model iteration ever reaches the worker
+    /// pool or an RNG draw, the order is the key order, never hash order.
+    synthetic: BTreeMap<String, SyntheticBenchmark>,
     /// Profiling seconds consumed per sandbox pool, parallel to
     /// `fleet.pools()` — the per-farm load the Figs. 12–14 queueing
     /// experiments size profiling capacity from.
@@ -241,7 +243,7 @@ impl DeepDive {
             proxy: RequestProxy::with_default_window(),
             fleet,
             placement,
-            synthetic: HashMap::new(),
+            synthetic: BTreeMap::new(),
             profiling_by_pool,
             stats: DeepDiveStats::default(),
             recent_counters: HashMap::new(),
@@ -416,6 +418,8 @@ impl DeepDive {
         // maps that keep their allocations across epochs; with a stable VM
         // population this allocates nothing.
         self.behavior_scratch.clear();
+        // Clearing every group touches each exactly once; nothing observes
+        // the visit order.  simlint: order-independent
         for group in self.by_app_scratch.values_mut() {
             group.clear();
         }
@@ -425,18 +429,24 @@ impl DeepDive {
             self.by_app_scratch.entry(r.app).or_default().push(r.vm_id);
         }
 
-        // One model refresh per application per epoch.  Order between apps
-        // is irrelevant (models are independent), each refresh is O(1) when
-        // that application's repository generation is unchanged, and when
-        // several applications do need a refit the fits fan out over the
-        // worker pool (bit-identical to the serial sweep).
+        // One model refresh per application per epoch.  Each refresh is O(1)
+        // when that application's repository generation is unchanged, and
+        // when several applications do need a refit the fits fan out over
+        // the worker pool (bit-identical to the serial sweep).  The work
+        // list is **sorted** before it reaches the pool: models are
+        // independent so results would match in any order, but the sort
+        // keeps scatter job assignment, refit accounting and any future
+        // order-sensitive consumer a pure function of the reports — never
+        // of `by_app_scratch`'s per-process hash order.
         self.apps_scratch.clear();
         self.apps_scratch.extend(
             self.by_app_scratch
+                // Hash-order collection, sorted below.  simlint: order-independent
                 .iter()
                 .filter(|(_, vms)| !vms.is_empty())
                 .map(|(&app, _)| app),
         );
+        self.apps_scratch.sort_unstable();
         self.warning
             .refresh_models(&self.apps_scratch, &self.repository, self.pool.as_deref());
 
@@ -942,5 +952,68 @@ mod tests {
                 assert_eq!(*seconds, 0.0, "wrong pool charged: {by_pool:?}");
             }
         }
+    }
+    #[test]
+    fn streams_are_identical_across_insertion_orders() {
+        // Two controllers over byte-identical clusters, but with their
+        // per-model synthetic benchmarks inserted in opposite orders
+        // (xeon→i7 vs i7→xeon) and the tenants placed in opposite orders.
+        // If any control-plane decision leaked map insertion/iteration
+        // order — the bug class the `synthetic` BTreeMap and the sorted
+        // `apps_scratch` rebuild exist to prevent — the event or stat
+        // streams would diverge.
+        let xeon = MachineSpec::xeon_x5472();
+        let i7 = MachineSpec::core_i7_nehalem();
+        let build = |reversed: bool| {
+            let mut cluster =
+                Cluster::heterogeneous(&[(xeon.clone(), 1), (i7.clone(), 1)], Scheduler::default());
+            let placements = [(PmId(0), 1u64, 1u64), (PmId(1), 2, 2)];
+            let order: Vec<_> = if reversed {
+                placements.iter().rev().collect()
+            } else {
+                placements.iter().collect()
+            };
+            for &&(pm, vm, app) in &order {
+                cluster.place_on(pm, serving_vm(vm, app)).unwrap();
+            }
+            cluster
+        };
+        let xeon_only = Cluster::homogeneous(1, xeon.clone(), Scheduler::default());
+        let i7_only = Cluster::homogeneous(1, i7.clone(), Scheduler::default());
+        let config = DeepDiveConfig {
+            auto_migrate: true,
+            synthetic_training_samples: 80,
+            ..Default::default()
+        };
+
+        let mut cluster_a = build(false);
+        let mut dd_a = DeepDive::for_cluster(config.clone(), &cluster_a);
+        dd_a.pretrain_benchmarks(&xeon_only);
+        dd_a.pretrain_benchmarks(&i7_only);
+
+        let mut cluster_b = build(true);
+        let mut dd_b = DeepDive::for_cluster(config, &cluster_b);
+        dd_b.pretrain_benchmarks(&i7_only);
+        dd_b.pretrain_benchmarks(&xeon_only);
+
+        let engine_a = EpochEngine::serial(ClusterSeed::new(11));
+        let engine_b = EpochEngine::serial(ClusterSeed::new(11));
+        let mut events_a = run(&mut cluster_a, &mut dd_a, &engine_a, 50, 0.8);
+        let mut events_b = run(&mut cluster_b, &mut dd_b, &engine_b, 50, 0.8);
+        // Inject the same aggressor into both and keep going: confirmed
+        // interference, migration planning and refits all replay the same
+        // decision path over the differently-populated internal maps.
+        cluster_a.place_on(PmId(0), aggressor_vm(99)).unwrap();
+        cluster_b.place_on(PmId(0), aggressor_vm(99)).unwrap();
+        events_a.extend(run(&mut cluster_a, &mut dd_a, &engine_a, 40, 0.8));
+        events_b.extend(run(&mut cluster_b, &mut dd_b, &engine_b, 40, 0.8));
+
+        assert_eq!(events_a, events_b, "event streams diverged");
+        assert_eq!(dd_a.stats(), dd_b.stats(), "stats diverged");
+        assert_eq!(
+            cluster_a.locate(VmId(99)),
+            cluster_b.locate(VmId(99)),
+            "final placements diverged"
+        );
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # deepdive — transparent interference detection and management
 //!
 //! This crate is the reproduction of the paper's contribution: a system that

@@ -244,8 +244,11 @@ impl BehaviorRepository {
         self.apps.get(&app.0).map(|s| s.is_empty()).unwrap_or(true)
     }
 
-    /// Applications with at least one stored behaviour.
+    /// Applications with at least one stored behaviour, in ascending id
+    /// order (never hash order — callers sum footprints and drive figure
+    /// sweeps off this list).
     pub fn known_apps(&self) -> Vec<AppId> {
+        // Hash-order collection, sorted on the next line.  simlint: order-independent
         let mut apps: Vec<AppId> = self.apps.keys().map(|k| AppId(*k)).collect();
         apps.sort();
         apps

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # hwsim — hardware substrate for the DeepDive reproduction
 //!
 //! DeepDive (Novakovic et al., USENIX ATC 2013) reads nothing but *low-level

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # queueing — the profiling-farm scalability model (Figs. 13–14)
 //!
 //! The paper models DeepDive's interference analyzer as a queue: new VMs

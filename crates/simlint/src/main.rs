@@ -1,0 +1,46 @@
+#![forbid(unsafe_code)]
+//! `cargo run -p simlint [WORKSPACE_ROOT]` — lints every workspace `.rs`
+//! file against the project's determinism and unsafety contracts and exits
+//! nonzero on any finding.  See the library docs for the rule table.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("simlint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match simlint::find_workspace_root(&cwd) {
+                Ok(root) => root,
+                Err(e) => {
+                    eprintln!("simlint: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match simlint::lint_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("simlint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                println!("{finding}");
+            }
+            eprintln!("simlint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

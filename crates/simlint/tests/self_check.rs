@@ -1,0 +1,28 @@
+//! The committed tree must lint clean: `cargo run -p simlint` exiting zero
+//! is enforced in CI, and this test pins the same invariant from inside
+//! `cargo test` so a violation fails the ordinary test lanes too.
+
+use std::path::Path;
+
+#[test]
+fn committed_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let findings = simlint::lint_workspace(&root).expect("workspace walk failed");
+    assert!(
+        findings.is_empty(),
+        "the committed tree has lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_root_is_discovered_from_a_nested_directory() {
+    let nested = Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    let root = simlint::find_workspace_root(&nested).expect("no workspace root found");
+    assert!(root.join("Cargo.toml").is_file());
+    assert!(root.join("crates").is_dir());
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # traces — load-intensity, interference-episode and VM-arrival traces
 //!
 //! The paper's evaluation is trace-driven (§5.1):

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # workloads — cloud and stress workload models
 //!
 //! The paper evaluates DeepDive with three CloudSuite workloads (§5.1):

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate for the DeepDive reproduction workspace.
 //!
 //! Reproduces *DeepDive: Transparently Identifying and Managing Performance
@@ -14,11 +15,12 @@
 //! *Dependency shims* below). From the repository root:
 //!
 //! ```text
-//! cargo build --release      # builds all 16 workspace crates
-//! cargo test -q              # ~350 unit + integration + doc tests, < 10 s
+//! cargo build --release      # builds all 17 workspace crates
+//! cargo test -q              # ~490 unit + integration + doc tests, < 10 s
 //! cargo bench --no-run       # compiles the 13 figure/table benches
 //! cargo bench                # re-runs every paper experiment with timings
 //! cargo run --example quickstart
+//! cargo run -p simlint       # static analysis: determinism + unsafety contracts
 //! cargo clippy --workspace --all-targets -- -D warnings
 //! cargo fmt --check
 //! ```
@@ -44,6 +46,9 @@
 //!           ▼
 //! bench                                     (per-figure experiment harness)
 //! ```
+//!
+//! `simlint` (the static-analysis binary, see below) stands alone: it
+//! depends on no workspace crate and nothing depends on it.
 //!
 //! The root package (`deepdive-repro`) re-exports every member so the
 //! repository-level `examples/` and `tests/` can exercise the whole system
@@ -146,8 +151,8 @@
 //!
 //! # Test-suite map
 //!
-//! * per-crate unit tests — each module tests its own invariants (~270
-//!   tests across the 8 functional crates and the shims),
+//! * per-crate unit tests — each module tests its own invariants (~320
+//!   tests across the 9 functional crates and the shims),
 //! * `tests/end_to_end.rs` — the full pipeline: learn → detect →
 //!   attribute → migrate → recover,
 //! * `tests/paper_claims.rs` — the paper's headline qualitative claims
@@ -191,6 +196,40 @@
 //! counters and decisions on every platform, at every thread count, under
 //! any placement history. No test depends on wall-clock time or thread
 //! order.
+//!
+//! # Static analysis: the determinism and unsafety contracts
+//!
+//! The runtime tests above prove the *current* tree is deterministic; the
+//! `simlint` crate keeps the next PR from quietly breaking it.
+//! `cargo run -p simlint` lexes every non-shim `.rs` file (nested block
+//! comments, raw strings, char/byte literals, `#[cfg(test)]` spans — so a
+//! `HashMap` in a doc comment never trips a rule) and enforces:
+//!
+//! * **`wall-clock`** — no `Instant::now`/`SystemTime` outside
+//!   `crates/bench` and the worker pool's park-timeout path
+//!   (`crates/cloudsim/src/pool.rs`).  Simulated time comes from epochs,
+//!   never the host clock.
+//! * **`safety-comment`** — every `unsafe` carries a `// SAFETY:` comment
+//!   (or `# Safety` doc section) adjacent to its statement.
+//! * **`hashmap-iteration`** — no iteration over `HashMap`/`HashSet`
+//!   (`.iter()`, `.keys()`, `.values()`, `.drain(`, `for … in &map`, …)
+//!   in the order-sensitive crates, unless the flagged line — or the line
+//!   directly above it — carries a `// simlint: order-independent`
+//!   comment stating why hash order cannot reach an observable output.
+//!   Iterate a `BTreeMap`, or collect-and-sort, instead.
+//! * **`forbid-unsafe`** — every functional crate except `cloudsim` (the
+//!   one audited unsafe island, `pool.rs`) declares
+//!   `#![forbid(unsafe_code)]` at its crate root.
+//! * **`unwrap-budget`** — `.unwrap()`/`.expect(` counts in non-test
+//!   library code ratchet against `crates/simlint/unwrap_budget.txt`.
+//!   Over budget fails; *under* budget also fails until the baseline is
+//!   shrunk to match, so the committed numbers always state the true
+//!   ceiling and only move down.
+//!
+//! Findings print as `file:line: rule-id: message` and exit nonzero.  CI
+//! runs the binary before the test lanes, and
+//! `crates/simlint/tests/self_check.rs` asserts the committed tree lints
+//! clean from inside `cargo test`.
 //!
 //! # Dependency shims
 //!
