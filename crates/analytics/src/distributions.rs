@@ -137,6 +137,21 @@ pub fn lognormal_arrivals(
     arrivals
 }
 
+/// Samples `count` lognormally distributed durations (seconds) with the
+/// given **median** and shape `sigma`.
+///
+/// Used for VM session lifetimes in the datacenter service model: lifetime
+/// distributions in production traces are heavy-tailed, with most sessions
+/// short and a long tail of near-permanent VMs.  The median (not the mean)
+/// is the natural anchor for a lognormal — `exp(mu)` exactly.
+pub fn lognormal_durations(median_s: f64, sigma: f64, count: usize, seed: u64) -> Vec<f64> {
+    assert!(median_s > 0.0, "median duration must be positive");
+    assert!(sigma > 0.0, "lognormal sigma must be positive");
+    let dist = LogNormal::new(median_s.ln(), sigma).expect("valid lognormal parameters");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| dist.sample(&mut rng)).collect()
+}
+
 /// Squared coefficient of variation of the gaps between consecutive arrival
 /// times — a standard burstiness measure (1.0 for Poisson, larger for
 /// heavier-tailed processes).
@@ -184,6 +199,24 @@ mod tests {
         }
         assert!(counts[1] > counts[10]);
         assert!(counts[1] > counts[40]);
+    }
+
+    #[test]
+    fn lognormal_durations_anchor_on_the_median() {
+        let durations = lognormal_durations(7_200.0, 1.5, 10_001, 8);
+        assert_eq!(durations.len(), 10_001);
+        assert!(durations.iter().all(|&d| d > 0.0));
+        let mut sorted = durations.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            (5_000.0..10_000.0).contains(&median),
+            "sample median {median} strayed from 7200"
+        );
+        // Heavy tail: the mean sits well above the median.
+        let mean: f64 = durations.iter().sum::<f64>() / durations.len() as f64;
+        assert!(mean > 1.5 * median, "mean {mean} vs median {median}");
+        assert_eq!(durations, lognormal_durations(7_200.0, 1.5, 10_001, 8));
     }
 
     #[test]

@@ -1,14 +1,15 @@
 //! CI validator for the throughput-bench JSON dumps.
 //!
-//! The three throughput benches (`resolver_throughput`, `cluster_throughput`,
-//! `controller_throughput`) dump machine-readable measurements to
-//! `BENCH_resolver.json`, `BENCH_cluster.json` and `BENCH_controller.json`
+//! The four throughput benches (`resolver_throughput`, `cluster_throughput`,
+//! `controller_throughput`, `datacenter_throughput`) dump machine-readable
+//! measurements to `BENCH_resolver.json`, `BENCH_cluster.json`,
+//! `BENCH_controller.json` and `BENCH_datacenter.json`
 //! at the workspace root so successive PRs can track the hot paths'
 //! trajectories (`--smoke` runs write `BENCH_*.smoke.json` siblings instead,
 //! so short-budget CI numbers never overwrite the committed full-budget
 //! files).  A bench that silently dumps an empty array, a non-finite rate or
 //! a row missing its keys would corrupt that trajectory without failing
-//! anything — so CI runs this checker right after the three smoke steps,
+//! anything — so CI runs this checker right after the four smoke steps,
 //! over both the fresh smoke dumps and the committed files, and fails on
 //! any malformed dump.
 //!
@@ -26,16 +27,17 @@
 //!   the row itself must say so.
 //!
 //! Usage: `cargo run -p bench --bin check_bench_json [FILES...]` — with no
-//! arguments it validates the three dumps at the workspace root.  Exits
+//! arguments it validates the four dumps at the workspace root.  Exits
 //! nonzero listing every violation found.
 
 use serde::Value;
 
-/// The three dumps validated by default, relative to the workspace root.
-const DEFAULT_FILES: [&str; 3] = [
+/// The dumps validated by default, relative to the workspace root.
+const DEFAULT_FILES: [&str; 4] = [
     "BENCH_resolver.json",
     "BENCH_cluster.json",
     "BENCH_controller.json",
+    "BENCH_datacenter.json",
 ];
 
 fn main() {
@@ -83,7 +85,8 @@ fn check_file(path: &str) -> Vec<String> {
         Some(schema) => schema,
         None => {
             return vec![format!(
-                "unknown dump (expected a path containing one of: resolver, cluster, controller)"
+                "unknown dump (expected a path containing one of: \
+                 resolver, cluster, controller, datacenter)"
             )]
         }
     };
@@ -96,12 +99,15 @@ enum Schema {
     Resolver,
     Cluster,
     Controller,
+    Datacenter,
 }
 
 fn schema_for(path: &str) -> Option<Schema> {
     let name = path.rsplit('/').next().unwrap_or(path);
     if name.contains("resolver") {
         Some(Schema::Resolver)
+    } else if name.contains("datacenter") {
+        Some(Schema::Datacenter)
     } else if name.contains("cluster") {
         Some(Schema::Cluster)
     } else if name.contains("controller") {
@@ -124,6 +130,10 @@ fn validate(doc: &Value, schema: Schema) -> Vec<String> {
     // Rows that carry the schema's main measurement (e.g. a throughput row
     // rather than an auxiliary probe); every schema requires at least one.
     let mut measurement_rows = 0usize;
+    // Engine modes seen in a datacenter dump — the dump must pair a dense
+    // baseline with at least one sparse measurement to be a comparison.
+    let mut saw_dense = false;
+    let mut saw_sparse = false;
     for (i, row) in rows.iter().enumerate() {
         if row.as_object().is_err() {
             errors.push(format!("row {i}: is {}, expected an object", row.kind()));
@@ -229,11 +239,101 @@ fn validate(doc: &Value, schema: Schema) -> Vec<String> {
                     );
                 }
             }
+            Schema::Datacenter => match row.get("kind") {
+                Some(Value::Str(kind)) if kind == "engine" => {
+                    // A dense/sparse engine-throughput row.
+                    measurement_rows += 1;
+                    const MODES: [&str; 5] = [
+                        "dense",
+                        "sparse",
+                        "dense-advance",
+                        "sparse-advance",
+                        "sparse-pooled",
+                    ];
+                    match row.get("mode") {
+                        Some(Value::Str(mode)) if MODES.contains(&mode.as_str()) => {
+                            saw_dense |= mode.starts_with("dense");
+                            saw_sparse |= mode.starts_with("sparse");
+                        }
+                        Some(Value::Str(mode)) => errors.push(format!(
+                            "row {i}: unknown engine \"mode\" {mode:?} (expected one of {MODES:?})"
+                        )),
+                        _ => errors.push(format!("row {i}: missing string \"mode\"")),
+                    }
+                    require_positive(
+                        row,
+                        i,
+                        &mut errors,
+                        &[
+                            "machines",
+                            "vms",
+                            "activity",
+                            "threads",
+                            "epochs_per_sec",
+                            "vm_epochs_per_sec",
+                            "speedup_vs_dense",
+                            "available_parallelism",
+                        ],
+                    );
+                    // Activity is the fraction of busy machines; the
+                    // sweep-relative speedup is dumped only on advance rows.
+                    if row
+                        .get("activity")
+                        .and_then(number)
+                        .is_some_and(|a| a > 1.0)
+                    {
+                        errors.push(format!(
+                            "row {i}: \"activity\" must be a fraction in (0, 1]"
+                        ));
+                    }
+                    if let Some(v) = row.get("speedup_vs_dense_sweep") {
+                        match number(v) {
+                            Some(x) if x.is_finite() && x > 0.0 => {}
+                            _ => errors.push(format!(
+                                "row {i}: \"speedup_vs_dense_sweep\" must be finite and nonzero"
+                            )),
+                        }
+                    }
+                }
+                Some(Value::Str(kind)) if kind == "service" => {
+                    // An event-driven service (arrive/live/depart) row.
+                    measurement_rows += 1;
+                    if !matches!(row.get("preset"), Some(Value::Str(_))) {
+                        errors.push(format!("row {i}: missing string \"preset\""));
+                    }
+                    require_positive(
+                        row,
+                        i,
+                        &mut errors,
+                        &[
+                            "machines",
+                            "epochs_per_sec",
+                            "vm_epochs_per_sec",
+                            "vm_arrivals_per_sec",
+                            "peak_resident",
+                            "available_parallelism",
+                        ],
+                    );
+                }
+                Some(Value::Str(kind)) => {
+                    errors.push(format!(
+                        "row {i}: unknown \"kind\" {kind:?} (expected \"engine\" or \"service\")"
+                    ));
+                }
+                _ => errors.push(format!("row {i}: missing string \"kind\"")),
+            },
         }
         require_overhead_flag(row, i, &mut errors);
     }
     if measurement_rows == 0 {
         errors.push("no measurement rows found".to_string());
+    }
+    if schema == Schema::Datacenter && !(saw_dense && saw_sparse) {
+        errors.push(
+            "datacenter dump must pair dense and sparse engine rows \
+             (found no such pair)"
+                .to_string(),
+        );
     }
     errors
 }
@@ -429,7 +529,77 @@ mod tests {
             schema_for("BENCH_controller.json"),
             Some(Schema::Controller)
         );
+        assert_eq!(
+            schema_for("BENCH_datacenter.smoke.json"),
+            Some(Schema::Datacenter)
+        );
         assert_eq!(schema_for("BENCH_other.json"), None);
+    }
+
+    #[test]
+    fn datacenter_engine_and_service_rows_validate() {
+        let good = parse(
+            r#"[{"kind": "engine", "machines": 10000, "vms": 40000, "mode": "dense",
+                 "activity": 0.1, "threads": 1, "epochs_per_sec": 69.6,
+                 "vm_epochs_per_sec": 2785855, "speedup_vs_dense": 1.0,
+                 "available_parallelism": 1, "overhead_only": false},
+                {"kind": "engine", "machines": 10000, "vms": 40000, "mode": "sparse-advance",
+                 "activity": 0.1, "threads": 1, "epochs_per_sec": 841.7,
+                 "vm_epochs_per_sec": 33668883, "speedup_vs_dense": 7.46,
+                 "speedup_vs_dense_sweep": 12.09, "available_parallelism": 1,
+                 "overhead_only": false},
+                {"kind": "service", "preset": "hotmail", "machines": 10000,
+                 "epochs_per_sec": 714.4, "vm_epochs_per_sec": 2887214,
+                 "vm_arrivals_per_sec": 5455.6, "peak_resident": 8041,
+                 "available_parallelism": 1}]"#,
+        );
+        assert!(validate(&good, Schema::Datacenter).is_empty());
+    }
+
+    #[test]
+    fn datacenter_rows_with_bad_kind_mode_or_activity_fail() {
+        let bad_kind = parse(r#"[{"kind": "mystery", "available_parallelism": 1}]"#);
+        let errors = validate(&bad_kind, Schema::Datacenter);
+        assert!(
+            errors.iter().any(|e| e.contains("unknown \"kind\"")),
+            "{errors:?}"
+        );
+
+        let bad_mode = parse(
+            r#"[{"kind": "engine", "machines": 100, "vms": 400, "mode": "warp",
+                 "activity": 0.1, "threads": 1, "epochs_per_sec": 10.0,
+                 "vm_epochs_per_sec": 4000.0, "speedup_vs_dense": 1.0,
+                 "available_parallelism": 1}]"#,
+        );
+        let errors = validate(&bad_mode, Schema::Datacenter);
+        assert!(
+            errors.iter().any(|e| e.contains("unknown engine \"mode\"")),
+            "{errors:?}"
+        );
+
+        let bad_activity = parse(
+            r#"[{"kind": "engine", "machines": 100, "vms": 400, "mode": "dense",
+                 "activity": 7.5, "threads": 1, "epochs_per_sec": 10.0,
+                 "vm_epochs_per_sec": 4000.0, "speedup_vs_dense": 1.0,
+                 "available_parallelism": 1}]"#,
+        );
+        let errors = validate(&bad_activity, Schema::Datacenter);
+        assert!(errors.iter().any(|e| e.contains("activity")), "{errors:?}");
+    }
+
+    #[test]
+    fn datacenter_dump_without_a_dense_sparse_pair_fails() {
+        let dense_only = parse(
+            r#"[{"kind": "engine", "machines": 100, "vms": 400, "mode": "dense",
+                 "activity": 0.1, "threads": 1, "epochs_per_sec": 10.0,
+                 "vm_epochs_per_sec": 4000.0, "speedup_vs_dense": 1.0,
+                 "available_parallelism": 1}]"#,
+        );
+        let errors = validate(&dense_only, Schema::Datacenter);
+        assert!(
+            errors.iter().any(|e| e.contains("pair dense and sparse")),
+            "{errors:?}"
+        );
     }
 
     #[test]

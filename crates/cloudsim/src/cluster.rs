@@ -178,6 +178,18 @@ impl Cluster {
         self.vm_locations.len()
     }
 
+    /// Machine-epochs resolved densely (contention model actually run) since
+    /// the cluster was built, summed over all machines.
+    pub fn total_resolves(&self) -> u64 {
+        self.machines.iter().map(|m| m.resolves()).sum()
+    }
+
+    /// Machine-epochs served from the quiescent report cache instead of
+    /// being resolved, summed over all machines.
+    pub fn total_quiescent_steps(&self) -> u64 {
+        self.machines.iter().map(|m| m.quiescent_steps()).sum()
+    }
+
     /// Places a VM on a specific machine.
     pub fn place_on(&mut self, pm: PmId, vm: Vm) -> Result<(), ClusterError> {
         let vm_id = vm.id;

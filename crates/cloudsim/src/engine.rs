@@ -27,6 +27,24 @@
 //!   therefore must step one epoch at a time — go parallel without paying a
 //!   thread spawn per epoch.
 //!
+//! ## Service mode & sparse stepping
+//!
+//! By default the engine steps **sparsely**: each machine keeps a quiescent
+//! report cache (see [`crate::pm`]), and an epoch in which every VM on a
+//! machine is provably static at its offered load replays the cached
+//! reports instead of re-running demand generation and contention
+//! resolution.  The workload contract behind "provably static"
+//! ([`workloads::Workload::demand_is_static_at`]) makes the replay
+//! bit-identical to a dense resolve — the equivalence proptest pins sparse
+//! vs dense across all three execution modes under arrival/departure/
+//! migration churn — so [`EpochEngine::set_sparse`] is, like the thread
+//! count, purely a throughput knob, never a results knob.  The event-driven
+//! datacenter front end ([`crate::service::DatacenterService`]) leans on
+//! this: with 10% of machines active per epoch, the other 90% cost one
+//! cache-validity check and one report memcpy each, and
+//! [`Cluster::total_resolves`] / [`Cluster::total_quiescent_steps`] expose
+//! how much work was actually skipped.
+//!
 //! ## Panic policy
 //!
 //! A panicking `load_for` (or workload model) in any shard is re-raised on
@@ -150,6 +168,21 @@ impl ExecutionMode {
     }
 }
 
+/// What one [`EpochEngine::advance_epochs`] call did, in machine-epochs.
+///
+/// `resolved_machine_epochs + quiescent_machine_epochs` accounts for every
+/// non-empty machine over every advanced epoch; the quiescent share is the
+/// work the sparse path skipped (a dense advance keeps it at zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AdvanceSummary {
+    /// Resident VMs × epochs advanced — the throughput numerator.
+    pub vm_epochs: u64,
+    /// Machine-epochs that ran demand generation + contention resolution.
+    pub resolved_machine_epochs: u64,
+    /// Machine-epochs served by the quiescent fast path without resolving.
+    pub quiescent_machine_epochs: u64,
+}
+
 /// Steps a [`Cluster`] through epochs under a fixed seed and execution mode.
 ///
 /// The engine is deliberately separate from the cluster: the cluster owns
@@ -169,10 +202,16 @@ pub struct EpochEngine {
     seed: ClusterSeed,
     mode: ExecutionMode,
     pool: Option<Arc<WorkerPool>>,
+    /// Quiescent machines replay cached reports instead of resolving (see
+    /// the [module docs](self)); bit-identical either way, on by default.
+    sparse: bool,
 }
 
 impl PartialEq for EpochEngine {
     fn eq(&self, other: &Self) -> bool {
+        // The pool and the sparse knob are deliberately ignored: neither
+        // changes a single output bit, and equality means "produce
+        // identical results".
         self.seed == other.seed && self.mode == other.mode
     }
 }
@@ -188,6 +227,7 @@ impl EpochEngine {
             seed,
             mode,
             pool: Self::pool_for(mode),
+            sparse: true,
         }
     }
 
@@ -197,6 +237,7 @@ impl EpochEngine {
             seed,
             mode: ExecutionMode::Serial,
             pool: None,
+            sparse: true,
         }
     }
 
@@ -215,6 +256,7 @@ impl EpochEngine {
                 threads: pool.lanes(),
             },
             pool: Some(pool),
+            sparse: true,
         }
     }
 
@@ -252,6 +294,20 @@ impl EpochEngine {
             self.pool = Self::pool_for(mode);
         }
         self.mode = mode;
+    }
+
+    /// Whether quiescent machines replay their cached reports (the default)
+    /// instead of resolving every epoch densely.
+    pub const fn sparse(&self) -> bool {
+        self.sparse
+    }
+
+    /// Toggles sparse stepping (results are unaffected — bit-identical; see
+    /// the [module docs](self)).  `false` forces a dense resolve of every
+    /// machine every epoch — the measured baseline the datacenter bench
+    /// compares against.
+    pub fn set_sparse(&mut self, sparse: bool) {
+        self.sparse = sparse;
     }
 
     /// Advances every machine one epoch and returns all per-VM reports, in
@@ -304,15 +360,25 @@ impl EpochEngine {
         }
         let first_epoch = cluster.epoch();
         let seed = self.seed;
+        let sparse = self.sparse;
         let machines = cluster.machines_mut();
         let threads = self.mode.effective_threads(machines.len());
 
         let step_shard = |shard: &mut [PhysicalMachine]| -> Vec<Vec<VmEpochReport>> {
-            let mut per_epoch: Vec<Vec<VmEpochReport>> = (0..epochs).map(|_| Vec::new()).collect();
+            // One report per resident VM per epoch: reserving up front keeps
+            // the output vector from realloc-copying its way to full size —
+            // at 10k+ machines that copy traffic would dominate the sparse
+            // path, whose real work is only a memcpy per quiescent machine.
+            let shard_vms: usize = shard.iter().map(PhysicalMachine::vm_count).sum();
+            let mut per_epoch: Vec<Vec<VmEpochReport>> =
+                (0..epochs).map(|_| Vec::with_capacity(shard_vms)).collect();
             for (offset, out) in per_epoch.iter_mut().enumerate() {
                 let epoch = first_epoch + offset as u64;
                 for machine in shard.iter_mut() {
-                    out.extend(machine.step_epoch(epoch, &|vm| load_for(epoch, vm), seed));
+                    // Reports land straight in the epoch's output vector —
+                    // no per-machine allocation on either the dense or the
+                    // cached path.
+                    machine.step_epoch_into(epoch, &|vm| load_for(epoch, vm), seed, sparse, out);
                 }
             }
             per_epoch
@@ -328,17 +394,21 @@ impl EpochEngine {
             // `chunks_mut(len.div_ceil(threads))` sizing could leave half
             // the workers idle: 65 machines at 64 threads → 33 shards of 2).
             // Merging in shard order restores the serial report order.
-            let shards = split_balanced(machines, threads);
+            let mut shards = split_balanced(machines, threads);
             match (&self.pool, self.mode) {
                 (Some(pool), ExecutionMode::Pooled { .. }) => {
-                    let step_shard = &step_shard;
-                    let jobs: Vec<_> = shards
-                        .into_iter()
-                        .map(|shard| move || step_shard(shard))
-                        .collect();
+                    // scatter_map shares one closure by reference across the
+                    // shard slice: no per-shard closure boxing, no per-epoch
+                    // job vector — the allocation-free path a controller
+                    // loop stepping one epoch at a time stays hot on.
                     // The pool re-raises the lowest shard's panic after the
                     // barrier; workers survive it.
-                    Self::merge_shards(pool.scatter(jobs), epochs)
+                    Self::merge_shards(
+                        pool.scatter_map(&mut shards, &|shard: &mut &mut [PhysicalMachine]| {
+                            step_shard(shard)
+                        }),
+                        epochs,
+                    )
                 }
                 _ => {
                     let mut shards = shards.into_iter();
@@ -376,6 +446,102 @@ impl EpochEngine {
             cluster.advance_epoch();
         }
         reports
+    }
+
+    /// Advances the cluster `epochs` epochs **without materializing
+    /// reports**, with every VM's offered load held fixed at `load_for`'s
+    /// output for the whole batch (the closure is evaluated once per VM,
+    /// at batch entry — not once per epoch).
+    ///
+    /// This is the bulk-throughput entry point for callers that do not
+    /// consume per-epoch reports — fast-forwarding the quiescent valley of
+    /// a diurnal trace, capacity sweeps, warm-up.  Cluster state evolves
+    /// bit-identically to [`EpochEngine::step_epochs`] under a
+    /// load closure constant over the batch: machines whose demand can
+    /// still change resolve every epoch exactly as they would, and a
+    /// machine whose workloads are all static at its loads resolves at
+    /// most once, synthesizes its reports into its quiescent cache (so a
+    /// later report-returning [`EpochEngine::step`] replays the same
+    /// bytes), and is **never revisited** for the rest of the batch.  With
+    /// sparse stepping that makes bulk advancement O(active machines),
+    /// where the per-epoch paths are O(machines) — they must at least
+    /// re-check and re-copy every quiescent machine's reports each epoch.
+    ///
+    /// Runs under the engine's [`ExecutionMode`] with the same balanced
+    /// sharding, bit-identical results and barrier-first panic policy as
+    /// [`EpochEngine::step_epochs`].  With sparse stepping disabled every
+    /// machine resolves every epoch (the dense baseline, minus report
+    /// packaging).
+    pub fn advance_epochs<F>(
+        &self,
+        cluster: &mut Cluster,
+        epochs: u64,
+        load_for: F,
+    ) -> AdvanceSummary
+    where
+        F: Fn(VmId) -> f64 + Sync,
+    {
+        if epochs == 0 {
+            return AdvanceSummary::default();
+        }
+        let vm_epochs = cluster.vm_count() as u64 * epochs;
+        let resolved_before = cluster.total_resolves();
+        let quiescent_before = cluster.total_quiescent_steps();
+        let first_epoch = cluster.epoch();
+        let seed = self.seed;
+        let sparse = self.sparse;
+        let machines = cluster.machines_mut();
+        let threads = self.mode.effective_threads(machines.len());
+
+        let advance_shard = |shard: &mut [PhysicalMachine]| {
+            for machine in shard.iter_mut() {
+                machine.advance_epochs(first_epoch, epochs, &load_for, seed, sparse);
+            }
+        };
+
+        if threads <= 1 {
+            advance_shard(machines);
+        } else {
+            let mut shards = split_balanced(machines, threads);
+            match (&self.pool, self.mode) {
+                (Some(pool), ExecutionMode::Pooled { .. }) => {
+                    pool.scatter_map(&mut shards, &|shard: &mut &mut [PhysicalMachine]| {
+                        advance_shard(shard)
+                    });
+                }
+                _ => {
+                    let mut shards = shards.into_iter();
+                    let first = shards.next().expect("at least one shard");
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = shards
+                            .map(|shard| scope.spawn(|| advance_shard(shard)))
+                            .collect();
+                        // Barrier-first: join every spawned shard before
+                        // re-raising a local panic.
+                        let local = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            advance_shard(first)
+                        }));
+                        let mut panic = local.err();
+                        for handle in handles {
+                            if let Err(payload) = handle.join() {
+                                panic.get_or_insert(payload);
+                            }
+                        }
+                        if let Some(payload) = panic {
+                            std::panic::resume_unwind(payload);
+                        }
+                    });
+                }
+            }
+        }
+        for _ in 0..epochs {
+            cluster.advance_epoch();
+        }
+        AdvanceSummary {
+            vm_epochs,
+            resolved_machine_epochs: cluster.total_resolves() - resolved_before,
+            quiescent_machine_epochs: cluster.total_quiescent_steps() - quiescent_before,
+        }
     }
 
     /// Merges per-shard `[epoch][report]` batches (shards in machine-index
@@ -575,6 +741,129 @@ mod tests {
             assert_eq!(c.epoch(), 6);
             assert_eq!(per_step, batched, "batched divergence under {mode:?}");
         }
+    }
+
+    #[test]
+    fn sparse_and_dense_stepping_are_bit_identical() {
+        let load = |epoch: u64, vm: VmId| {
+            // Half the VMs go fully idle on even epochs — exactly the
+            // regime where sparse stepping starts skipping machines.
+            if vm.0.is_multiple_of(2) && epoch.is_multiple_of(2) {
+                0.0
+            } else {
+                0.5
+            }
+        };
+        let mut dense_engine = EpochEngine::serial(ClusterSeed::new(31));
+        dense_engine.set_sparse(false);
+        assert!(!dense_engine.sparse());
+        let sparse_engine = EpochEngine::serial(ClusterSeed::new(31));
+        assert!(sparse_engine.sparse(), "sparse is the default");
+        let mut dense_cluster = cluster(5, 12);
+        let mut sparse_cluster = cluster(5, 12);
+        let dense = dense_engine.step_epochs(&mut dense_cluster, 8, load);
+        let sparse = sparse_engine.step_epochs(&mut sparse_cluster, 8, load);
+        assert_eq!(dense, sparse);
+        assert_eq!(
+            dense_cluster.total_quiescent_steps(),
+            0,
+            "dense mode must never use the cache"
+        );
+    }
+
+    #[test]
+    fn a_fully_quiescent_epoch_resolves_zero_machines() {
+        // All-idle DataServing VMs: static at load 0.  After the first
+        // (cache-filling) epoch, no machine should resolve again.
+        let mut c = Cluster::homogeneous(4, MachineSpec::xeon_x5472(), Scheduler::default());
+        for i in 0..8u64 {
+            c.place_first_fit(Vm::new(
+                VmId(i),
+                Box::new(DataServing::with_defaults(AppId(1))),
+                ClientEmulator::new(8_000.0, 4.0),
+            ))
+            .expect("cluster has room");
+        }
+        let engine = EpochEngine::serial(ClusterSeed::new(5));
+        let first = engine.step(&mut c, |_| 0.0);
+        // First-fit packs the 8 VMs onto 2 machines; empty machines are
+        // skipped outright, so only those 2 ever resolve.
+        assert_eq!(c.total_resolves(), 2);
+        assert_eq!(c.total_quiescent_steps(), 0);
+        let later = engine.step_epochs(&mut c, 10, |_, _| 0.0);
+        assert_eq!(c.total_resolves(), 2, "quiescent epochs must not resolve");
+        assert_eq!(c.total_quiescent_steps(), 20);
+        // And the replayed reports differ from the resolved one only in
+        // the epoch stamp.
+        for (offset, batch) in later.iter().enumerate() {
+            for (cached, resolved) in batch.iter().zip(&first) {
+                assert_eq!(cached.epoch, 1 + offset as u64);
+                let mut patched = cached.clone();
+                patched.epoch = resolved.epoch;
+                assert_eq!(&patched, resolved);
+            }
+        }
+    }
+
+    #[test]
+    fn advance_epochs_matches_stepping_with_constant_loads() {
+        // VMs 0–3 idle (machine 0 all-static), the rest busy.
+        let load = |vm: VmId| if vm.0 < 4 { 0.0 } else { 0.6 };
+        // Reference: per-epoch report-returning stepping, dense serial.
+        let mut reference = cluster(4, 10);
+        let mut ref_engine = EpochEngine::serial(ClusterSeed::new(41));
+        ref_engine.set_sparse(false);
+        for _ in 0..5 {
+            ref_engine.step(&mut reference, load);
+        }
+        let expected_tail = ref_engine.step(&mut reference, load);
+        for mode in [
+            ExecutionMode::Serial,
+            ExecutionMode::Sharded { threads: 3 },
+            ExecutionMode::Pooled { threads: 3 },
+        ] {
+            for sparse in [false, true] {
+                let mut c = cluster(4, 10);
+                let mut engine = EpochEngine::new(ClusterSeed::new(41), mode);
+                engine.set_sparse(sparse);
+                let summary = engine.advance_epochs(&mut c, 5, load);
+                assert_eq!(c.epoch(), 5);
+                assert_eq!(summary.vm_epochs, 50);
+                // 3 non-empty machines × 5 epochs, split between the paths.
+                assert_eq!(
+                    summary.resolved_machine_epochs + summary.quiescent_machine_epochs,
+                    15,
+                    "machine-epoch accounting broke under {mode:?} sparse={sparse}"
+                );
+                if sparse {
+                    // Machine 0 resolves once (filling its cache) and skips
+                    // the remaining 4 epochs of the batch.
+                    assert_eq!(summary.quiescent_machine_epochs, 4);
+                } else {
+                    assert_eq!(summary.quiescent_machine_epochs, 0);
+                }
+                // The real equivalence check: after advancing without
+                // reports, the next report-returning epoch must be byte-
+                // for-byte what per-epoch dense stepping would produce.
+                let tail = engine.step(&mut c, load);
+                assert_eq!(
+                    expected_tail, tail,
+                    "advance diverged from stepping under {mode:?} sparse={sparse}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn advancing_zero_epochs_is_a_no_op() {
+        let mut c = cluster(2, 4);
+        let engine = EpochEngine::serial(ClusterSeed::new(6));
+        assert_eq!(
+            engine.advance_epochs(&mut c, 0, |_| 0.5),
+            AdvanceSummary::default()
+        );
+        assert_eq!(c.epoch(), 0);
+        assert_eq!(c.total_resolves(), 0);
     }
 
     #[test]

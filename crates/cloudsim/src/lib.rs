@@ -31,6 +31,11 @@
 //!   the measured baseline) or [`engine::ExecutionMode::Pooled`]
 //!   (persistent [`pool::WorkerPool`], the production mode) — with
 //!   bit-identical output in every mode and a barrier-first panic policy.
+//! * [`service`] — [`service::DatacenterService`]: the event-driven
+//!   datacenter front end — VM sessions arrive, run hot, go idle and
+//!   depart per a `traces` session stream, batched between epochs and fed
+//!   to the sparse engine (see `engine`'s "Service mode & sparse
+//!   stepping").
 //! * [`proxy`] — records each VM's offered load / demand stream so it can be
 //!   replayed, mimicking the request-duplicating proxy of §4.2.
 //! * [`sandbox`] — the sandboxed environment: dedicated machines on which a
@@ -54,14 +59,16 @@ pub mod proxy;
 pub mod rngs;
 pub mod sandbox;
 pub mod scheduler;
+pub mod service;
 pub mod vm;
 
 pub use cluster::Cluster;
-pub use engine::{EpochEngine, ExecutionMode};
+pub use engine::{AdvanceSummary, EpochEngine, ExecutionMode};
 pub use pm::{PhysicalMachine, PmId, VmEpochReport};
 pub use pool::WorkerPool;
 pub use proxy::RequestProxy;
 pub use rngs::ClusterSeed;
 pub use sandbox::{Sandbox, SandboxFleet};
 pub use scheduler::{PlacementPolicy, Scheduler};
+pub use service::{DatacenterService, ServiceConfig, ServiceStats};
 pub use vm::{Vm, VmId};

@@ -7,6 +7,24 @@
 //! [`VmEpochReport`] per VM: the Table 1 counters DeepDive reads, plus the
 //! client-observed performance and ground-truth stall breakdown the
 //! evaluation uses for scoring.
+//!
+//! ## Quiescence
+//!
+//! The sparse engine path ([`crate::engine::EpochEngine`] with sparse
+//! stepping enabled, the default) asks each machine to *reuse* its last
+//! resolved reports when nothing that could change them has changed: same
+//! VM membership (tracked by a generation counter bumped on every add and
+//! remove), same scheduler, same spec, same per-VM loads, and every hosted
+//! workload declaring its demand a pure function of its configuration at
+//! that load ([`workloads::Workload::demand_is_static_at`]).  Under those
+//! conditions a fresh resolve would reproduce the cached reports bit for
+//! bit (the per-`(vm, epoch)` RNG draws are consumed and discarded, and a
+//! static demand ignores them by contract), so the machine clones the cache,
+//! patches the epoch index, and skips demand generation and contention
+//! resolution entirely.  [`PhysicalMachine::resolves`] /
+//! [`PhysicalMachine::quiescent_steps`] count both outcomes.
+
+use std::collections::HashMap;
 
 use hwsim::contention::{EpochOutcome, PlacedDemand, StallBreakdown};
 use hwsim::{CounterSnapshot, EpochResolver, MachineSpec, ResourceDemand, EPOCH_SECONDS};
@@ -54,6 +72,34 @@ pub struct VmEpochReport {
     pub breakdown: StallBreakdown,
 }
 
+/// Cached result of the machine's last fully-static resolve, reused
+/// verbatim (with the epoch index patched) while the machine stays
+/// quiescent.  Only populated when **every** hosted workload declared its
+/// demand static at the load it was resolved with — the precondition under
+/// which replaying the cache is bit-identical to resolving again.
+struct QuiescentCache {
+    /// Membership generation the cache was filled at; any add/remove bumps
+    /// the machine's generation and thereby invalidates the cache.
+    generation: u64,
+    /// Scheduler in force at fill time (a policy change moves cache groups).
+    scheduler: Scheduler,
+    /// Per-VM loads (placement order) the reports were resolved with.
+    loads: Vec<f64>,
+    /// The reports of that resolve; `epoch` is patched on reuse.
+    reports: Vec<VmEpochReport>,
+}
+
+impl QuiescentCache {
+    /// True when the cache still describes the machine: same membership
+    /// generation, same scheduler, and the load closure produced exactly
+    /// the loads the cached reports were resolved with.  (Spec agreement
+    /// is checked separately by the caller — the spec is a public field,
+    /// so only `resolver.spec() == spec` proves the cache used it.)
+    fn is_current(&self, generation: u64, scheduler: Scheduler, loads: &[f64]) -> bool {
+        self.generation == generation && self.scheduler == scheduler && self.loads == loads
+    }
+}
+
 /// A physical machine hosting zero or more VMs.
 pub struct PhysicalMachine {
     /// Machine identity.
@@ -63,6 +109,13 @@ pub struct PhysicalMachine {
     /// Placement/admission policy in force on this machine.
     pub scheduler: Scheduler,
     vms: Vec<Vm>,
+    /// VM id → index in `vms`, so migration/departure churn — which the
+    /// datacenter service mode drives at far higher rates than the fixed
+    /// fleets did — stays O(1) per removal instead of a scan.
+    vm_index: HashMap<VmId, usize>,
+    /// Bumped on every membership change; the quiescent cache stores the
+    /// generation it was filled at.
+    generation: u64,
     /// Reusable epoch-resolution pipeline for this machine's spec: scratch
     /// buffers survive across `step_epoch` calls so the hot path performs no
     /// per-epoch allocation beyond the returned reports.
@@ -71,6 +124,9 @@ pub struct PhysicalMachine {
     demands: Vec<ResourceDemand>,
     placements: Vec<PlacedDemand>,
     outcomes: Vec<EpochOutcome>,
+    cache: Option<QuiescentCache>,
+    resolves: u64,
+    quiescent_steps: u64,
 }
 
 impl PhysicalMachine {
@@ -83,11 +139,16 @@ impl PhysicalMachine {
             spec,
             scheduler,
             vms: Vec::new(),
+            vm_index: HashMap::new(),
+            generation: 0,
             resolver,
             loads: Vec::new(),
             demands: Vec::new(),
             placements: Vec::new(),
             outcomes: Vec::new(),
+            cache: None,
+            resolves: 0,
+            quiescent_steps: 0,
         }
     }
 
@@ -103,7 +164,18 @@ impl PhysicalMachine {
 
     /// True when the machine hosts the given VM.
     pub fn hosts(&self, vm_id: VmId) -> bool {
-        self.vms.iter().any(|v| v.id == vm_id)
+        self.vm_index.contains_key(&vm_id)
+    }
+
+    /// Number of epochs this machine actually ran demand generation and
+    /// contention resolution for (as opposed to serving the quiescent cache).
+    pub fn resolves(&self) -> u64 {
+        self.resolves
+    }
+
+    /// Number of epochs served from the quiescent cache without resolving.
+    pub fn quiescent_steps(&self) -> u64 {
+        self.quiescent_steps
     }
 
     /// Attempts to place a VM on this machine; returns the VM back if the
@@ -114,29 +186,38 @@ impl PhysicalMachine {
     /// O(1) VM-location index stays consistent with the machines.
     pub(crate) fn try_add_vm(&mut self, vm: Vm) -> Result<(), Vm> {
         if self.scheduler.admits(&self.spec, &self.vms, &vm) {
+            self.vm_index.insert(vm.id, self.vms.len());
             self.vms.push(vm);
+            self.generation = self.generation.wrapping_add(1);
             Ok(())
         } else {
             Err(vm)
         }
     }
 
-    /// Removes and returns a VM (for migration); `None` if it is not here.
-    /// Crate-private for the same reason as [`PhysicalMachine::try_add_vm`].
+    /// Removes and returns a VM (for migration or departure); `None` if it
+    /// is not here.  Crate-private for the same reason as
+    /// [`PhysicalMachine::try_add_vm`].
     ///
-    /// The linear `position` scan plus order-preserving `Vec::remove` is
-    /// deliberate, not an oversight: admission control bounds a machine to
-    /// `spec.cores / vcpus` VMs (four 2-vCPU VMs on the Xeon X5472, eight on
-    /// anything realistic), and the `cluster_throughput` bench's migration-
-    /// churn measurement drives millions of migrations/sec through this path
-    /// — many orders of magnitude beyond any plausible migration rate, so
-    /// the scan never shows up in a profile.  A `swap_remove` or an id→slot
-    /// index would be no faster at this VM count and would either reshuffle
-    /// placement order (which feeds `Scheduler::cache_group_for_slot`) or
-    /// add bookkeeping to every placement.
+    /// O(1): the id→index map locates the slot and `swap_remove` backfills
+    /// it with the last VM (whose index entry is updated).  The swap means a
+    /// removal can change the *slot* — and therefore the cache group via
+    /// [`Scheduler::cache_group_for_slot`] — of the VM that backfills the
+    /// hole.  That is still fully deterministic (a pure function of the
+    /// operation sequence, identical across execution modes and thread
+    /// counts), which is the property every equivalence proof in this crate
+    /// rests on; no caller depends on removal preserving the relative order
+    /// of the surviving VMs.  The old order-preserving linear scan was fine
+    /// for fixed fleets but the service mode's continuous arrive/depart/
+    /// migrate churn puts this on the per-event path.
     pub(crate) fn remove_vm(&mut self, vm_id: VmId) -> Option<Vm> {
-        let idx = self.vms.iter().position(|v| v.id == vm_id)?;
-        Some(self.vms.remove(idx))
+        let idx = self.vm_index.remove(&vm_id)?;
+        let vm = self.vms.swap_remove(idx);
+        if let Some(swapped) = self.vms.get(idx) {
+            self.vm_index.insert(swapped.id, idx);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        Some(vm)
     }
 
     /// Unused core capacity.
@@ -164,26 +245,191 @@ impl PhysicalMachine {
     where
         F: Fn(VmId) -> f64 + ?Sized,
     {
+        let mut out = Vec::new();
+        self.step_epoch_into(epoch, load_for, seed, false, &mut out);
+        out
+    }
+
+    /// The stepping workhorse behind [`PhysicalMachine::step_epoch`] and the
+    /// epoch engine: appends this machine's reports (placement order) to
+    /// `out` and returns `true` when the epoch was actually resolved,
+    /// `false` when it was served from the quiescent cache.
+    ///
+    /// With `use_cache` the machine may skip demand generation and
+    /// contention resolution entirely when it is provably quiescent: same
+    /// membership generation, scheduler and spec as the cached resolve, the
+    /// load closure returning the cached per-VM loads, and every workload
+    /// having declared its demand static at those loads
+    /// ([`workloads::Workload::demand_is_static_at`]) when the cache was
+    /// filled.  Replaying the cache is then bit-identical to resolving —
+    /// static demands ignore their (discarded) per-epoch RNG streams by
+    /// contract, the resolver is a pure function of demands, placements and
+    /// spec, and the client observation is a pure function of load and
+    /// achieved fraction — so only the report's `epoch` needs patching.
+    pub(crate) fn step_epoch_into<F>(
+        &mut self,
+        epoch: u64,
+        load_for: &F,
+        seed: ClusterSeed,
+        use_cache: bool,
+        out: &mut Vec<VmEpochReport>,
+    ) -> bool
+    where
+        F: Fn(VmId) -> f64 + ?Sized,
+    {
         if self.vms.is_empty() {
-            return Vec::new();
+            return false;
         }
-        // 1. Collect intrinsic demands from every workload, each from its
-        // own per-(vm, epoch) stream.
+        // 1. Evaluate the load closure (always — quiescence is defined over
+        // its output, so it can never be skipped).
         self.loads.clear();
-        self.demands.clear();
-        for vm in self.vms.iter_mut() {
-            let load = load_for(vm.id).clamp(0.0, 1.0);
-            let mut rng = seed.vm_epoch_rng(vm.id, epoch);
-            let demand = vm.workload.next_demand(load, &mut rng);
-            self.loads.push(load);
-            self.demands.push(demand);
+        for vm in self.vms.iter() {
+            self.loads.push(load_for(vm.id).clamp(0.0, 1.0));
         }
-        // 2. Resolve hardware contention for the whole machine, reusing the
+        if use_cache {
+            if let Some(cache) = &self.cache {
+                // `resolver.spec()` tracks the spec the cache was resolved
+                // under: a spec swap leaves the resolver stale until the
+                // next dense resolve (which also drops the cache), so
+                // equality here proves the cached reports used this spec.
+                if cache.is_current(self.generation, self.scheduler, &self.loads)
+                    && self.resolver.spec() == &self.spec
+                {
+                    self.quiescent_steps += 1;
+                    let start = out.len();
+                    out.extend_from_slice(&cache.reports);
+                    for report in &mut out[start..] {
+                        report.epoch = epoch;
+                    }
+                    return false;
+                }
+            }
+        }
+        self.resolve_current_loads(epoch, seed);
+
+        // 4. Package per-VM reports.
+        let start = out.len();
+        out.extend(
+            self.vms
+                .iter()
+                .zip(&self.demands)
+                .zip(&self.loads)
+                .zip(&self.outcomes)
+                .map(|(((vm, demand), &load), outcome)| VmEpochReport {
+                    vm_id: vm.id,
+                    pm_id: self.id,
+                    app: vm.app_id(),
+                    epoch,
+                    offered_load: load,
+                    counters: outcome.counters,
+                    demand: demand.clone(),
+                    achieved_fraction: outcome.achieved_fraction,
+                    observation: vm.client.observe(load, outcome.achieved_fraction),
+                    breakdown: outcome.breakdown,
+                }),
+        );
+
+        // 5. Seed the quiescent cache when every workload is static at the
+        // load it was just resolved with — the only state from which a
+        // later epoch may be skipped.  Active machines never reach here
+        // with all-static loads, so they never pay the report clone.
+        if use_cache && self.all_static() {
+            let reports = &out[start..];
+            match &mut self.cache {
+                Some(cache) => {
+                    cache.generation = self.generation;
+                    cache.scheduler = self.scheduler;
+                    cache.loads.clear();
+                    cache.loads.extend_from_slice(&self.loads);
+                    cache.reports.clear();
+                    cache.reports.extend_from_slice(reports);
+                }
+                None => {
+                    self.cache = Some(QuiescentCache {
+                        generation: self.generation,
+                        scheduler: self.scheduler,
+                        loads: self.loads.clone(),
+                        reports: reports.to_vec(),
+                    });
+                }
+            }
+        }
+        true
+    }
+
+    /// Advances the machine `epochs` epochs with the offered loads held
+    /// fixed at `load_for`'s output (evaluated once, at batch entry),
+    /// without materializing reports.
+    ///
+    /// Bit-identical in *state* to `epochs` successive
+    /// [`PhysicalMachine::step_epoch_into`] calls whose closure returns
+    /// these same loads, with every report discarded: a machine whose
+    /// demand can still change resolves every epoch (workload state,
+    /// counters and RNG-consuming demands advance exactly as they would),
+    /// while a machine whose workloads are all static at these loads
+    /// resolves **at most once** — its reports are synthesized into the
+    /// quiescent cache on that resolve, so a later report-returning step
+    /// replays the same bytes the dense sweep would produce, and the
+    /// remaining epochs of the batch cost nothing at all.  This is what
+    /// makes bulk advancement O(active machines), not O(machines): the
+    /// per-epoch loop never revisits a quiescent machine.
+    pub(crate) fn advance_epochs<F>(
+        &mut self,
+        first_epoch: u64,
+        epochs: u64,
+        load_for: &F,
+        seed: ClusterSeed,
+        use_cache: bool,
+    ) where
+        F: Fn(VmId) -> f64 + ?Sized,
+    {
+        if self.vms.is_empty() || epochs == 0 {
+            return;
+        }
+        self.loads.clear();
+        for vm in self.vms.iter() {
+            self.loads.push(load_for(vm.id).clamp(0.0, 1.0));
+        }
+        for offset in 0..epochs {
+            if use_cache
+                && self
+                    .cache
+                    .as_ref()
+                    .is_some_and(|c| c.is_current(self.generation, self.scheduler, &self.loads))
+                && self.resolver.spec() == &self.spec
+            {
+                // Loads are fixed for the rest of the batch by contract, so
+                // one hit covers every remaining epoch.
+                self.quiescent_steps += epochs - offset;
+                return;
+            }
+            let epoch = first_epoch + offset;
+            self.resolve_current_loads(epoch, seed);
+            if use_cache && self.all_static() {
+                self.fill_cache_from_outcomes(epoch);
+            }
+        }
+    }
+
+    /// Steps 2–3 of the epoch pipeline: per-(vm, epoch) demand generation
+    /// and whole-machine contention resolution over `self.loads` (which the
+    /// caller has already filled), bumping the resolve counter.
+    fn resolve_current_loads(&mut self, epoch: u64, seed: ClusterSeed) {
+        // 2. Collect intrinsic demands from every workload, each from its
+        // own per-(vm, epoch) stream.
+        self.demands.clear();
+        for (vm, &load) in self.vms.iter_mut().zip(&self.loads) {
+            let mut rng = seed.vm_epoch_rng(vm.id, epoch);
+            self.demands.push(vm.workload.next_demand(load, &mut rng));
+        }
+        // 3. Resolve hardware contention for the whole machine, reusing the
         // machine's resolver and placement/outcome buffers across epochs.
         // `spec` is a public field, so guard against it having been swapped
-        // out from under the resolver since the last epoch.
+        // out from under the resolver since the last epoch (the quiescent
+        // cache was resolved under the old spec, so it goes too).
         if self.resolver.spec() != &self.spec {
             self.resolver = EpochResolver::new(self.spec.clone());
+            self.cache = None;
         }
         self.placements.clear();
         self.placements
@@ -203,16 +449,34 @@ impl PhysicalMachine {
             );
         self.resolver
             .resolve_into(&self.placements, EPOCH_SECONDS, &mut self.outcomes);
+        self.resolves += 1;
+    }
 
-        // 3. Package per-VM reports.
+    /// True when every hosted workload declares its demand static at the
+    /// load in `self.loads` — the precondition for filling the cache.
+    fn all_static(&self) -> bool {
         self.vms
+            .iter()
+            .zip(&self.loads)
+            .all(|(vm, &load)| vm.workload.demand_is_static_at(load))
+    }
+
+    /// Builds this resolve's reports straight into the quiescent cache
+    /// (used by the report-free [`PhysicalMachine::advance_epochs`] path,
+    /// where there is no output vector to copy them from).  Every field is
+    /// a pure function of the resolve, so the bytes match what step 4 of
+    /// [`PhysicalMachine::step_epoch_into`] would have produced.
+    fn fill_cache_from_outcomes(&mut self, epoch: u64) {
+        let pm_id = self.id;
+        let reports = self
+            .vms
             .iter()
             .zip(&self.demands)
             .zip(&self.loads)
             .zip(&self.outcomes)
             .map(|(((vm, demand), &load), outcome)| VmEpochReport {
                 vm_id: vm.id,
-                pm_id: self.id,
+                pm_id,
                 app: vm.app_id(),
                 epoch,
                 offered_load: load,
@@ -221,8 +485,26 @@ impl PhysicalMachine {
                 achieved_fraction: outcome.achieved_fraction,
                 observation: vm.client.observe(load, outcome.achieved_fraction),
                 breakdown: outcome.breakdown,
-            })
-            .collect()
+            });
+        match &mut self.cache {
+            Some(cache) => {
+                cache.generation = self.generation;
+                cache.scheduler = self.scheduler;
+                cache.loads.clear();
+                cache.loads.extend_from_slice(&self.loads);
+                cache.reports.clear();
+                cache.reports.extend(reports);
+            }
+            None => {
+                let reports = reports.collect();
+                self.cache = Some(QuiescentCache {
+                    generation: self.generation,
+                    scheduler: self.scheduler,
+                    loads: self.loads.clone(),
+                    reports,
+                });
+            }
+        }
     }
 }
 

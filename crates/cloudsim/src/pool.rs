@@ -1,9 +1,9 @@
 //! A persistent worker pool for epoch-parallel work.
 //!
 //! [`WorkerPool`] owns long-lived OS threads, one bounded-lifetime work
-//! queue per worker, and a barrier-style handoff: [`WorkerPool::scatter`]
-//! enqueues one job per shard, runs the first shard on the calling thread,
-//! blocks until every job has completed, and returns the results in job
+//! queue per worker, and a barrier-style handoff: [`WorkerPool::scatter_map`]
+//! enqueues one task per item, runs the first item on the calling thread,
+//! blocks until every task has completed, and returns the results in item
 //! order.  This is the execution substrate behind
 //! [`ExecutionMode::Pooled`](crate::engine::ExecutionMode::Pooled) — and,
 //! via the `deepdive` controller, behind parallel warning-model refits and
@@ -13,6 +13,13 @@
 //! full thread spawn + join per epoch and could never amortise the way
 //! batched `step_epochs` callers do.
 //!
+//! Two entry points share the machinery: [`WorkerPool::scatter_map`] maps a
+//! shared function over a mutable slice with **zero heap allocation per
+//! item** (tasks are two-word raw descriptors pointing into a caller-owned
+//! context arena — what per-epoch callers like the engine's pooled shard
+//! loop want, since they re-scatter every epoch), and [`WorkerPool::scatter`]
+//! wraps it for one-shot heterogeneous closures.
+//!
 //! ## Contract
 //!
 //! * **Determinism** — the pool never reorders results: `scatter(jobs)`
@@ -21,15 +28,15 @@
 //!   in input order therefore get output bit-identical to running the jobs
 //!   serially.
 //! * **Panic policy** — every job runs under [`std::panic::catch_unwind`].
-//!   A panicking job never takes its worker down; `scatter` waits for the
+//!   A panicking job never takes its worker down; the scatter waits for the
 //!   full barrier (so no job can outlive the borrows it captured), then
 //!   re-raises the **first panicking job's payload** (lowest job index) on
 //!   the calling thread via [`std::panic::resume_unwind`].  The pool stays
-//!   fully usable for the next `scatter`.
+//!   fully usable for the next scatter.
 //! * **Shutdown** — dropping the pool closes every queue and joins every
 //!   worker thread; no threads outlive the pool.
-//! * **No nesting** — a job must not call `scatter` on the pool that is
-//!   running it: the inner call would enqueue work onto workers that may be
+//! * **No nesting** — a job must not scatter on the pool that is running
+//!   it: the inner call would enqueue work onto workers that may be
 //!   blocked on the outer barrier (including the job's own worker) and
 //!   deadlock.  Use a separate pool, or restructure so only the
 //!   coordinating thread scatters.
@@ -40,34 +47,70 @@ use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// A type-erased unit of work.  Tasks are constructed by [`WorkerPool::
-/// scatter`], which guarantees (via its completion barrier) that every
-/// borrow a task captures outlives the task — that is what makes the
-/// lifetime erasure in `scatter` sound.
-type Task = Box<dyn FnOnce() + Send + 'static>;
-
-/// Raw-pointer wrapper so a task can carry the address of its private
-/// result slot across threads.  Safety rests on `scatter`'s barrier: the
-/// slot storage outlives every task, and each task writes only its own
-/// slot.
-struct SlotPtr<T>(*mut Option<std::thread::Result<T>>);
-
-impl<T> SlotPtr<T> {
-    /// Writes the slot through the wrapper (a method, so closures capture
-    /// the `Send` wrapper rather than its non-`Send` raw-pointer field).
-    ///
-    /// # Safety
-    /// Caller must guarantee exclusive ownership of the pointee and that it
-    /// is alive — `scatter`'s per-task slot assignment plus its barrier.
-    unsafe fn write(self, value: Option<std::thread::Result<T>>) {
-        self.0.write(value);
-    }
+/// A type-erased unit of work: a monomorphised trampoline plus the context
+/// it runs on.  Tasks are constructed by [`WorkerPool::scatter_map`], whose
+/// completion barrier guarantees the context outlives the task — that is
+/// what makes sending raw pointers to persistent threads sound.  Unlike a
+/// boxed closure, a `RawTask` is two words and allocates nothing, so
+/// batched callers (the epoch engine re-scatters its shards every epoch)
+/// pay zero heap churn per job.
+struct RawTask {
+    /// Trampoline that knows the concrete context type behind `ctx`.
+    // SAFETY: calling this is sound only with the `ctx` pointer stored
+    // alongside it — `scatter_map` monomorphises the trampoline and builds
+    // the pair together, so the pointee type always matches.
+    run: unsafe fn(*const ()),
+    /// Points into the coordinating thread's context arena.
+    ctx: *const (),
 }
 
-// SAFETY: the pointee is written exactly once, by exactly one task, and the
-// write is published to the coordinating thread through the completion
-// channel's happens-before edge.
-unsafe impl<T: Send> Send for SlotPtr<T> {}
+// SAFETY: the context behind `ctx` is owned by the coordinating thread,
+// which keeps it alive and un-moved until every task has signalled
+// completion (the scatter barrier); each task reads only its own context
+// and writes only through that context's item/slot pointers, which target
+// storage disjoint from every other task's.
+unsafe impl Send for RawTask {}
+
+/// Per-item context for [`WorkerPool::scatter_map`]: everything the
+/// trampoline needs, laid out in an arena the coordinating thread owns for
+/// the duration of the call.
+struct MapCtx<I, T, F> {
+    /// The item this task maps — element `i` of the caller's slice; no two
+    /// contexts alias.
+    item: *mut I,
+    /// Where this task's result lands — element `i` of the result arena;
+    /// no two contexts alias.
+    slot: *mut Option<std::thread::Result<T>>,
+    /// The shared map function (`F: Sync` at the only construction site,
+    /// so concurrent shared calls are sound).
+    f: *const F,
+    /// Completion signal; exactly one send, after the slot write.
+    done: Sender<()>,
+}
+
+/// The trampoline behind [`WorkerPool::scatter_map`]: runs the map function
+/// on the context's item under `catch_unwind`, stores the result, signals
+/// the barrier.  Never unwinds, so a worker's receive loop survives any
+/// panicking job.
+///
+/// # Safety
+/// `ctx` must point to a live `MapCtx<I, T, F>` whose item and slot
+/// pointers are exclusively owned by this call (scatter_map's arena
+/// construction) and stay alive until its `done` signal has been received
+/// (scatter_map's barrier).
+unsafe fn run_map<I, T, F: Fn(&mut I) -> T>(ctx: *const ()) {
+    // SAFETY: caller contract — `ctx` points to a live `MapCtx<I, T, F>`
+    // that outlives this call.
+    let ctx = unsafe { &*ctx.cast::<MapCtx<I, T, F>>() };
+    // SAFETY: caller contract — `f` is a live `Sync` function shared by
+    // every task, and `item` is storage this task exclusively owns.
+    let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*ctx.f)(&mut *ctx.item) }));
+    // SAFETY: caller contract — `slot` is storage this task exclusively
+    // owns; the write is published to the coordinating thread through the
+    // completion channel's happens-before edge.
+    unsafe { ctx.slot.write(Some(result)) };
+    let _ = ctx.done.send(());
+}
 
 /// Long-lived worker threads with one work queue each.
 ///
@@ -77,7 +120,7 @@ unsafe impl<T: Send> Send for SlotPtr<T> {}
 /// designed to share one pool this way).
 pub struct WorkerPool {
     /// One queue per worker, index-aligned with `handles`.
-    queues: Vec<Sender<Task>>,
+    queues: Vec<Sender<RawTask>>,
     /// The worker threads; joined (in order) on drop, after their queues
     /// are closed.
     handles: Vec<JoinHandle<()>>,
@@ -109,17 +152,21 @@ impl WorkerPool {
         let mut queues = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for index in 0..workers {
-            let (tx, rx) = mpsc::channel::<Task>();
+            let (tx, rx) = mpsc::channel::<RawTask>();
             let alive = Arc::clone(&token);
             let handle = std::thread::Builder::new()
                 .name(format!("cloudsim-pool-{index}"))
                 .spawn(move || {
                     let _alive = alive;
-                    // Tasks never unwind (scatter wraps every job in
-                    // catch_unwind), so this loop only ends when the queue
-                    // disconnects at pool drop.
+                    // Tasks never unwind (the trampoline wraps every job
+                    // in catch_unwind), so this loop only ends when the
+                    // queue disconnects at pool drop.
                     for task in rx {
-                        task();
+                        // SAFETY: `scatter_map` keeps the task's context
+                        // alive and un-moved until its completion barrier,
+                        // and no other task shares this task's item/slot
+                        // storage.
+                        unsafe { (task.run)(task.ctx) };
                     }
                 })
                 .expect("spawn cloudsim pool worker");
@@ -157,80 +204,87 @@ impl WorkerPool {
         self.liveness.clone()
     }
 
-    /// Runs the jobs concurrently and returns their results in job order.
+    /// Maps `f` over `items` concurrently, in place, returning the results
+    /// in item order.
     ///
-    /// Job 0 runs on the calling thread; jobs `1..` are distributed
-    /// round-robin over the per-worker queues (with more jobs than workers,
-    /// a worker drains its queue in FIFO order).  The call blocks until
-    /// every job has finished — the epoch barrier — and only then returns,
-    /// so jobs may freely borrow from the caller's stack.  Panics follow
-    /// the [module](self) policy: barrier first, then the lowest-index
-    /// panic payload is re-raised here.
-    pub fn scatter<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    /// This is the allocation-free scatter primitive: per call it allocates
+    /// only the context arena and the result vector — tasks are two-word
+    /// raw descriptors, never boxed closures — so batched callers (the
+    /// epoch engine re-scatters its shards every single epoch) pay zero
+    /// heap churn per job.
+    ///
+    /// Item 0 runs on the calling thread; items `1..` are distributed
+    /// round-robin over the per-worker queues (with more items than
+    /// workers, a worker drains its queue in FIFO order).  The call blocks
+    /// until every item has been mapped — the epoch barrier — and only then
+    /// returns, so `f` may freely borrow from the caller's stack.  Panics
+    /// follow the [module](self) policy: barrier first, then the
+    /// lowest-index panic payload is re-raised here.
+    pub fn scatter_map<I, T, F>(&self, items: &mut [I], f: &F) -> Vec<T>
     where
-        F: FnOnce() -> T + Send,
+        I: Send,
         T: Send,
+        F: Fn(&mut I) -> T + Sync,
     {
-        let n = jobs.len();
+        let n = items.len();
         if n == 0 {
             return Vec::new();
         }
         let mut slots: Vec<Option<std::thread::Result<T>>> = Vec::with_capacity(n);
         slots.resize_with(n, || None);
-        let slot_base = slots.as_mut_ptr();
-        let mut jobs = jobs.into_iter();
-        let first = jobs.next().expect("n >= 1");
-        let dispatched = n - 1;
         let (done_tx, done_rx) = mpsc::channel::<()>();
-        for (offset, job) in jobs.enumerate() {
-            // SAFETY: index < n, within the `slots` allocation.
-            let slot = SlotPtr(unsafe { slot_base.add(offset + 1) });
-            let done = done_tx.clone();
-            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
-                let result = catch_unwind(AssertUnwindSafe(job));
-                // SAFETY: this task exclusively owns its slot, and the
-                // barrier below keeps `slots` alive until the completion
-                // signal (sent after the write) has been received.
-                unsafe { slot.write(Some(result)) };
-                let _ = done.send(());
+        // The context arena: fully built before anything is dispatched, so
+        // it never reallocates while workers hold pointers into it.
+        let mut ctxs: Vec<MapCtx<I, T, F>> = Vec::with_capacity(n);
+        for (item, slot) in items.iter_mut().zip(slots.iter_mut()) {
+            ctxs.push(MapCtx {
+                item,
+                slot,
+                f,
+                done: done_tx.clone(),
             });
-            // SAFETY: lifetime erasure to queue the task on a persistent
-            // thread.  The barrier below guarantees the task has finished
-            // (or been destroyed unrun, dropping its captures) before any
-            // borrow it holds expires, so the 'static lie is never
-            // observable.
-            let task: Task =
-                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+        }
+        drop(done_tx);
+        for (index, ctx) in ctxs.iter().enumerate().skip(1) {
+            let task = RawTask {
+                run: run_map::<I, T, F>,
+                ctx: (ctx as *const MapCtx<I, T, F>).cast(),
+            };
             if self.queues.is_empty() {
-                task();
-            } else if let Err(rejected) = self.queues[offset % self.queues.len()].send(task) {
+                // SAFETY: the context is alive (arena above) and
+                // exclusively owns its item/slot; inline execution
+                // trivially precedes the barrier.
+                unsafe { (task.run)(task.ctx) };
+            } else if let Err(rejected) = self.queues[(index - 1) % self.queues.len()].send(task) {
                 // A closed queue is unreachable while the pool is alive
                 // (workers only exit when their Sender drops, in Drop), but
                 // degrade to inline execution rather than lose the job.
-                (rejected.0)();
+                // SAFETY: as for the inline branch above.
+                unsafe { ((rejected.0).run)((rejected.0).ctx) };
             }
         }
-        drop(done_tx);
-        // The calling thread is lane 0.  catch_unwind so a panicking first
-        // shard still reaches the barrier below — unwinding past it while
-        // workers hold pointers into `slots` would be undefined behaviour.
-        let first_result = catch_unwind(AssertUnwindSafe(first));
-        // SAFETY: slot 0 belongs to the calling thread; written through the
-        // same pointer provenance as the workers' slots.
-        unsafe { slot_base.write(Some(first_result)) };
-        // The barrier: every dispatched task signals exactly once after
-        // writing its slot.  Err (all senders gone) can only mean every
-        // remaining task was destroyed without running, so no pointers are
-        // outstanding either way.
-        for _ in 0..dispatched {
+        // The calling thread is lane 0.  The trampoline catches panics, so
+        // a panicking item 0 still reaches the barrier below — unwinding
+        // past it while workers hold pointers into the arena would be
+        // undefined behaviour.
+        // SAFETY: context 0 is alive and exclusively owns its item/slot.
+        unsafe { run_map::<I, T, F>((&ctxs[0] as *const MapCtx<I, T, F>).cast()) };
+        // The barrier: every task (including item 0's inline run) signals
+        // exactly once, after writing its slot, so `n` receipts prove every
+        // slot is written and no pointers into the arena or the caller's
+        // slice remain in use.  Err (all senders gone) is unreachable while
+        // `ctxs` holds the senders, but would only mean no further signal
+        // can arrive.
+        for _ in 0..n {
             if done_rx.recv().is_err() {
                 break;
             }
         }
+        drop(ctxs);
         let mut out = Vec::with_capacity(n);
         let mut panic: Option<Box<dyn Any + Send>> = None;
         for slot in slots {
-            match slot.expect("barrier guarantees every job ran") {
+            match slot.expect("barrier guarantees every item was mapped") {
                 Ok(value) => out.push(value),
                 Err(payload) => {
                     panic.get_or_insert(payload);
@@ -241,6 +295,24 @@ impl WorkerPool {
             resume_unwind(payload);
         }
         out
+    }
+
+    /// Runs the jobs concurrently and returns their results in job order.
+    ///
+    /// A convenience wrapper over [`WorkerPool::scatter_map`] for one-shot
+    /// heterogeneous closures; same dispatch, barrier and panic behaviour.
+    /// Costs one `Option` wrapper per job — callers on a per-epoch hot path
+    /// should use `scatter_map` directly over their shard slice.
+    pub fn scatter<T, F>(&self, jobs: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        let mut jobs: Vec<Option<F>> = jobs.into_iter().map(Some).collect();
+        self.scatter_map(&mut jobs, &|job: &mut Option<F>| match job.take() {
+            Some(job) => job(),
+            None => unreachable!("scatter_map visits each item exactly once"),
+        })
     }
 }
 
@@ -424,5 +496,63 @@ mod tests {
         let pool = WorkerPool::new(2);
         let results = pool.scatter((0..33).map(|i| move || i).collect::<Vec<_>>());
         assert_eq!(results, (0..33).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_map_mutates_in_place_and_returns_in_order() {
+        let pool = WorkerPool::new(3);
+        for n in [1usize, 2, 4, 17] {
+            let mut items: Vec<u64> = (0..n as u64).collect();
+            let results = pool.scatter_map(&mut items, &|item: &mut u64| {
+                *item += 100;
+                *item * 2
+            });
+            let expected_items: Vec<u64> = (0..n as u64).map(|i| i + 100).collect();
+            let expected_results: Vec<u64> = expected_items.iter().map(|i| i * 2).collect();
+            assert_eq!(items, expected_items, "in-place mutation lost at {n}");
+            assert_eq!(results, expected_results, "order lost at {n}");
+        }
+    }
+
+    #[test]
+    fn scatter_map_runs_inline_with_zero_workers() {
+        let pool = WorkerPool::new(0);
+        let mut items = [1u32, 2, 3];
+        let results = pool.scatter_map(&mut items, &|item: &mut u32| *item * 10);
+        assert_eq!(results, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn scatter_map_reraises_the_lowest_index_panic() {
+        let pool = WorkerPool::new(3);
+        let mut items: Vec<usize> = (0..6).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scatter_map(&mut items, &|item: &mut usize| {
+                if *item >= 2 {
+                    panic!("item {item} failed");
+                }
+                *item
+            })
+        }));
+        let payload = result.expect_err("scatter_map must re-raise the panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .expect("payload preserved verbatim");
+        assert_eq!(message, "item 2 failed");
+        // The pool must keep working after the crash.
+        let mut items = [5u32];
+        assert_eq!(pool.scatter_map(&mut items, &|i: &mut u32| *i), vec![5]);
+    }
+
+    #[test]
+    fn scatter_map_results_can_borrow_via_pure_values() {
+        // A map function shared by reference across threads: sums into
+        // per-item results with no interior mutability needed.
+        let pool = WorkerPool::new(2);
+        let bias = 7u64;
+        let f = |item: &mut u64| *item + bias;
+        let mut items: Vec<u64> = (0..9).collect();
+        let results = pool.scatter_map(&mut items, &f);
+        assert_eq!(results, (7..16).collect::<Vec<u64>>());
     }
 }

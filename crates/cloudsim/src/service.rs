@@ -1,0 +1,458 @@
+//! The event-driven datacenter front end.
+//!
+//! Everything below the engine treats the cluster as a fixed population:
+//! `step_epochs` sweeps whatever VMs are placed.  A real datacenter is a
+//! *process* — VMs arrive, run hot for a while, go idle, and eventually
+//! depart — and the interesting throughput question is how fast the
+//! simulator sustains that churn at fleet scale.  [`DatacenterService`] is
+//! that front end: it consumes [`traces::VmSession`] lifecycles (the
+//! Hotmail and EC2 presets in `traces::arrivals`, or any custom stream),
+//! schedules them on a deterministic event queue
+//! ([`queueing::EventQueue`]), batches the arrivals/idles/departures that
+//! fall inside each epoch, and drives the sparse [`EpochEngine`] over the
+//! resulting cluster.
+//!
+//! The lifecycle model is deliberately simple and exactly matches the
+//! quiescence contract: a VM runs at its session's `active_load` for the
+//! first part of its lifetime, then idles at load `0.0` (where the preset
+//! workloads are provably static, so the sparse engine stops resolving its
+//! host) until it departs.  With heavy-tailed lifetimes this converges to
+//! the regime the sparse engine is built for — a small active working set
+//! on top of a large quiescent fleet.
+//!
+//! ## Determinism
+//!
+//! The service is bit-reproducible: sessions are pre-sorted, the event
+//! queue breaks same-instant ties in push order, VM ids are assigned
+//! densely in arrival order, and placement is a pure function of the event
+//! sequence (a free-slot hint queue with lazy revalidation, falling back to
+//! a full first-fit scan before ever rejecting an arrival).
+
+use std::collections::VecDeque;
+
+use hwsim::{MachineSpec, EPOCH_SECONDS};
+use queueing::EventQueue;
+use traces::VmSession;
+use workloads::{AppId, ClientEmulator, DataServing, WebSearch, Workload};
+
+use crate::cluster::Cluster;
+use crate::engine::EpochEngine;
+use crate::pm::{PmId, VmEpochReport};
+use crate::rngs::ClusterSeed;
+use crate::scheduler::Scheduler;
+use crate::vm::{Vm, VmId};
+
+/// Configuration of the datacenter front end.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of physical machines in the (homogeneous) fleet.
+    pub machines: usize,
+    /// Hardware model of every machine.
+    pub spec: MachineSpec,
+    /// Placement policy / admission checker.
+    pub scheduler: Scheduler,
+    /// Cluster seed driving every VM's demand streams.
+    pub seed: ClusterSeed,
+    /// Fraction of each VM's lifetime spent at its active load before it
+    /// idles at load zero (clamped to `[0, 1]`).  The idle tail is where
+    /// the sparse engine earns its keep.
+    pub active_fraction: f64,
+}
+
+impl ServiceConfig {
+    /// A Xeon X5472 fleet with default scheduling, 30% active lifetimes.
+    pub fn xeon_fleet(machines: usize, seed: u64) -> Self {
+        Self {
+            machines,
+            spec: MachineSpec::xeon_x5472(),
+            scheduler: Scheduler::default(),
+            seed: ClusterSeed::new(seed),
+            active_fraction: 0.3,
+        }
+    }
+}
+
+/// Counters the service accumulates while running.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// VMs successfully admitted and placed.
+    pub arrivals: u64,
+    /// VMs that left at the end of their session.
+    pub departures: u64,
+    /// Arrivals turned away because no machine could admit the VM.
+    pub rejections: u64,
+    /// VM-epochs simulated (sum of resident VMs over stepped epochs).
+    pub vm_epochs: u64,
+    /// Largest number of VMs resident at once.
+    pub peak_resident: usize,
+}
+
+/// A scheduled lifecycle transition.
+#[derive(Debug, Clone, Copy)]
+enum SessionEvent {
+    /// Admit session `i` of the stream.
+    Arrive(usize),
+    /// Drop the VM's offered load to zero (it keeps its placement).
+    GoIdle(VmId),
+    /// Remove the VM from the cluster.
+    Depart(VmId),
+}
+
+/// The event-driven datacenter: session stream in, epochs out.
+#[derive(Debug)]
+pub struct DatacenterService {
+    cluster: Cluster,
+    engine: EpochEngine,
+    config: ServiceConfig,
+    sessions: Vec<VmSession>,
+    events: EventQueue<SessionEvent>,
+    /// Offered load per VM, indexed by the densely assigned `VmId` — a
+    /// plain vector, not a map, because the engine's `load_for` closure is
+    /// the hottest lookup in the simulation (one call per resident VM per
+    /// epoch).
+    loads: Vec<f64>,
+    /// Machine indices that freed capacity recently; tried (with lazy
+    /// revalidation) before the first-fit scan.
+    free_hint: VecDeque<usize>,
+    /// Where the last successful scan placement landed; the next scan
+    /// resumes here (next-fit), so steady-state placement cost stays O(1)
+    /// amortized instead of rescanning the full fleet per arrival.
+    scan_cursor: usize,
+    stats: ServiceStats,
+}
+
+impl DatacenterService {
+    /// Builds the fleet and schedules every session's arrival.
+    ///
+    /// Sessions may arrive in any order; the event queue orders them.  The
+    /// engine defaults to sparse serial stepping — swap it via
+    /// [`DatacenterService::engine_mut`] for pooled or dense runs.
+    ///
+    /// # Panics
+    /// Panics if `machines` is zero (the cluster constructor's contract).
+    pub fn new(config: ServiceConfig, sessions: Vec<VmSession>) -> Self {
+        let cluster = Cluster::homogeneous(config.machines, config.spec.clone(), config.scheduler);
+        let engine = EpochEngine::serial(config.seed);
+        let mut events = EventQueue::new();
+        for (index, session) in sessions.iter().enumerate() {
+            events.push(session.arrival_s, SessionEvent::Arrive(index));
+        }
+        Self {
+            cluster,
+            engine,
+            config,
+            sessions,
+            events,
+            loads: Vec::new(),
+            free_hint: VecDeque::new(),
+            scan_cursor: 0,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// The cluster being driven.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable cluster access, for a controller layered on top (DeepDive
+    /// migrates VMs between epochs).  The service's placement hints are
+    /// only hints — every candidate is revalidated at admission time — so
+    /// external mutation cannot corrupt placement, only make the next
+    /// arrival's scan marginally longer.  Pair controller-driven
+    /// migrations with [`DatacenterService::note_capacity_freed`] to keep
+    /// the hints warm.
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// The stepping engine (sparse serial by default).
+    pub fn engine(&self) -> &EpochEngine {
+        &self.engine
+    }
+
+    /// Mutable engine access — switch execution mode or toggle sparse
+    /// stepping without rebuilding the service.
+    pub fn engine_mut(&mut self) -> &mut EpochEngine {
+        &mut self.engine
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Lifecycle events not yet applied (arrivals not yet due, idles and
+    /// departures of resident VMs).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Tells the placement hint queue that `pm` freed some capacity — the
+    /// hook a migration controller calls for each machine it moved a VM
+    /// *off* (departures handled by the service itself do this
+    /// automatically).
+    pub fn note_capacity_freed(&mut self, pm: PmId) {
+        let index = pm.0 as usize;
+        if index < self.config.machines {
+            self.free_hint.push_back(index);
+        }
+    }
+
+    /// Applies every lifecycle event due at or before the next epoch's
+    /// start, then steps the cluster one epoch and returns its reports.
+    ///
+    /// An arrival that no machine can admit counts as a rejection and is
+    /// dropped (its idle/departure events are never scheduled).
+    pub fn step_epoch(&mut self) -> Vec<VmEpochReport> {
+        self.apply_due_events();
+        let resident = self.cluster.vm_count();
+        self.stats.vm_epochs += resident as u64;
+        self.stats.peak_resident = self.stats.peak_resident.max(resident);
+        let loads = std::mem::take(&mut self.loads);
+        let reports = self
+            .engine
+            .step(&mut self.cluster, |vm| loads[vm.0 as usize]);
+        self.loads = loads;
+        reports
+    }
+
+    /// Runs `epochs` epochs, discarding reports, and returns the stats
+    /// accumulated so far — the bulk-throughput entry point the datacenter
+    /// bench drives.
+    pub fn run_epochs(&mut self, epochs: u64) -> ServiceStats {
+        for _ in 0..epochs {
+            self.step_epoch();
+        }
+        self.stats
+    }
+
+    /// True once every session has been admitted (or rejected) and every
+    /// admitted VM has departed.
+    pub fn drained(&self) -> bool {
+        self.events.is_empty() && self.cluster.vm_count() == 0
+    }
+
+    fn apply_due_events(&mut self) {
+        // Events due strictly inside a past epoch land at this boundary:
+        // an arrival at t = 3.7 is resident from epoch 4 on.
+        let boundary = self.cluster.epoch() as f64 * EPOCH_SECONDS;
+        while let Some((_, event)) = self.events.pop_due(boundary) {
+            match event {
+                SessionEvent::Arrive(index) => self.admit(index),
+                SessionEvent::GoIdle(vm) => {
+                    self.loads[vm.0 as usize] = 0.0;
+                }
+                SessionEvent::Depart(vm) => {
+                    if let Some(pm) = self.cluster.locate(vm) {
+                        self.cluster.remove_vm(vm);
+                        self.stats.departures += 1;
+                        self.note_capacity_freed(pm);
+                    }
+                }
+            }
+        }
+    }
+
+    fn admit(&mut self, index: usize) {
+        let session = self.sessions[index];
+        let id = VmId(self.loads.len() as u64);
+        if self.place(id, &session).is_none() {
+            self.stats.rejections += 1;
+            // Keep VM ids dense in arrival order even across rejections,
+            // so replays with different capacity stay comparable.
+            self.loads.push(0.0);
+            return;
+        }
+        self.loads.push(session.active_load.clamp(0.0, 1.0));
+        self.stats.arrivals += 1;
+        let active_s = session.lifetime_s * self.config.active_fraction.clamp(0.0, 1.0);
+        self.events
+            .push(session.arrival_s + active_s, SessionEvent::GoIdle(id));
+        self.events
+            .push(session.departure_s(), SessionEvent::Depart(id));
+    }
+
+    /// The workload mix behind a session: cloud apps that are provably
+    /// static when idle, keyed by popularity rank so VMs of the same app
+    /// share an [`AppId`] (what lets DeepDive reuse behaviour across them).
+    fn session_vm(id: VmId, session: &VmSession) -> Vm {
+        let app = AppId(session.app_rank as u64);
+        let workload: Box<dyn Workload> = if session.app_rank.is_multiple_of(2) {
+            Box::new(DataServing::with_defaults(app))
+        } else {
+            Box::new(WebSearch::with_defaults(app))
+        };
+        let client = ClientEmulator::new(workload.peak_request_rate(), 4.0);
+        Vm::new(id, workload, client)
+    }
+
+    /// Places the session's VM: freed-capacity hints first (lazily
+    /// revalidated — stale or still-full entries are simply dropped), then
+    /// a next-fit scan resuming at the last placement, wrapping once
+    /// around the whole fleet before giving up.  Returns the hosting
+    /// machine, or `None` for a genuine reject (no machine admits the VM
+    /// right now).
+    fn place(&mut self, id: VmId, session: &VmSession) -> Option<PmId> {
+        while let Some(index) = self.free_hint.pop_front() {
+            let pm = PmId(index as u64);
+            if self.try_place(pm, id, session) {
+                // The machine may still have room; keep it warm for the
+                // next arrival.
+                self.free_hint.push_front(index);
+                return Some(pm);
+            }
+        }
+        let n = self.config.machines;
+        for probe in 0..n {
+            let index = (self.scan_cursor + probe) % n;
+            let pm = PmId(index as u64);
+            if self.try_place(pm, id, session) {
+                self.scan_cursor = index;
+                return Some(pm);
+            }
+        }
+        None
+    }
+
+    /// One admission attempt.  `place_on` consumes the VM either way, so
+    /// the (cheap) VM shell is rebuilt per attempt; a placement error
+    /// other than `NoCapacity` would be a service bug, so it panics
+    /// loudly.
+    fn try_place(&mut self, pm: PmId, id: VmId, session: &VmSession) -> bool {
+        match self.cluster.place_on(pm, Self::session_vm(id, session)) {
+            Ok(()) => true,
+            Err(crate::cluster::ClusterError::NoCapacity { .. }) => false,
+            Err(other) => panic!("datacenter placement hit an unexpected error: {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sessions(specs: &[(f64, f64, f64, usize)]) -> Vec<VmSession> {
+        specs
+            .iter()
+            .map(
+                |&(arrival_s, lifetime_s, active_load, app_rank)| VmSession {
+                    arrival_s,
+                    lifetime_s,
+                    active_load,
+                    app_rank,
+                },
+            )
+            .collect()
+    }
+
+    #[test]
+    fn vms_arrive_idle_and_depart_on_schedule() {
+        let service_sessions = sessions(&[
+            (0.0, 10.0, 0.8, 1),
+            (0.5, 4.0, 0.6, 2), // departs at 4.5 → gone from epoch 5
+            (3.0, 100.0, 0.7, 1),
+        ]);
+        let mut svc = DatacenterService::new(ServiceConfig::xeon_fleet(2, 1), service_sessions);
+        let first = svc.step_epoch(); // epoch 0: arrivals at t <= 0.0
+        assert_eq!(first.len(), 1);
+        let second = svc.step_epoch(); // epoch 1: the t = 0.5 arrival joined
+        assert_eq!(second.len(), 2);
+        let mut reports = Vec::new();
+        for _ in 2..6 {
+            reports.push(svc.step_epoch());
+        }
+        // Epoch 4 still has VM 1 (departs at 4.5 → removed at epoch 5).
+        assert_eq!(reports[2].len(), 3, "epoch 4: all three resident");
+        assert_eq!(reports[3].len(), 2, "epoch 5: VM 1 departed");
+        let stats = svc.stats();
+        assert_eq!(stats.arrivals, 3);
+        assert_eq!(stats.departures, 1);
+        assert_eq!(stats.rejections, 0);
+        assert_eq!(stats.peak_resident, 3);
+    }
+
+    #[test]
+    fn active_vms_go_idle_after_their_active_fraction() {
+        // One VM, 10 s lifetime, 30% active → load 0.9 through epoch 3,
+        // then 0.0 from epoch 4 (idle event at t = 3.0 applies at its
+        // boundary... the event lands at the first boundary >= 3.0).
+        let mut svc = DatacenterService::new(
+            ServiceConfig::xeon_fleet(1, 2),
+            sessions(&[(0.0, 10.0, 0.9, 2)]),
+        );
+        let mut offered = Vec::new();
+        for _ in 0..6 {
+            let reports = svc.step_epoch();
+            offered.push(reports[0].offered_load);
+        }
+        assert_eq!(offered[..3], [0.9, 0.9, 0.9]);
+        assert_eq!(offered[3..], [0.0, 0.0, 0.0]);
+        // Once idle, the sparse engine stops resolving the machine.
+        let resolves_when_idle = svc.cluster().total_resolves();
+        svc.run_epochs(5);
+        assert_eq!(svc.cluster().total_resolves(), resolves_when_idle);
+        assert!(svc.cluster().total_quiescent_steps() >= 5);
+    }
+
+    #[test]
+    fn a_full_fleet_rejects_and_recovers_capacity_on_departure() {
+        // One Xeon machine admits four 2-vCPU VMs; offer six, two overflow.
+        let mut specs: Vec<(f64, f64, f64, usize)> =
+            (0..6).map(|i| (i as f64 * 0.01, 50.0, 0.5, 1)).collect();
+        // A late VM arrives after the four residents depart.
+        specs.push((60.0, 5.0, 0.5, 1));
+        let mut svc = DatacenterService::new(ServiceConfig::xeon_fleet(1, 3), sessions(&specs));
+        svc.run_epochs(55);
+        let mid = svc.stats();
+        assert_eq!(mid.arrivals, 4);
+        assert_eq!(mid.rejections, 2);
+        assert_eq!(mid.departures, 4);
+        svc.run_epochs(15);
+        let done = svc.stats();
+        assert_eq!(done.arrivals, 5, "freed capacity must admit the late VM");
+        assert_eq!(done.departures, 5);
+        assert!(svc.drained());
+    }
+
+    #[test]
+    fn the_run_is_bit_reproducible_and_dense_equals_sparse() {
+        let stream = traces::hotmail_sessions(40_000.0, 0.005, 11);
+        assert!(stream.len() > 20, "want a busy little stream");
+        let run = |sparse: bool| {
+            let mut svc = DatacenterService::new(ServiceConfig::xeon_fleet(12, 7), stream.clone());
+            svc.engine_mut().set_sparse(sparse);
+            let mut all = Vec::new();
+            for _ in 0..400 {
+                all.push(svc.step_epoch());
+            }
+            (all, svc.stats())
+        };
+        let (sparse_reports, sparse_stats) = run(true);
+        let (dense_reports, dense_stats) = run(false);
+        assert_eq!(sparse_reports, dense_reports);
+        assert_eq!(sparse_stats, dense_stats);
+        assert!(sparse_stats.arrivals > 0);
+        assert!(sparse_stats.vm_epochs > 0);
+    }
+
+    #[test]
+    fn note_capacity_freed_keeps_external_migrations_warm() {
+        let mut svc = DatacenterService::new(
+            ServiceConfig::xeon_fleet(3, 9),
+            sessions(&[(0.0, 100.0, 0.5, 1), (20.0, 100.0, 0.5, 1)]),
+        );
+        svc.step_epoch();
+        // Externally migrate VM 0 from machine 0 to machine 2, as the
+        // DeepDive controller would, then report the freed source.
+        let vm = VmId(0);
+        let from = svc.cluster().locate(vm).expect("vm 0 resident");
+        svc.cluster_mut()
+            .migrate(vm, PmId(2))
+            .expect("room on pm 2");
+        svc.note_capacity_freed(from);
+        // The next arrival (t = 20) lands on the freed machine first.
+        svc.run_epochs(25);
+        assert_eq!(svc.cluster().locate(VmId(1)), Some(from));
+    }
+}

@@ -100,6 +100,7 @@ pub mod cpi_stack;
 pub mod metrics;
 pub mod placement;
 pub mod repository;
+pub mod service;
 pub mod synthetic;
 pub mod warning;
 
@@ -109,5 +110,6 @@ pub use cpi_stack::{CpiStack, Resource};
 pub use metrics::BehaviorVector;
 pub use placement::{PlacementDecision, PlacementManager};
 pub use repository::BehaviorRepository;
+pub use service::ManagedDatacenter;
 pub use synthetic::{SyntheticBenchmark, SyntheticClone};
 pub use warning::{WarningDecision, WarningSystem};

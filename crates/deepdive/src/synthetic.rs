@@ -449,6 +449,11 @@ impl Workload for SyntheticClone {
     fn peak_request_rate(&self) -> f64 {
         1.0
     }
+
+    fn demand_is_static_at(&self, _load: f64) -> bool {
+        // Replays fixed inputs regardless of load and RNG.
+        true
+    }
 }
 
 #[cfg(test)]

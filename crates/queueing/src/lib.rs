@@ -17,11 +17,16 @@
 //!   shortens it.
 //! * [`scenarios`] — the parameter sweeps that regenerate each curve of
 //!   Figs. 13 and 14.
+//! * [`schedule`] — a deterministic time-ordered event queue (stable ties,
+//!   total float order), the primitive behind the event-driven datacenter
+//!   service in `cloudsim`.
 
 pub mod events;
 pub mod profiler_farm;
 pub mod scenarios;
+pub mod schedule;
 
 pub use events::{simulate_queue, Job, JobOutcome, QueueResult};
 pub use profiler_farm::{FarmConfig, FarmResult, ProfilerFarm};
 pub use scenarios::{reaction_time_curve, CurvePoint, ScenarioConfig};
+pub use schedule::EventQueue;

@@ -2,7 +2,8 @@
 //!
 //! Implements the slice of proptest this workspace's property tests use: the
 //! [`proptest!`] macro over `arg in strategy` bindings, range and tuple
-//! strategies, [`Strategy::prop_map`], `prop_assert!`/`prop_assume!`, and
+//! strategies, [`Strategy::prop_map`], weighted [`prop_oneof!`] unions,
+//! [`collection::vec`], `prop_assert!`/`prop_assume!`, and
 //! [`ProptestConfig::with_cases`]. Unlike the real crate there is no
 //! shrinking and no persisted failure seeds: every run draws the same
 //! deterministic seed sequence, so failures reproduce exactly and test time
@@ -15,10 +16,14 @@ use std::ops::{Range, RangeInclusive};
 pub mod prelude {
     //! The glob-import surface, mirroring `proptest::prelude::*`.
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
-        TestCaseError, TestCaseResult,
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
     };
 }
+
+/// The RNG handed to strategies — re-exported so macro expansions in other
+/// crates can name the type without depending on `rand` themselves.
+pub use rand::rngs::StdRng as TestRng;
 
 /// Runner configuration.
 #[derive(Debug, Clone)]
@@ -141,6 +146,99 @@ macro_rules! range_strategy {
 }
 
 range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// One type-erased [`prop_oneof!`] arm: a weight plus a boxed generator.
+pub type OneOfArm<T> = (u32, Box<dyn Fn(&mut StdRng) -> T>);
+
+/// Weighted union over same-valued strategies, built by [`prop_oneof!`].
+///
+/// Arms are type-erased so heterogeneous strategy *types* (e.g. a [`Just`]
+/// next to a [`Map`]) can share one union as long as they generate the same
+/// value type — matching how the real crate's `TupleUnion` boxes its arms.
+pub struct OneOf<T> {
+    arms: Vec<OneOfArm<T>>,
+    total_weight: u32,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a union; panics on an empty arm list or all-zero weights.
+    pub fn new(arms: Vec<OneOfArm<T>>) -> Self {
+        let total_weight = arms.iter().map(|(w, _)| *w).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs at least one arm with nonzero weight"
+        );
+        Self { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let mut pick = SampleRange::sample_single(0..self.total_weight, rng);
+        for (weight, arm) in &self.arms {
+            if pick < *weight {
+                return arm(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("pick < total_weight, so some arm must match")
+    }
+}
+
+/// Boxes one [`prop_oneof!`] arm.  A named generic function (rather than an
+/// inline `as Box<dyn Fn...>` cast in the macro) so the arms' shared value
+/// type unifies through `T` instead of fighting integer-literal fallback.
+#[doc(hidden)]
+pub fn one_of_arm<S>(weight: u32, strategy: S) -> OneOfArm<S::Value>
+where
+    S: Strategy + 'static,
+{
+    (weight, Box::new(move |rng| strategy.generate(rng)))
+}
+
+/// Builds a [`OneOf`] union: `prop_oneof![3 => a, 1 => b]` (weighted) or
+/// `prop_oneof![a, b]` (uniform).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![
+            $($crate::one_of_arm($weight as u32, $strategy)),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use super::{SampleRange, StdRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a size drawn from a range, built by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates `Vec`s of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "collection::vec size range is empty");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = SampleRange::sample_single(self.size.clone(), rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
 
 macro_rules! tuple_strategy {
     ($($name:ident),+) => {
@@ -334,6 +432,21 @@ mod tests {
         fn assume_rejects_without_failing(x in 0u64..100) {
             prop_assume!(x % 2 == 0);
             prop_assert!(x % 2 == 0, "x was {}", x);
+        }
+
+        #[test]
+        fn oneof_draws_only_nonzero_weight_arms(
+            x in prop_oneof![3 => Just(1u8), 1 => 10u8..20, 0 => Just(99u8)],
+        ) {
+            prop_assert!(x == 1 || (10..20).contains(&x), "x was {}", x);
+        }
+
+        #[test]
+        fn collection_vec_respects_size_range(
+            v in crate::collection::vec(0u64..5, 2..6),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 5));
         }
     }
 

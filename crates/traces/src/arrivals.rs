@@ -8,12 +8,17 @@
 //! Poisson process (Fig. 13) or a burstier lognormal process (Fig. 14).
 //!
 //! This module turns those ingredients into a concrete [`VmArrival`] stream
-//! consumed by the queueing simulator.
+//! consumed by the queueing simulator — and, for the event-driven
+//! datacenter front end, into full [`VmSession`] lifecycles (arrival,
+//! active lifetime at some load, departure) via the [`hotmail_sessions`]
+//! and [`ec2_sessions`] presets.
 
-use analytics::distributions::{lognormal_arrivals, poisson_arrivals, Zipf};
+use analytics::distributions::{lognormal_arrivals, lognormal_durations, poisson_arrivals, Zipf};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+use crate::hotmail::LoadTrace;
 
 /// Which inter-arrival process generates the stream.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,6 +82,91 @@ pub fn generate_arrivals(
                 // Unique application per VM: global information never helps.
                 None => i + 1,
             },
+        })
+        .collect()
+}
+
+/// One VM's full lifecycle at the datacenter front end: it arrives, runs
+/// its application at `active_load` until its lifetime elapses, and then
+/// departs.  Consumed by the event-driven datacenter service, which turns
+/// sessions into placements, per-epoch offered loads and deallocations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmSession {
+    /// Arrival time in seconds from the start of the experiment.
+    pub arrival_s: f64,
+    /// How long the VM stays, in seconds (heavy-tailed in both presets:
+    /// most sessions are short, a few near-permanent).
+    pub lifetime_s: f64,
+    /// Offered load in `[0, 1]` while the VM is alive.
+    pub active_load: f64,
+    /// Application (popularity rank) the VM runs; same meaning as
+    /// [`VmArrival::app_rank`].
+    pub app_rank: usize,
+}
+
+impl VmSession {
+    /// The instant the VM leaves the datacenter.
+    pub fn departure_s(&self) -> f64 {
+        self.arrival_s + self.lifetime_s
+    }
+}
+
+/// Hotmail-style session preset: Poisson arrivals thinned by the diurnal
+/// load pattern of Fig. 2 (nights and weekends arrive fewer VMs), lognormal
+/// lifetimes with a 2-hour median, and per-VM active loads that track the
+/// diurnal intensity at arrival time.  Applications follow a concentrated
+/// Zipf (α = 1.8, 500 apps) — mail-farm fleets run many instances of few
+/// binaries.
+///
+/// `arrivals_per_day` is the **peak** rate; diurnal thinning brings the
+/// realized average below it.  Sessions come back sorted by arrival.
+pub fn hotmail_sessions(arrivals_per_day: f64, horizon_days: f64, seed: u64) -> Vec<VmSession> {
+    let trace_days = horizon_days.ceil().max(1.0) as usize;
+    let trace = LoadTrace::diurnal(trace_days, 0.25, 1.0, seed);
+    let base = poisson_arrivals(arrivals_per_day, horizon_days * 86_400.0, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x4077));
+    let zipf = Zipf::new(500, 1.8);
+    let kept: Vec<f64> = base
+        .into_iter()
+        .filter(|&t| {
+            let intensity = trace.load_at_epoch(t as u64);
+            rng.gen_range(0.0..1.0) < intensity
+        })
+        .collect();
+    let lifetimes = lognormal_durations(7_200.0, 1.2, kept.len(), seed.wrapping_add(0x11fe));
+    kept.into_iter()
+        .zip(lifetimes)
+        .map(|(arrival_s, lifetime_s)| VmSession {
+            arrival_s,
+            lifetime_s,
+            active_load: (trace.load_at_epoch(arrival_s as u64) * rng.gen_range(0.8..=1.0))
+                .clamp(0.0, 1.0),
+            app_rank: zipf.sample(&mut rng),
+        })
+        .collect()
+}
+
+/// EC2-style session preset: bursty lognormal arrivals (σ = 2 gaps — the
+/// clumpy "burstier workload behaviors" of Fig. 14), heavier-tailed
+/// lifetimes (1-hour median, σ = 2: lots of short-lived instances plus a
+/// long-running tail) and a flat Zipf over many applications (α = 1.1,
+/// 2000 apps — public-cloud tenants are diverse).  Active loads are drawn
+/// uniformly from `[0.3, 0.9]` per VM, independent of arrival time.
+///
+/// Sessions come back sorted by arrival.
+pub fn ec2_sessions(arrivals_per_day: f64, horizon_days: f64, seed: u64) -> Vec<VmSession> {
+    let arrivals = lognormal_arrivals(arrivals_per_day, horizon_days * 86_400.0, 2.0, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0xec2));
+    let zipf = Zipf::new(2_000, 1.1);
+    let lifetimes = lognormal_durations(3_600.0, 2.0, arrivals.len(), seed.wrapping_add(0x11fe));
+    arrivals
+        .into_iter()
+        .zip(lifetimes)
+        .map(|(arrival_s, lifetime_s)| VmSession {
+            arrival_s,
+            lifetime_s,
+            active_load: rng.gen_range(0.3..=0.9),
+            app_rank: zipf.sample(&mut rng),
         })
         .collect()
 }
@@ -160,5 +250,54 @@ mod tests {
     #[should_panic(expected = "arrival rate must be positive")]
     fn zero_rate_rejected() {
         generate_arrivals(0.0, 1.0, ArrivalModel::Poisson, None, 1);
+    }
+
+    #[test]
+    fn hotmail_sessions_are_sorted_deterministic_and_diurnally_thinned() {
+        let sessions = hotmail_sessions(4_000.0, 2.0, 17);
+        assert!(!sessions.is_empty());
+        assert!(sessions
+            .windows(2)
+            .all(|w| w[1].arrival_s >= w[0].arrival_s));
+        assert_eq!(sessions, hotmail_sessions(4_000.0, 2.0, 17));
+        for s in &sessions {
+            assert!(s.lifetime_s > 0.0);
+            assert!((0.0..=1.0).contains(&s.active_load));
+            assert!(s.departure_s() > s.arrival_s);
+            assert!(s.app_rank >= 1 && s.app_rank <= 500);
+        }
+        // Thinning keeps strictly fewer VMs than the peak-rate stream, but
+        // the diurnal trough (0.25) bounds how many it can drop.
+        let n = sessions.len() as f64;
+        assert!(n < 8_000.0, "thinning must discard some arrivals, got {n}");
+        assert!(n > 2_000.0 * 0.8, "thinning dropped too much, got {n}");
+    }
+
+    #[test]
+    fn ec2_sessions_are_burstier_and_more_diverse_than_hotmail() {
+        let hotmail = hotmail_sessions(2_000.0, 2.0, 23);
+        let ec2 = ec2_sessions(2_000.0, 2.0, 23);
+        assert!(!ec2.is_empty());
+        assert!(ec2.windows(2).all(|w| w[1].arrival_s >= w[0].arrival_s));
+        assert_eq!(ec2, ec2_sessions(2_000.0, 2.0, 23));
+        let spread = |s: &[VmSession]| {
+            s.iter()
+                .map(|v| v.app_rank)
+                .collect::<std::collections::HashSet<_>>()
+                .len() as f64
+                / s.len() as f64
+        };
+        assert!(
+            spread(&ec2) > spread(&hotmail),
+            "EC2 app mix must be flatter: {} vs {}",
+            spread(&ec2),
+            spread(&hotmail)
+        );
+        let gaps = |s: &[VmSession]| s.iter().map(|v| v.arrival_s).collect::<Vec<_>>();
+        assert!(
+            analytics::distributions::burstiness(&gaps(&ec2))
+                > analytics::distributions::burstiness(&gaps(&hotmail)),
+            "lognormal arrivals must clump more than thinned Poisson"
+        );
     }
 }

@@ -25,6 +25,6 @@ pub mod arrivals;
 pub mod ec2;
 pub mod hotmail;
 
-pub use arrivals::{ArrivalModel, VmArrival};
+pub use arrivals::{ec2_sessions, hotmail_sessions, ArrivalModel, VmArrival, VmSession};
 pub use ec2::{InterferenceEpisode, InterferenceSchedule};
 pub use hotmail::LoadTrace;

@@ -232,6 +232,15 @@ impl Workload for DataAnalytics {
     fn peak_request_rate(&self) -> f64 {
         self.config.peak_tasks_per_second
     }
+
+    fn demand_is_static_at(&self, load: f64) -> bool {
+        // The master is stateless and load-scaled, so it is static when
+        // idle.  A worker is **never** static: `next_demand` advances
+        // `epoch_in_cycle`, and the map/shuffle/reduce phase changes the
+        // demand's shape terms even at zero load — skipping it would both
+        // freeze the phase clock and replay the wrong phase.
+        self.role == AnalyticsRole::Master && load <= 0.0
+    }
 }
 
 #[cfg(test)]

@@ -133,6 +133,13 @@ impl Workload for DataServing {
     fn peak_request_rate(&self) -> f64 {
         self.config.peak_rps
     }
+
+    fn demand_is_static_at(&self, load: f64) -> bool {
+        // The jitter multiplies into the load, so at zero load every volume
+        // term is exactly zero and the shape terms are config constants: the
+        // demand is the same every epoch regardless of the RNG draws.
+        load <= 0.0
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,12 @@ impl Workload for MemoryStress {
     fn peak_request_rate(&self) -> f64 {
         1.0
     }
+
+    fn demand_is_static_at(&self, _load: f64) -> bool {
+        // Aggressors run flat-out at their configured intensity: the demand
+        // ignores both the load and the RNG, so it is static at every load.
+        true
+    }
 }
 
 /// Network aggressor (`iperf` bidirectional UDP streams).
@@ -143,6 +149,10 @@ impl Workload for NetworkStress {
     fn peak_request_rate(&self) -> f64 {
         1.0
     }
+
+    fn demand_is_static_at(&self, _load: f64) -> bool {
+        true
+    }
 }
 
 /// Disk aggressor (rate-limited file copy).
@@ -202,6 +212,10 @@ impl Workload for DiskStress {
 
     fn peak_request_rate(&self) -> f64 {
         1.0
+    }
+
+    fn demand_is_static_at(&self, _load: f64) -> bool {
+        true
     }
 }
 

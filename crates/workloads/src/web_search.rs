@@ -117,6 +117,12 @@ impl Workload for WebSearch {
     fn peak_request_rate(&self) -> f64 {
         self.config.peak_qps
     }
+
+    fn demand_is_static_at(&self, load: f64) -> bool {
+        // As for data serving: jitter scales the load, so an idle searcher
+        // produces a config-constant demand every epoch.
+        load <= 0.0
+    }
 }
 
 #[cfg(test)]

@@ -30,21 +30,16 @@
 //! Leaf crates at the top; each crate depends only on the ones above it:
 //!
 //! ```text
-//! hwsim ──────────┬────────────┐            (machine + counter substrate)
-//!                 ▼            │
-//! workloads ──────┬───────┐    │            (cloud + stress workloads)
-//!                 ▼       │    │
-//! cloudsim ───────┐       │    │            (VMs, PMs, sandbox, migration)
-//!                 │       │    │
-//! analytics ──┬───┼───────┼────┼──┐         (clustering, regression, dists)
-//!             ▼   ▼       ▼    ▼  │
-//! traces    deepdive ◄────────────┘         (the paper's contribution)
-//!    │            │
-//!    ▼            │
-//! queueing        │                         (profiling-farm queueing model)
-//!    └──────┬─────┘
-//!           ▼
-//! bench                                     (per-figure experiment harness)
+//! hwsim                                  (machine + counter substrate)
+//!   └─► workloads                        (cloud + stress workloads)
+//! analytics                              (clustering, regression, dists)
+//!   └─► traces ─► queueing               (arrival traces; queueing model)
+//! hwsim + workloads + traces + queueing
+//!   └─► cloudsim                         (VMs, PMs, service, sandbox)
+//! hwsim + workloads + cloudsim + analytics
+//!   └─► deepdive                         (the paper's contribution)
+//! everything
+//!   └─► bench                            (per-figure experiment harness)
 //! ```
 //!
 //! `simlint` (the static-analysis binary, see below) stands alone: it
@@ -149,6 +144,45 @@
 //!   the faster machine for the workload — are counted in
 //!   `DeepDiveStats::sandbox_spec_fallbacks`.
 //!
+//! # Service mode & sparse stepping
+//!
+//! Fixed fleets stepped in a loop are the benchmark shape; a datacenter is
+//! a *service*: VMs arrive, run hot, go idle and depart continuously, and
+//! at any instant most machines host only quiet tenants.  Two pieces make
+//! that shape first-class:
+//!
+//! * **The event-driven front end** — `cloudsim::service::DatacenterService`
+//!   owns a cluster plus a `queueing::EventQueue` of `traces::VmSession`
+//!   lifecycles (the Hotmail and EC2 arrival presets in `traces::arrivals`,
+//!   or any custom stream).  Between epochs it drains every due event —
+//!   arrivals place VMs first-fit from a rotating scan cursor, lifetime
+//!   expiries remove them, hot sessions go idle — then steps the engine
+//!   once over the surviving fleet; `ServiceStats` tracks arrivals,
+//!   departures, rejections, VM-epochs and the peak resident population.
+//!   `deepdive::ManagedDatacenter` closes the control loop on top: the
+//!   service's per-epoch reports feed `DeepDive::process_epoch`, and
+//!   confirmed-interference migrations feed capacity hints back to the
+//!   placement cursor.
+//! * **Sparse (quiescent-aware) stepping** — a machine whose tenants all
+//!   report demand-static workloads at their current loads (idle cloud
+//!   apps, constant stressors) resolves once, caches its per-VM reports,
+//!   and replays them byte-for-byte until membership, offered loads, or
+//!   placement generation change (`EpochEngine::set_sparse`, default on;
+//!   dense mode remains for measurement).  For whole idle stretches,
+//!   `EpochEngine::advance_epochs` goes further and skips report
+//!   materialization entirely — quiescent machines are visited once per
+//!   batch, active machines resolve every epoch, and the returned
+//!   `AdvanceSummary` accounts resolved vs quiescent machine-epochs.
+//!   Both paths are pinned bit-identical to dense serial stepping across
+//!   all three execution modes under randomized arrival/departure/
+//!   migration churn (`tests/engine_equivalence.rs`).
+//!   Measured by `cargo bench -p bench --bench datacenter_throughput`
+//!   (dumps `BENCH_datacenter.json`): on a 1-core container at 10k
+//!   machines / 40k VMs / 10% activity, the report-free sparse advance
+//!   sustains ~33.7M VM-epochs/sec — ~12× the dense per-epoch sweep
+//!   (~18× at 100k machines) — while the service loop absorbs ~5.5–10k
+//!   VM-arrivals/sec under the trace presets.
+//!
 //! # Test-suite map
 //!
 //! * per-crate unit tests — each module tests its own invariants (~320
@@ -166,7 +200,9 @@
 //! * `tests/engine_equivalence.rs` — proptest: serial, sharded and pooled
 //!   stepping bit-identical over arbitrary placements/loads/epochs
 //!   (including thread counts that exceed or do not divide the machine
-//!   count), and migrations never perturb other VMs' demand streams,
+//!   count), sparse stepping bit-identical to dense under randomized
+//!   arrival/departure/migration churn in every mode, and migrations
+//!   never perturb other VMs' demand streams,
 //! * `tests/pool_lifecycle.rs` — worker-pool guarantees: drop joins every
 //!   worker (no leaked threads across repeated construction), degenerate
 //!   clusters step on the calling thread, zero-epoch batches are no-ops,
@@ -188,7 +224,7 @@
 //! CI runs the whole suite twice — once default (Serial engine pinned in
 //! tests) and once with `CLOUDSIM_THREADS=4 DEEPDIVE_TRAIN_THREADS=4` so
 //! the pooled engine and parallel trainer execute multi-threaded — and
-//! validates the three `BENCH_*.json` throughput dumps with
+//! validates the four `BENCH_*.json` throughput dumps with
 //! `cargo run -p bench --bin check_bench_json` after the smoke steps.
 //!
 //! Everything is seeded: a `cloudsim::ClusterSeed` determines every VM's

@@ -125,6 +125,121 @@ proptest! {
     }
 }
 
+/// One lifecycle event per epoch, interpreted deterministically against the
+/// current resident set so every cluster in a case sees the same sequence.
+#[derive(Debug, Clone, Copy)]
+enum ChurnOp {
+    /// Admit a fresh VM (ids come from a shared counter) via first-fit.
+    Arrive,
+    /// Remove the `pick`-th resident VM (mod population).
+    Depart { pick: usize },
+    /// Migrate the `pick`-th resident VM to machine `to` (mod fleet);
+    /// a full destination leaves the VM in place on every cluster alike.
+    Migrate { pick: usize, to: usize },
+    /// No membership change this epoch (lets quiescence actually build up).
+    Settle,
+}
+
+fn churn_op() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        2 => Just(ChurnOp::Arrive),
+        1 => (0usize..64).prop_map(|pick| ChurnOp::Depart { pick }),
+        1 => (0usize..64, 0usize..8).prop_map(|(pick, to)| ChurnOp::Migrate { pick, to }),
+        3 => Just(ChurnOp::Settle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The sparse engine's quiescent caching must be invisible under live
+    /// churn: arrivals, departures and migrations invalidate exactly the
+    /// machines they touch, and every execution mode replays or resolves
+    /// its way to the same bytes the dense serial sweep produces — per-epoch
+    /// reports and final cluster state alike.
+    #[test]
+    fn sparse_and_dense_agree_under_churn(
+        machines in 2usize..6,
+        initial_vms in 0usize..10,
+        stride in 1usize..4,
+        seed in 0u64..1_000,
+        base_load in 0.05f64..0.95,
+        ops in proptest::collection::vec(churn_op(), 1..24),
+    ) {
+        // (engine-sparseness, mode) configurations; index 0 is the dense
+        // serial reference everything else must match bit for bit.
+        let configs = [
+            (false, ExecutionMode::Serial),
+            (true, ExecutionMode::Serial),
+            (true, ExecutionMode::Sharded { threads: 3 }),
+            (true, ExecutionMode::Pooled { threads: 2 }),
+        ];
+        // Loads alternate between idle and busy in 3-epoch stretches per
+        // VM, so quiescent stretches genuinely occur (and end) mid-run.
+        let load = |epoch: u64, v: VmId| {
+            if (epoch / 3 + v.0).is_multiple_of(2) {
+                0.0
+            } else {
+                base_load
+            }
+        };
+        // Per-config outcome: (reports per epoch, final placement, quiescent steps).
+        type ChurnRun = (Vec<Vec<VmEpochReport>>, Vec<(VmId, PmId)>, u64);
+        let mut runs: Vec<ChurnRun> = Vec::new();
+        for (sparse, mode) in configs {
+            let mut cluster = build_cluster(machines, initial_vms, stride);
+            let mut engine = EpochEngine::new(ClusterSeed::new(seed), mode);
+            engine.set_sparse(sparse);
+            // The resident list drives op interpretation; it is a pure
+            // function of the op sequence, so every config tracks the
+            // same membership.
+            let mut resident: Vec<VmId> =
+                cluster.machines().iter().flat_map(|m| m.vms().iter().map(|v| v.id)).collect();
+            resident.sort_unstable();
+            let mut next_id = resident.last().map_or(0, |v| v.0 + 1);
+            let mut per_epoch = Vec::new();
+            for (offset, op) in ops.iter().enumerate() {
+                match *op {
+                    ChurnOp::Arrive => {
+                        if cluster.place_first_fit(vm(next_id)).is_ok() {
+                            resident.push(VmId(next_id));
+                        }
+                        next_id += 1;
+                    }
+                    ChurnOp::Depart { pick } if !resident.is_empty() => {
+                        let id = resident.remove(pick % resident.len());
+                        prop_assert!(cluster.remove_vm(id).is_some());
+                    }
+                    ChurnOp::Migrate { pick, to } if !resident.is_empty() => {
+                        let id = resident[pick % resident.len()];
+                        // May fail (full/self destination): equally on
+                        // every cluster, so outcomes stay aligned.
+                        let _ = cluster.migrate(id, PmId((to % machines) as u64));
+                    }
+                    _ => {}
+                }
+                let epoch = offset as u64;
+                per_epoch.push(engine.step(&mut cluster, |v| load(epoch, v)));
+            }
+            let mut placement: Vec<(VmId, PmId)> = resident
+                .iter()
+                .map(|&id| (id, cluster.locate(id).expect("resident VM must be placed")))
+                .collect();
+            placement.sort_unstable();
+            runs.push((per_epoch, placement, cluster.total_quiescent_steps()));
+        }
+        let (dense_reports, dense_placement, dense_quiescent) = &runs[0];
+        prop_assert_eq!(*dense_quiescent, 0u64, "dense mode must never use the cache");
+        for ((reports, placement, _), (sparse, mode)) in runs.iter().zip(configs).skip(1) {
+            prop_assert_eq!(
+                dense_reports, reports,
+                "sparse={} {:?} diverged from the dense serial sweep", sparse, mode
+            );
+            prop_assert_eq!(dense_placement, placement);
+        }
+    }
+}
+
 #[test]
 fn migration_does_not_perturb_any_vms_demand_stream() {
     // Two identical fleets under the same engine; one suffers a mid-run
