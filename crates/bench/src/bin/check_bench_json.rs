@@ -134,6 +134,9 @@ fn validate(doc: &Value, schema: Schema) -> Vec<String> {
     // baseline with at least one sparse measurement to be a comparison.
     let mut saw_dense = false;
     let mut saw_sparse = false;
+    // A datacenter dump must also carry the disabled-plane fault row: the
+    // standing proof that the fault layer is (near-)free when unused.
+    let mut saw_disabled_fault = false;
     for (i, row) in rows.iter().enumerate() {
         if row.as_object().is_err() {
             errors.push(format!("row {i}: is {}, expected an object", row.kind()));
@@ -315,9 +318,49 @@ fn validate(doc: &Value, schema: Schema) -> Vec<String> {
                         ],
                     );
                 }
+                Some(Value::Str(kind)) if kind == "fault" => {
+                    // A fault-plane row: overhead and availability of one
+                    // scenario against the fault-free baseline.
+                    measurement_rows += 1;
+                    match row.get("scenario") {
+                        Some(Value::Str(scenario)) => {
+                            saw_disabled_fault |= scenario == "disabled";
+                        }
+                        _ => errors.push(format!("row {i}: missing string \"scenario\"")),
+                    }
+                    require_positive(
+                        row,
+                        i,
+                        &mut errors,
+                        &["machines", "epochs_per_sec", "available_parallelism"],
+                    );
+                    // Availability is a percentage of machine-epochs; 100
+                    // exactly is the disabled-plane case, so positive alone
+                    // is not enough and zero is a broken dump.
+                    match row.get("availability_pct").and_then(number) {
+                        Some(x) if x.is_finite() && x > 0.0 && x <= 100.0 => {}
+                        Some(x) => errors.push(format!(
+                            "row {i}: \"availability_pct\" must be in (0, 100], got {x}"
+                        )),
+                        None => {
+                            errors.push(format!("row {i}: missing numeric \"availability_pct\""))
+                        }
+                    }
+                    // Overhead may legitimately measure negative (noise) and
+                    // latency/counters may be exactly zero — finite (and for
+                    // the latter, non-negative) is the contract.
+                    require_finite(row, i, &mut errors, &["overhead_pct"]);
+                    require_finite_nonneg(
+                        row,
+                        i,
+                        &mut errors,
+                        &["evacuation_latency_epochs", "crashes", "evacuations"],
+                    );
+                }
                 Some(Value::Str(kind)) => {
                     errors.push(format!(
-                        "row {i}: unknown \"kind\" {kind:?} (expected \"engine\" or \"service\")"
+                        "row {i}: unknown \"kind\" {kind:?} \
+                         (expected \"engine\", \"service\" or \"fault\")"
                     ));
                 }
                 _ => errors.push(format!("row {i}: missing string \"kind\"")),
@@ -332,6 +375,13 @@ fn validate(doc: &Value, schema: Schema) -> Vec<String> {
         errors.push(
             "datacenter dump must pair dense and sparse engine rows \
              (found no such pair)"
+                .to_string(),
+        );
+    }
+    if schema == Schema::Datacenter && !saw_disabled_fault {
+        errors.push(
+            "datacenter dump must carry a \"disabled\" fault row \
+             (the idle-overhead baseline of the fault plane)"
                 .to_string(),
         );
     }
@@ -359,6 +409,31 @@ fn require_positive(row: &Value, i: usize, errors: &mut Vec<String>, keys: &[&st
             Some(x) if x.is_finite() && x > 0.0 => {}
             Some(x) => errors.push(format!(
                 "row {i}: \"{key}\" must be finite and nonzero, got {x}"
+            )),
+            None => errors.push(format!("row {i}: missing numeric \"{key}\"")),
+        }
+    }
+}
+
+/// Requires each key to be a finite number (any sign) on the row.
+fn require_finite(row: &Value, i: usize, errors: &mut Vec<String>, keys: &[&str]) {
+    for key in keys {
+        match row.get(key).and_then(number) {
+            Some(x) if x.is_finite() => {}
+            Some(x) => errors.push(format!("row {i}: \"{key}\" must be finite, got {x}")),
+            None => errors.push(format!("row {i}: missing numeric \"{key}\"")),
+        }
+    }
+}
+
+/// Requires each key to be a finite number ≥ 0 on the row (counters and
+/// latencies that are legitimately zero in a calm run).
+fn require_finite_nonneg(row: &Value, i: usize, errors: &mut Vec<String>, keys: &[&str]) {
+    for key in keys {
+        match row.get(key).and_then(number) {
+            Some(x) if x.is_finite() && x >= 0.0 => {}
+            Some(x) => errors.push(format!(
+                "row {i}: \"{key}\" must be finite and non-negative, got {x}"
             )),
             None => errors.push(format!("row {i}: missing numeric \"{key}\"")),
         }
@@ -551,9 +626,114 @@ mod tests {
                 {"kind": "service", "preset": "hotmail", "machines": 10000,
                  "epochs_per_sec": 714.4, "vm_epochs_per_sec": 2887214,
                  "vm_arrivals_per_sec": 5455.6, "peak_resident": 8041,
-                 "available_parallelism": 1}]"#,
+                 "available_parallelism": 1},
+                {"kind": "fault", "scenario": "disabled", "machines": 2000,
+                 "epochs_per_sec": 1200.0, "overhead_pct": 0.31,
+                 "availability_pct": 100.0, "evacuation_latency_epochs": 0.0,
+                 "crashes": 0, "evacuations": 0, "available_parallelism": 1}]"#,
         );
         assert!(validate(&good, Schema::Datacenter).is_empty());
+    }
+
+    #[test]
+    fn datacenter_dump_without_the_disabled_fault_row_fails() {
+        // Engine pair present, light-chaos fault row present — but the
+        // idle-overhead baseline is missing.
+        let no_disabled = parse(
+            r#"[{"kind": "engine", "machines": 100, "vms": 400, "mode": "dense",
+                 "activity": 0.1, "threads": 1, "epochs_per_sec": 10.0,
+                 "vm_epochs_per_sec": 4000.0, "speedup_vs_dense": 1.0,
+                 "available_parallelism": 1},
+                {"kind": "engine", "machines": 100, "vms": 400, "mode": "sparse",
+                 "activity": 0.1, "threads": 1, "epochs_per_sec": 80.0,
+                 "vm_epochs_per_sec": 32000.0, "speedup_vs_dense": 8.0,
+                 "available_parallelism": 1},
+                {"kind": "fault", "scenario": "light", "machines": 100,
+                 "epochs_per_sec": 9.0, "overhead_pct": 11.1,
+                 "availability_pct": 96.8, "evacuation_latency_epochs": 1.5,
+                 "crashes": 12, "evacuations": 30, "available_parallelism": 1}]"#,
+        );
+        let errors = validate(&no_disabled, Schema::Datacenter);
+        assert!(
+            errors.iter().any(|e| e.contains("\"disabled\" fault row")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn datacenter_fault_rows_validate() {
+        // A disabled-plane idle-overhead row (100% availability, zero
+        // counters, slightly negative overhead = noise) and a light-chaos
+        // row both pass.
+        let good = parse(
+            r#"[{"kind": "engine", "machines": 100, "vms": 400, "mode": "dense",
+                 "activity": 0.1, "threads": 1, "epochs_per_sec": 10.0,
+                 "vm_epochs_per_sec": 4000.0, "speedup_vs_dense": 1.0,
+                 "available_parallelism": 1},
+                {"kind": "engine", "machines": 100, "vms": 400, "mode": "sparse",
+                 "activity": 0.1, "threads": 1, "epochs_per_sec": 80.0,
+                 "vm_epochs_per_sec": 32000.0, "speedup_vs_dense": 8.0,
+                 "available_parallelism": 1},
+                {"kind": "fault", "scenario": "disabled", "machines": 2000,
+                 "epochs_per_sec": 1200.0, "overhead_pct": -0.42,
+                 "availability_pct": 100.000, "evacuation_latency_epochs": 0.00,
+                 "crashes": 0, "evacuations": 0, "available_parallelism": 1},
+                {"kind": "fault", "scenario": "light", "machines": 2000,
+                 "epochs_per_sec": 1100.0, "overhead_pct": 3.80,
+                 "availability_pct": 96.751, "evacuation_latency_epochs": 2.10,
+                 "crashes": 7900, "evacuations": 3100, "available_parallelism": 1}]"#,
+        );
+        assert!(validate(&good, Schema::Datacenter).is_empty());
+    }
+
+    #[test]
+    fn datacenter_fault_rows_with_bad_fields_fail() {
+        let over_100 = parse(
+            r#"[{"kind": "fault", "scenario": "light", "machines": 100,
+                 "epochs_per_sec": 10.0, "overhead_pct": 1.0,
+                 "availability_pct": 104.2, "evacuation_latency_epochs": 0.0,
+                 "crashes": 0, "evacuations": 0, "available_parallelism": 1}]"#,
+        );
+        let errors = validate(&over_100, Schema::Datacenter);
+        assert!(
+            errors.iter().any(|e| e.contains("availability_pct")),
+            "{errors:?}"
+        );
+
+        let negative_latency = parse(
+            r#"[{"kind": "fault", "scenario": "light", "machines": 100,
+                 "epochs_per_sec": 10.0, "overhead_pct": 1.0,
+                 "availability_pct": 99.0, "evacuation_latency_epochs": -3.0,
+                 "crashes": 0, "evacuations": 0, "available_parallelism": 1}]"#,
+        );
+        let errors = validate(&negative_latency, Schema::Datacenter);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("evacuation_latency_epochs")),
+            "{errors:?}"
+        );
+
+        let missing_overhead = parse(
+            r#"[{"kind": "fault", "scenario": "disabled", "machines": 100,
+                 "epochs_per_sec": 10.0, "availability_pct": 100.0,
+                 "evacuation_latency_epochs": 0.0, "crashes": 0,
+                 "evacuations": 0, "available_parallelism": 1}]"#,
+        );
+        let errors = validate(&missing_overhead, Schema::Datacenter);
+        assert!(
+            errors.iter().any(|e| e.contains("overhead_pct")),
+            "{errors:?}"
+        );
+
+        let no_scenario = parse(
+            r#"[{"kind": "fault", "machines": 100, "epochs_per_sec": 10.0,
+                 "overhead_pct": 1.0, "availability_pct": 99.0,
+                 "evacuation_latency_epochs": 0.0, "crashes": 0,
+                 "evacuations": 0, "available_parallelism": 1}]"#,
+        );
+        let errors = validate(&no_scenario, Schema::Datacenter);
+        assert!(errors.iter().any(|e| e.contains("scenario")), "{errors:?}");
     }
 
     #[test]

@@ -192,13 +192,42 @@ impl Cluster {
 
     /// Places a VM on a specific machine.
     pub fn place_on(&mut self, pm: PmId, vm: Vm) -> Result<(), ClusterError> {
+        self.place_on_returning(pm, vm).map_err(|(_, error)| error)
+    }
+
+    /// Like [`Cluster::place_on`], but hands the VM back alongside the error
+    /// instead of dropping it — the building block for multi-attempt callers
+    /// (the service's hint/scan and crash-evacuation paths), which would
+    /// otherwise have to rebuild the VM per attempt.
+    pub fn place_on_returning(&mut self, pm: PmId, vm: Vm) -> Result<(), (Vm, ClusterError)> {
         let vm_id = vm.id;
-        let machine = self.machine_mut(pm).ok_or(ClusterError::UnknownPm(pm))?;
-        machine
-            .try_add_vm(vm)
-            .map_err(|_| ClusterError::NoCapacity { vm: vm_id, pm })?;
-        self.vm_locations.insert(vm_id, pm);
-        Ok(())
+        let Some(machine) = self.machine_mut(pm) else {
+            return Err((vm, ClusterError::UnknownPm(pm)));
+        };
+        match machine.try_add_vm(vm) {
+            Ok(()) => {
+                self.vm_locations.insert(vm_id, pm);
+                Ok(())
+            }
+            Err(rejected) => Err((rejected, ClusterError::NoCapacity { vm: vm_id, pm })),
+        }
+    }
+
+    /// Removes every VM from `pm` (a machine crash being drained), in
+    /// placement order, keeping the location index consistent.  Returns the
+    /// evacuees so the caller can re-place them across the surviving fleet;
+    /// an unknown machine drains to an empty list.  The machine's membership
+    /// generation is bumped, so its quiescent cache can never replay
+    /// pre-crash reports after it rejoins.
+    pub fn drain_machine(&mut self, pm: PmId) -> Vec<Vm> {
+        let Some(machine) = self.machine_mut(pm) else {
+            return Vec::new();
+        };
+        let drained = machine.drain_vms();
+        for vm in &drained {
+            self.vm_locations.remove(&vm.id);
+        }
+        drained
     }
 
     /// Places a VM on the first machine with capacity (first-fit); returns

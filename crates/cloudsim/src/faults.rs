@@ -1,0 +1,392 @@
+//! Deterministic fault injection: machine crashes, transient migration
+//! failures and sandbox-pool outages as pure functions of identity and time.
+//!
+//! The paper's evaluation (and this reproduction through the service mode)
+//! assumes an idealized datacenter: machines never fail, the sandbox is
+//! always reachable, migrations always succeed.  A production-scale service
+//! cannot — so [`FaultPlane`] makes failure a first-class, *deterministic*
+//! event, following the exact discipline [`crate::rngs::ClusterSeed`]
+//! established for demand streams: every fault draw is derived by hashing
+//! `(fault seed, fault kind, entity id, epoch)` through SplitMix64
+//! finalizers, so a fault schedule is a pure function of identity and time —
+//! never of thread count, placement history or stepping order.  The same
+//! seed produces the same crashes on every platform, in every execution
+//! mode, which is what lets the chaos suite (`tests/fault_tolerance.rs`)
+//! pin Serial, Sharded and Pooled runs bit-identical *under* injected
+//! faults.
+//!
+//! ## Fault kinds
+//!
+//! * **Machine crash/repair windows** — [`FaultPlane::machine_down`]
+//!   reports whether a machine is inside a crash window at an epoch.
+//!   Windows are *stateless*: a crash starts at epoch `s` with probability
+//!   [`FaultConfig::machine_crash_per_epoch`], lasts a bounded number of
+//!   epochs drawn from [`FaultConfig::repair_epochs`], and overlapping
+//!   windows union.  Membership at epoch `t` is decided by scanning the
+//!   bounded window of possible start epochs, so no mutable fault state
+//!   exists anywhere — the consumer (the service) only tracks edges.
+//! * **Transient migration failures** — [`FaultPlane::migration_fails`]
+//!   fails an individual migration attempt with probability
+//!   [`FaultConfig::migration_failure`]; the controller retries with
+//!   epoch-based backoff.
+//! * **Sandbox-pool outages** — [`FaultPlane::sandbox_down`] puts a
+//!   profiling pool inside an outage interval with the same stateless
+//!   window construction; the controller defers analyses with a deadline
+//!   and degrades to warning-only operation past it.
+//!
+//! A plane built with [`FaultPlane::disabled`] (or any all-zero-rate
+//! config) never fires: attaching it to a service or controller is
+//! guaranteed to change nothing, byte for byte.
+
+use crate::pm::PmId;
+use crate::rngs::splitmix64;
+use crate::vm::VmId;
+
+/// Domain-separation tags, one per fault stream, XOR-folded into the seed so
+/// the streams never alias each other (or the demand streams, which hash a
+/// different shape entirely).
+const KIND_CRASH_START: u64 = 0x6372_6173_685f_7374;
+const KIND_CRASH_LEN: u64 = 0x6372_6173_685f_6c6e;
+const KIND_MIGRATION: u64 = 0x6d69_6772_5f66_6c70;
+const KIND_OUTAGE_START: u64 = 0x6f75_745f_7374_6172;
+const KIND_OUTAGE_LEN: u64 = 0x6f75_745f_6c65_6e67;
+
+/// Rates and window shapes of every fault kind.
+///
+/// Rates are per-entity per-epoch probabilities in `[0, 1]`; window lengths
+/// are inclusive `(min, max)` epoch ranges with `1 <= min <= max`.  The
+/// maxima bound the stateless window scans, so keep them modest (tens of
+/// epochs, not thousands).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a crash window starts on a given machine in a given
+    /// epoch.
+    pub machine_crash_per_epoch: f64,
+    /// Inclusive range of crash-window lengths, in epochs (time to repair).
+    pub repair_epochs: (u64, u64),
+    /// Probability any individual migration attempt transiently fails.
+    pub migration_failure: f64,
+    /// Probability an outage window starts on a given sandbox pool in a
+    /// given epoch.
+    pub sandbox_outage_per_epoch: f64,
+    /// Inclusive range of sandbox-outage lengths, in epochs.
+    pub outage_epochs: (u64, u64),
+}
+
+impl FaultConfig {
+    /// All rates zero: a plane with this config never fires.
+    pub const fn disabled() -> Self {
+        Self {
+            machine_crash_per_epoch: 0.0,
+            repair_epochs: (1, 1),
+            migration_failure: 0.0,
+            sandbox_outage_per_epoch: 0.0,
+            outage_epochs: (1, 1),
+        }
+    }
+
+    /// A modest always-something-happening preset for tests and benches:
+    /// occasional crashes repaired within 4–12 epochs, one in twelve
+    /// migrations failing transiently, rare double-digit sandbox outages.
+    pub const fn light() -> Self {
+        Self {
+            machine_crash_per_epoch: 0.004,
+            repair_epochs: (4, 12),
+            migration_failure: 0.08,
+            sandbox_outage_per_epoch: 0.002,
+            outage_epochs: (8, 24),
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    /// Defaults to [`FaultConfig::disabled`]: faults are strictly opt-in.
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// The deterministic fault schedule: a seed plus a [`FaultConfig`].
+///
+/// Every query is a pure function of `(seed, fault kind, entity id, epoch)`
+/// — the plane holds no mutable state, is `Copy`, and may be queried from
+/// any thread in any order without perturbing any outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlane {
+    seed: u64,
+    config: FaultConfig,
+}
+
+impl FaultPlane {
+    /// Wraps a fault seed and config.
+    ///
+    /// # Panics
+    /// Panics if a rate is outside `[0, 1]` or a window range is empty or
+    /// inverted.
+    pub fn new(seed: u64, config: FaultConfig) -> Self {
+        for (name, rate) in [
+            ("machine_crash_per_epoch", config.machine_crash_per_epoch),
+            ("migration_failure", config.migration_failure),
+            ("sandbox_outage_per_epoch", config.sandbox_outage_per_epoch),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&rate),
+                "{name} must be a probability in [0, 1], got {rate}"
+            );
+        }
+        for (name, (min, max)) in [
+            ("repair_epochs", config.repair_epochs),
+            ("outage_epochs", config.outage_epochs),
+        ] {
+            assert!(
+                min >= 1 && min <= max,
+                "{name} must satisfy 1 <= min <= max, got ({min}, {max})"
+            );
+        }
+        Self { seed, config }
+    }
+
+    /// A plane that never fires (seed irrelevant by construction).
+    pub fn disabled() -> Self {
+        Self::new(0, FaultConfig::disabled())
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// True when at least one fault kind has a nonzero rate.  A disabled
+    /// plane's consumers may (and the service does) skip their fault sweeps
+    /// entirely — the contract that attaching a disabled plane changes
+    /// nothing.
+    pub fn is_enabled(&self) -> bool {
+        self.config.machine_crash_per_epoch > 0.0
+            || self.config.migration_failure > 0.0
+            || self.config.sandbox_outage_per_epoch > 0.0
+    }
+
+    /// The raw 64-bit draw of one `(kind, entity, epoch)` cell — the same
+    /// two-layer finalizer shape as [`crate::rngs::ClusterSeed::stream_seed`],
+    /// with the kind tag folded into the seed so fault streams never alias
+    /// each other across kinds.
+    fn draw(&self, kind: u64, entity: u64, epoch: u64) -> u64 {
+        splitmix64(splitmix64(self.seed ^ kind ^ splitmix64(entity)) ^ epoch)
+    }
+
+    /// Maps a draw onto `[0, 1)` (53 mantissa bits, the standard ldexp
+    /// construction).
+    fn unit(draw: u64) -> f64 {
+        (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw of one cell.
+    fn fires(&self, kind: u64, entity: u64, epoch: u64, rate: f64) -> bool {
+        rate > 0.0 && Self::unit(self.draw(kind, entity, epoch)) < rate
+    }
+
+    /// Window length in `[min, max]` for a window starting at `epoch`.
+    fn window_len(&self, kind: u64, entity: u64, epoch: u64, range: (u64, u64)) -> u64 {
+        let (min, max) = range;
+        min + self.draw(kind, entity, epoch) % (max - min + 1)
+    }
+
+    /// Whether a window stream (start-rate + length-range) covers `epoch`:
+    /// true when any start in the bounded lookback opens a window still
+    /// live at `epoch`.  Overlapping windows union.
+    fn in_window(
+        &self,
+        start_kind: u64,
+        len_kind: u64,
+        entity: u64,
+        epoch: u64,
+        rate: f64,
+        range: (u64, u64),
+    ) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        let earliest = epoch.saturating_sub(range.1 - 1);
+        (earliest..=epoch).any(|start| {
+            self.fires(start_kind, entity, start, rate)
+                && start + self.window_len(len_kind, entity, start, range) > epoch
+        })
+    }
+
+    /// True when a crash window starts on `pm` exactly at `epoch` (the
+    /// window itself may extend it; see [`FaultPlane::machine_down`]).
+    pub fn crash_starts(&self, pm: PmId, epoch: u64) -> bool {
+        self.fires(
+            KIND_CRASH_START,
+            pm.0,
+            epoch,
+            self.config.machine_crash_per_epoch,
+        )
+    }
+
+    /// True when `pm` is inside a crash/repair window at `epoch` — i.e. the
+    /// machine is down and cannot host or step VMs.  Pure function of
+    /// `(seed, pm, epoch)`; the service detects crash and repair *edges* by
+    /// comparing consecutive epochs.
+    pub fn machine_down(&self, pm: PmId, epoch: u64) -> bool {
+        self.in_window(
+            KIND_CRASH_START,
+            KIND_CRASH_LEN,
+            pm.0,
+            epoch,
+            self.config.machine_crash_per_epoch,
+            self.config.repair_epochs,
+        )
+    }
+
+    /// True when the migration attempt for `vm` at `epoch` transiently
+    /// fails.  One draw per `(vm, epoch)` cell: retrying the same VM in a
+    /// later epoch gets a fresh draw, retrying within the same epoch does
+    /// not (the failure is a property of the epoch's conditions).
+    pub fn migration_fails(&self, vm: VmId, epoch: u64) -> bool {
+        self.fires(KIND_MIGRATION, vm.0, epoch, self.config.migration_failure)
+    }
+
+    /// True when sandbox pool `pool` (index into the fleet's pool list) is
+    /// inside an outage window at `epoch`.
+    pub fn sandbox_down(&self, pool: usize, epoch: u64) -> bool {
+        self.in_window(
+            KIND_OUTAGE_START,
+            KIND_OUTAGE_LEN,
+            pool as u64,
+            epoch,
+            self.config.sandbox_outage_per_epoch,
+            self.config.outage_epochs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chaotic() -> FaultPlane {
+        FaultPlane::new(
+            0xFA17,
+            FaultConfig {
+                machine_crash_per_epoch: 0.05,
+                repair_epochs: (2, 6),
+                migration_failure: 0.2,
+                sandbox_outage_per_epoch: 0.03,
+                outage_epochs: (3, 9),
+            },
+        )
+    }
+
+    #[test]
+    fn disabled_plane_never_fires() {
+        let plane = FaultPlane::disabled();
+        assert!(!plane.is_enabled());
+        for epoch in 0..512 {
+            assert!(!plane.machine_down(PmId(epoch % 7), epoch));
+            assert!(!plane.migration_fails(VmId(epoch), epoch));
+            assert!(!plane.sandbox_down((epoch % 3) as usize, epoch));
+        }
+    }
+
+    #[test]
+    fn queries_are_pure_and_order_independent() {
+        let plane = chaotic();
+        let sweep = |order_noise: bool| {
+            let mut log = Vec::new();
+            for epoch in 0..200u64 {
+                if order_noise {
+                    // Interleaved foreign queries must not perturb anything.
+                    let _ = plane.machine_down(PmId(99), epoch + 7);
+                    let _ = plane.migration_fails(VmId(1234), epoch);
+                }
+                log.push((
+                    plane.machine_down(PmId(3), epoch),
+                    plane.migration_fails(VmId(17), epoch),
+                    plane.sandbox_down(1, epoch),
+                ));
+            }
+            log
+        };
+        assert_eq!(sweep(false), sweep(true));
+    }
+
+    #[test]
+    fn crash_windows_last_their_drawn_length() {
+        let plane = chaotic();
+        let (min_len, max_len) = plane.config().repair_epochs;
+        // Every observed down-stretch must be at least `min_len` long unless
+        // truncated by epoch 0, and every window must eventually end.
+        let mut run = 0u64;
+        let mut runs = Vec::new();
+        for epoch in 0..4000u64 {
+            if plane.machine_down(PmId(5), epoch) {
+                run += 1;
+            } else if run > 0 {
+                runs.push((epoch - run, run));
+                run = 0;
+            }
+        }
+        assert!(!runs.is_empty(), "no crash windows in 4000 epochs at 5%");
+        for (start, len) in &runs {
+            if *start > 0 {
+                assert!(
+                    *len >= min_len,
+                    "window at {start} shorter ({len}) than min {min_len}"
+                );
+            }
+            // Unions of overlapping windows may exceed max_len, but not by
+            // more than another full window per overlapping start; sanity
+            // bound generously.
+            assert!(*len <= 50 * max_len, "implausibly long window: {len}");
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let plane = chaotic();
+        let epochs = 20_000u64;
+        let failures = (0..epochs)
+            .filter(|&e| plane.migration_fails(VmId(42), e))
+            .count() as f64;
+        let rate = failures / epochs as f64;
+        assert!(
+            (rate - 0.2).abs() < 0.02,
+            "migration failure rate {rate} far from configured 0.2"
+        );
+    }
+
+    #[test]
+    fn streams_differ_across_entities_and_kinds() {
+        let plane = chaotic();
+        let downs: Vec<bool> = (0..300).map(|e| plane.machine_down(PmId(1), e)).collect();
+        let other: Vec<bool> = (0..300).map(|e| plane.machine_down(PmId(2), e)).collect();
+        assert_ne!(downs, other, "two machines share a crash schedule");
+        let outages: Vec<bool> = (0..300).map(|e| plane.sandbox_down(1, e)).collect();
+        assert_ne!(downs, outages, "crash and outage streams alias");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a probability")]
+    fn out_of_range_rates_are_rejected() {
+        FaultPlane::new(
+            1,
+            FaultConfig {
+                migration_failure: 1.5,
+                ..FaultConfig::disabled()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= min <= max")]
+    fn inverted_windows_are_rejected() {
+        FaultPlane::new(
+            1,
+            FaultConfig {
+                repair_epochs: (9, 3),
+                ..FaultConfig::disabled()
+            },
+        );
+    }
+}

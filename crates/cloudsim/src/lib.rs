@@ -45,13 +45,23 @@
 //!   mixed-hardware cluster and routes each analysis to the pool matching
 //!   the victim's host, so counters are never compared across models.
 //! * [`migration`] — live-migration cost model.
+//! * [`faults`] — [`faults::FaultPlane`]: a counter-derived fault schedule
+//!   (machine crash/repair windows, transient migration failures, sandbox
+//!   pool outages) that is a pure function of `(fault seed, entity,
+//!   epoch)` — same SplitMix64 discipline as [`rngs::ClusterSeed`], so
+//!   fault runs stay bit-identical across execution modes.
+//! * [`audit`] — [`audit::check_cluster`]: the cluster invariant sweep (no
+//!   VM lost or doubly resident, id→index maps consistent, capacity
+//!   accounting exact) the chaos suite asserts after every epoch.
 //!
 //! DeepDive (crate `deepdive`) consumes only the [`pm::VmEpochReport`]s'
 //! counter snapshots and app identities; the client observations and stall
 //! breakdowns in the same struct are evaluation-only ground truth.
 
+pub mod audit;
 pub mod cluster;
 pub mod engine;
+pub mod faults;
 pub mod migration;
 pub mod pm;
 pub mod pool;
@@ -64,11 +74,12 @@ pub mod vm;
 
 pub use cluster::Cluster;
 pub use engine::{AdvanceSummary, EpochEngine, ExecutionMode};
+pub use faults::{FaultConfig, FaultPlane};
 pub use pm::{PhysicalMachine, PmId, VmEpochReport};
 pub use pool::WorkerPool;
 pub use proxy::RequestProxy;
 pub use rngs::ClusterSeed;
 pub use sandbox::{Sandbox, SandboxFleet};
 pub use scheduler::{PlacementPolicy, Scheduler};
-pub use service::{DatacenterService, ServiceConfig, ServiceStats};
+pub use service::{DatacenterService, ServiceConfig, ServiceError, ServiceStats};
 pub use vm::{Vm, VmId};

@@ -220,6 +220,17 @@ impl PhysicalMachine {
         Some(vm)
     }
 
+    /// Removes and returns every hosted VM at once (a crash being drained),
+    /// in placement order.  One generation bump covers the whole drain, so
+    /// the quiescent cache filled before the crash can never serve a repaired
+    /// machine's first post-repair epoch.  Crate-private like the other
+    /// membership mutators.
+    pub(crate) fn drain_vms(&mut self) -> Vec<Vm> {
+        self.vm_index.clear();
+        self.generation = self.generation.wrapping_add(1);
+        std::mem::take(&mut self.vms)
+    }
+
     /// Unused core capacity.
     pub fn free_cores(&self) -> usize {
         let used: usize = self.vms.iter().map(|v| v.vcpus).sum();

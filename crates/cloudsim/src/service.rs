@@ -27,6 +27,25 @@
 //! densely in arrival order, and placement is a pure function of the event
 //! sequence (a free-slot hint queue with lazy revalidation, falling back to
 //! a full first-fit scan before ever rejecting an arrival).
+//!
+//! ## Faults, retries and degradation
+//!
+//! Attaching a [`FaultPlane`] ([`DatacenterService::set_fault_plane`])
+//! makes machine failure part of the event loop.  At every epoch boundary,
+//! before lifecycle events apply, the service sweeps the plane's
+//! counter-derived crash schedule: a machine entering a crash window is
+//! **drained** — its residents are evacuated first-fit across the surviving
+//! fleet — and a machine leaving its window rejoins empty (its quiescent
+//! cache was invalidated by the drain's generation bump) as a fresh
+//! placement hint.  Evacuees that find no capacity, and rejected arrivals
+//! (with or without a fault plane), are never dropped: they enter a
+//! *bounded retry queue* with epoch-based exponential backoff
+//! ([`RETRY_ATTEMPT_LIMIT`] attempts, doubling waits capped at
+//! [`RETRY_BACKOFF_CAP_EPOCHS`] epochs) and either land when capacity frees
+//! or are counted as abandoned.  All fault handling runs serially between
+//! engine steps as a pure function of the epoch index, so runs stay
+//! bit-identical across Serial/Sharded/Pooled execution — and a disabled
+//! plane (or none) changes nothing, byte for byte.
 
 use std::collections::VecDeque;
 
@@ -35,8 +54,10 @@ use queueing::EventQueue;
 use traces::VmSession;
 use workloads::{AppId, ClientEmulator, DataServing, WebSearch, Workload};
 
-use crate::cluster::Cluster;
+use crate::audit;
+use crate::cluster::{Cluster, ClusterError};
 use crate::engine::EpochEngine;
+use crate::faults::FaultPlane;
 use crate::pm::{PmId, VmEpochReport};
 use crate::rngs::ClusterSeed;
 use crate::scheduler::Scheduler;
@@ -72,6 +93,13 @@ impl ServiceConfig {
     }
 }
 
+/// Most placement attempts a parked VM gets before it is abandoned.
+pub const RETRY_ATTEMPT_LIMIT: u32 = 6;
+
+/// Longest epoch wait between two retry attempts (backoff doubles from one
+/// epoch up to this cap).
+pub const RETRY_BACKOFF_CAP_EPOCHS: u64 = 32;
+
 /// Counters the service accumulates while running.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -85,6 +113,78 @@ pub struct ServiceStats {
     pub vm_epochs: u64,
     /// Largest number of VMs resident at once.
     pub peak_resident: usize,
+    /// Machines that entered a crash window.
+    pub crashes: u64,
+    /// Machines that came back from a crash window.
+    pub repairs: u64,
+    /// VMs re-placed immediately when their host crashed.
+    pub evacuations: u64,
+    /// Placement attempts made from the retry queue (successes included).
+    pub retries: u64,
+    /// Parked VMs that eventually landed through the retry queue.
+    pub retry_admissions: u64,
+    /// Epochs parked VMs spent waiting before a successful retry (sum).
+    pub retry_wait_epochs: u64,
+    /// Parked VMs dropped after exhausting [`RETRY_ATTEMPT_LIMIT`].
+    pub abandonments: u64,
+    /// Unexpected placement errors recorded (see
+    /// [`DatacenterService::errors`]) instead of aborting the run.
+    pub placement_errors: u64,
+    /// Machine-epochs spent inside crash windows (availability accounting).
+    pub down_machine_epochs: u64,
+}
+
+/// A non-fatal fault the service absorbed and recorded instead of
+/// panicking — an arrival must never abort the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Placement returned something other than `NoCapacity`; the service
+    /// skipped the machine and kept scanning.
+    UnexpectedPlacement {
+        /// The VM whose placement failed.
+        vm: VmId,
+        /// The machine that produced the error.
+        pm: PmId,
+        /// The underlying cluster error.
+        error: ClusterError,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnexpectedPlacement { vm, pm, error } => {
+                write!(f, "placing {vm} on {pm} failed unexpectedly: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// What a parked VM needs to try placement again.
+#[derive(Debug)]
+enum RetryPayload {
+    /// A rejected arrival: session index into the stream.  The VM shell is
+    /// rebuilt per attempt (construction is pure) and its lifecycle starts
+    /// at the epoch it finally lands.
+    Arrival(usize),
+    /// An evacuee from a crashed machine: the drained VM itself.  Its
+    /// lifecycle events and load slot stay live while it waits.
+    Evacuee(Vm),
+}
+
+/// One entry in the bounded retry queue.
+#[derive(Debug)]
+struct RetryEntry {
+    vm: VmId,
+    payload: RetryPayload,
+    /// Placement attempts already failed from the queue.
+    attempts: u32,
+    /// Earliest epoch the next attempt may run.
+    next_epoch: u64,
+    /// Epoch the VM was parked (for wait accounting).
+    parked_epoch: u64,
 }
 
 /// A scheduled lifecycle transition.
@@ -119,6 +219,17 @@ pub struct DatacenterService {
     /// amortized instead of rescanning the full fleet per arrival.
     scan_cursor: usize,
     stats: ServiceStats,
+    /// Counter-derived fault schedule; `None` (or a disabled plane) leaves
+    /// the fault path entirely inert.
+    fault_plane: Option<FaultPlane>,
+    /// Edge-detection mirror of the plane's crash windows, indexed by
+    /// machine.  Placement skips machines marked down.
+    down: Vec<bool>,
+    /// Parked VMs (rejected arrivals and stranded evacuees) waiting out
+    /// their backoff.
+    retry: VecDeque<RetryEntry>,
+    /// Non-fatal faults absorbed so far, in occurrence order.
+    errors: Vec<ServiceError>,
 }
 
 impl DatacenterService {
@@ -137,6 +248,7 @@ impl DatacenterService {
         for (index, session) in sessions.iter().enumerate() {
             events.push(session.arrival_s, SessionEvent::Arrive(index));
         }
+        let machines = config.machines;
         Self {
             cluster,
             engine,
@@ -147,7 +259,69 @@ impl DatacenterService {
             free_hint: VecDeque::new(),
             scan_cursor: 0,
             stats: ServiceStats::default(),
+            fault_plane: None,
+            down: vec![false; machines],
+            retry: VecDeque::new(),
+            errors: Vec::new(),
         }
+    }
+
+    /// Attaches a fault plane.  A disabled plane is byte-for-byte inert:
+    /// the run is identical to one with no plane at all.
+    pub fn set_fault_plane(&mut self, plane: FaultPlane) {
+        self.fault_plane = Some(plane);
+    }
+
+    /// The attached fault plane, if any.
+    pub fn fault_plane(&self) -> Option<&FaultPlane> {
+        self.fault_plane.as_ref()
+    }
+
+    /// True while `pm` is inside a crash window (always false without an
+    /// enabled fault plane).
+    pub fn machine_down(&self, pm: PmId) -> bool {
+        self.down.get(pm.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// VMs currently parked in the retry queue.
+    pub fn parked(&self) -> usize {
+        self.retry.len()
+    }
+
+    /// Non-fatal faults absorbed so far (see [`ServiceError`]).
+    pub fn errors(&self) -> &[ServiceError] {
+        &self.errors
+    }
+
+    /// Runs the cluster invariant audit ([`audit::check_cluster`]) plus the
+    /// service-level invariants: parked VMs are not simultaneously
+    /// resident, and machines inside a crash window host nothing.  Returns
+    /// one message per violation (empty = consistent).
+    pub fn audit(&self) -> Vec<String> {
+        let mut findings = audit::check_cluster(&self.cluster);
+        for entry in &self.retry {
+            if self.cluster.locate(entry.vm).is_some() {
+                findings.push(format!(
+                    "{} is parked for retry but still resident",
+                    entry.vm
+                ));
+            }
+        }
+        for (index, down) in self.down.iter().enumerate() {
+            if !down {
+                continue;
+            }
+            let pm = PmId(index as u64);
+            if let Some(machine) = self.cluster.machine(pm) {
+                if machine.vm_count() > 0 {
+                    findings.push(format!(
+                        "{pm} is inside a crash window but hosts {} VMs",
+                        machine.vm_count()
+                    ));
+                }
+            }
+        }
+        findings
     }
 
     /// The cluster being driven.
@@ -199,13 +373,19 @@ impl DatacenterService {
         }
     }
 
-    /// Applies every lifecycle event due at or before the next epoch's
-    /// start, then steps the cluster one epoch and returns its reports.
+    /// Sweeps the fault plane (crash drains and repairs), applies every
+    /// lifecycle event due at or before the next epoch's start, runs due
+    /// retry attempts, then steps the cluster one epoch and returns its
+    /// reports.
     ///
     /// An arrival that no machine can admit counts as a rejection and is
-    /// dropped (its idle/departure events are never scheduled).
+    /// parked in the retry queue (its idle/departure events are scheduled
+    /// only once it lands).
     pub fn step_epoch(&mut self) -> Vec<VmEpochReport> {
+        let epoch = self.cluster.epoch();
+        self.apply_faults(epoch);
         self.apply_due_events();
+        self.apply_retries(epoch);
         let resident = self.cluster.vm_count();
         self.stats.vm_epochs += resident as u64;
         self.stats.peak_resident = self.stats.peak_resident.max(resident);
@@ -227,10 +407,131 @@ impl DatacenterService {
         self.stats
     }
 
-    /// True once every session has been admitted (or rejected) and every
+    /// True once every session has been admitted (or rejected and either
+    /// re-admitted or abandoned), the retry queue is empty, and every
     /// admitted VM has departed.
     pub fn drained(&self) -> bool {
-        self.events.is_empty() && self.cluster.vm_count() == 0
+        self.events.is_empty() && self.retry.is_empty() && self.cluster.vm_count() == 0
+    }
+
+    /// Sweeps the fault plane's crash windows once per epoch: a machine
+    /// entering its window is drained (residents evacuated or parked), a
+    /// machine leaving it rejoins as a fresh placement hint.  Inert with no
+    /// plane or a disabled one.
+    fn apply_faults(&mut self, epoch: u64) {
+        let Some(plane) = self.fault_plane else {
+            return;
+        };
+        if !plane.is_enabled() {
+            return;
+        }
+        for index in 0..self.config.machines {
+            let pm = PmId(index as u64);
+            let now_down = plane.machine_down(pm, epoch);
+            // Flip the flag *before* handling the edge so evacuation never
+            // re-places a VM onto the machine that is crashing.
+            let was_down = std::mem::replace(&mut self.down[index], now_down);
+            if now_down {
+                self.stats.down_machine_epochs += 1;
+                if !was_down {
+                    self.crash_machine(pm, epoch);
+                }
+            } else if was_down {
+                self.stats.repairs += 1;
+                self.note_capacity_freed(pm);
+            }
+        }
+    }
+
+    /// Drains a crashing machine and re-places its residents first-fit on
+    /// the surviving fleet; VMs that find no room are parked for retry.
+    fn crash_machine(&mut self, pm: PmId, epoch: u64) {
+        self.stats.crashes += 1;
+        for vm in self.cluster.drain_machine(pm) {
+            let id = vm.id;
+            match self.place_vm(vm) {
+                Ok(_) => self.stats.evacuations += 1,
+                Err(evacuee) => self.park(RetryEntry {
+                    vm: id,
+                    payload: RetryPayload::Evacuee(evacuee),
+                    attempts: 0,
+                    next_epoch: epoch + 1,
+                    parked_epoch: epoch,
+                }),
+            }
+        }
+    }
+
+    fn park(&mut self, entry: RetryEntry) {
+        self.retry.push_back(entry);
+    }
+
+    /// Runs every due retry attempt in park order.  Successes land (an
+    /// arrival's lifecycle starts at the landing epoch; an evacuee's events
+    /// stayed live); failures back off exponentially until
+    /// [`RETRY_ATTEMPT_LIMIT`], then the VM is abandoned.
+    fn apply_retries(&mut self, epoch: u64) {
+        if self.retry.is_empty() {
+            return;
+        }
+        let mut due = Vec::new();
+        for entry in std::mem::take(&mut self.retry) {
+            if entry.next_epoch > epoch {
+                self.retry.push_back(entry);
+            } else {
+                due.push(entry);
+            }
+        }
+        for entry in due {
+            self.stats.retries += 1;
+            let RetryEntry {
+                vm: id,
+                payload,
+                attempts,
+                parked_epoch,
+                ..
+            } = entry;
+            let (vm, session_index) = match payload {
+                RetryPayload::Arrival(index) => {
+                    (Self::session_vm(id, &self.sessions[index]), Some(index))
+                }
+                RetryPayload::Evacuee(vm) => (vm, None),
+            };
+            match self.place_vm(vm) {
+                Ok(_) => {
+                    self.stats.retry_admissions += 1;
+                    self.stats.retry_wait_epochs += epoch - parked_epoch;
+                    if let Some(index) = session_index {
+                        let session = self.sessions[index];
+                        self.loads[id.0 as usize] = session.active_load.clamp(0.0, 1.0);
+                        self.stats.arrivals += 1;
+                        self.schedule_lifecycle(id, &session, epoch as f64 * EPOCH_SECONDS);
+                    }
+                }
+                Err(returned) => {
+                    let attempts = attempts + 1;
+                    if attempts >= RETRY_ATTEMPT_LIMIT {
+                        self.stats.abandonments += 1;
+                        // An abandoned evacuee's stale GoIdle/Depart events
+                        // fire harmlessly: the VM is neither resident nor
+                        // parked by then.
+                        continue;
+                    }
+                    let wait = (1u64 << attempts).min(RETRY_BACKOFF_CAP_EPOCHS);
+                    let payload = match session_index {
+                        Some(index) => RetryPayload::Arrival(index),
+                        None => RetryPayload::Evacuee(returned),
+                    };
+                    self.park(RetryEntry {
+                        vm: id,
+                        payload,
+                        attempts,
+                        next_epoch: epoch + wait,
+                        parked_epoch,
+                    });
+                }
+            }
+        }
     }
 
     fn apply_due_events(&mut self) {
@@ -248,6 +549,12 @@ impl DatacenterService {
                         self.cluster.remove_vm(vm);
                         self.stats.departures += 1;
                         self.note_capacity_freed(pm);
+                    } else if let Some(pos) = self.retry.iter().position(|e| e.vm == vm) {
+                        // The session ended while the VM sat parked (an
+                        // evacuee that never found a new home): its stay is
+                        // over, count the departure.
+                        self.retry.remove(pos);
+                        self.stats.departures += 1;
                     }
                 }
             }
@@ -257,20 +564,38 @@ impl DatacenterService {
     fn admit(&mut self, index: usize) {
         let session = self.sessions[index];
         let id = VmId(self.loads.len() as u64);
-        if self.place(id, &session).is_none() {
-            self.stats.rejections += 1;
-            // Keep VM ids dense in arrival order even across rejections,
-            // so replays with different capacity stay comparable.
-            self.loads.push(0.0);
-            return;
+        // Keep VM ids dense in arrival order even across rejections, so
+        // replays with different capacity stay comparable.
+        self.loads.push(0.0);
+        match self.place_vm(Self::session_vm(id, &session)) {
+            Ok(_) => {
+                self.loads[id.0 as usize] = session.active_load.clamp(0.0, 1.0);
+                self.stats.arrivals += 1;
+                self.schedule_lifecycle(id, &session, session.arrival_s);
+            }
+            Err(_) => {
+                self.stats.rejections += 1;
+                let epoch = self.cluster.epoch();
+                self.park(RetryEntry {
+                    vm: id,
+                    payload: RetryPayload::Arrival(index),
+                    attempts: 0,
+                    next_epoch: epoch + 1,
+                    parked_epoch: epoch,
+                });
+            }
         }
-        self.loads.push(session.active_load.clamp(0.0, 1.0));
-        self.stats.arrivals += 1;
+    }
+
+    /// Schedules a VM's idle and departure transitions from `start_s` — its
+    /// arrival instant on first admission, or the landing epoch's boundary
+    /// when a parked arrival finally places.
+    fn schedule_lifecycle(&mut self, id: VmId, session: &VmSession, start_s: f64) {
         let active_s = session.lifetime_s * self.config.active_fraction.clamp(0.0, 1.0);
         self.events
-            .push(session.arrival_s + active_s, SessionEvent::GoIdle(id));
+            .push(start_s + active_s, SessionEvent::GoIdle(id));
         self.events
-            .push(session.departure_s(), SessionEvent::Depart(id));
+            .push(start_s + session.lifetime_s, SessionEvent::Depart(id));
     }
 
     /// The workload mix behind a session: cloud apps that are provably
@@ -287,44 +612,63 @@ impl DatacenterService {
         Vm::new(id, workload, client)
     }
 
-    /// Places the session's VM: freed-capacity hints first (lazily
-    /// revalidated — stale or still-full entries are simply dropped), then
-    /// a next-fit scan resuming at the last placement, wrapping once
-    /// around the whole fleet before giving up.  Returns the hosting
-    /// machine, or `None` for a genuine reject (no machine admits the VM
-    /// right now).
-    fn place(&mut self, id: VmId, session: &VmSession) -> Option<PmId> {
+    /// Places a VM: freed-capacity hints first (lazily revalidated — stale,
+    /// still-full, or crashed entries are simply dropped), then a next-fit
+    /// scan resuming at the last placement, wrapping once around the whole
+    /// fleet before giving up.  Machines inside a crash window are skipped.
+    /// Returns the hosting machine, or the VM back on a genuine reject (no
+    /// surviving machine admits it right now).
+    ///
+    /// A placement error other than `NoCapacity` is a fault, not a
+    /// rejection: it is recorded in [`DatacenterService::errors`], counted
+    /// in `placement_errors`, and the scan keeps going — an arrival never
+    /// aborts the simulation.
+    fn place_vm(&mut self, mut vm: Vm) -> Result<PmId, Vm> {
         while let Some(index) = self.free_hint.pop_front() {
+            if self.down[index] {
+                continue;
+            }
             let pm = PmId(index as u64);
-            if self.try_place(pm, id, session) {
-                // The machine may still have room; keep it warm for the
-                // next arrival.
-                self.free_hint.push_front(index);
-                return Some(pm);
+            match self.cluster.place_on_returning(pm, vm) {
+                Ok(()) => {
+                    // The machine may still have room; keep it warm for
+                    // the next arrival.
+                    self.free_hint.push_front(index);
+                    return Ok(pm);
+                }
+                Err((returned, ClusterError::NoCapacity { .. })) => vm = returned,
+                Err((returned, error)) => {
+                    self.record_placement_error(returned.id, pm, error);
+                    vm = returned;
+                }
             }
         }
         let n = self.config.machines;
         for probe in 0..n {
             let index = (self.scan_cursor + probe) % n;
+            if self.down[index] {
+                continue;
+            }
             let pm = PmId(index as u64);
-            if self.try_place(pm, id, session) {
-                self.scan_cursor = index;
-                return Some(pm);
+            match self.cluster.place_on_returning(pm, vm) {
+                Ok(()) => {
+                    self.scan_cursor = index;
+                    return Ok(pm);
+                }
+                Err((returned, ClusterError::NoCapacity { .. })) => vm = returned,
+                Err((returned, error)) => {
+                    self.record_placement_error(returned.id, pm, error);
+                    vm = returned;
+                }
             }
         }
-        None
+        Err(vm)
     }
 
-    /// One admission attempt.  `place_on` consumes the VM either way, so
-    /// the (cheap) VM shell is rebuilt per attempt; a placement error
-    /// other than `NoCapacity` would be a service bug, so it panics
-    /// loudly.
-    fn try_place(&mut self, pm: PmId, id: VmId, session: &VmSession) -> bool {
-        match self.cluster.place_on(pm, Self::session_vm(id, session)) {
-            Ok(()) => true,
-            Err(crate::cluster::ClusterError::NoCapacity { .. }) => false,
-            Err(other) => panic!("datacenter placement hit an unexpected error: {other}"),
-        }
+    fn record_placement_error(&mut self, vm: VmId, pm: PmId, error: ClusterError) {
+        self.stats.placement_errors += 1;
+        self.errors
+            .push(ServiceError::UnexpectedPlacement { vm, pm, error });
     }
 }
 
@@ -397,7 +741,9 @@ mod tests {
 
     #[test]
     fn a_full_fleet_rejects_and_recovers_capacity_on_departure() {
-        // One Xeon machine admits four 2-vCPU VMs; offer six, two overflow.
+        // One Xeon machine admits four 2-vCPU VMs; offer six, two overflow
+        // and park in the retry queue (backed off to epochs 2, 4, 8, 16,
+        // 32, 64 after the epoch-1 rejection).
         let mut specs: Vec<(f64, f64, f64, usize)> =
             (0..6).map(|i| (i as f64 * 0.01, 50.0, 0.5, 1)).collect();
         // A late VM arrives after the four residents depart.
@@ -408,10 +754,102 @@ mod tests {
         assert_eq!(mid.arrivals, 4);
         assert_eq!(mid.rejections, 2);
         assert_eq!(mid.departures, 4);
-        svc.run_epochs(15);
+        assert_eq!(svc.parked(), 2, "rejected arrivals wait, they don't vanish");
+        // The epoch-64 retry lands on the drained fleet: recovery after
+        // retry, not a permanent loss.
+        svc.run_epochs(60);
         let done = svc.stats();
-        assert_eq!(done.arrivals, 5, "freed capacity must admit the late VM");
-        assert_eq!(done.departures, 5);
+        assert_eq!(
+            done.arrivals, 7,
+            "freed capacity must admit late and retried VMs"
+        );
+        assert_eq!(done.departures, 7);
+        assert_eq!(done.rejections, 2);
+        assert_eq!(done.retry_admissions, 2);
+        assert_eq!(done.retries, 12, "six attempts per parked VM");
+        assert_eq!(done.abandonments, 0);
+        assert_eq!(svc.parked(), 0);
+        assert!(svc.drained());
+    }
+
+    #[test]
+    fn parked_vms_abandon_after_the_retry_budget() {
+        // Residents outlive every backoff step (2..64), so the two parked
+        // arrivals exhaust their six attempts and are abandoned.
+        let specs: Vec<(f64, f64, f64, usize)> =
+            (0..6).map(|i| (i as f64 * 0.01, 200.0, 0.5, 1)).collect();
+        let mut svc = DatacenterService::new(ServiceConfig::xeon_fleet(1, 4), sessions(&specs));
+        svc.run_epochs(80);
+        let stats = svc.stats();
+        assert_eq!(stats.rejections, 2);
+        assert_eq!(stats.retries, 12);
+        assert_eq!(stats.retry_admissions, 0);
+        assert_eq!(stats.abandonments, 2);
+        assert_eq!(svc.parked(), 0);
+        // The abandoned sessions scheduled no lifecycle events; the run
+        // still drains once the residents depart.
+        svc.run_epochs(125);
+        assert_eq!(svc.stats().departures, 4);
+        assert!(svc.drained());
+    }
+
+    #[test]
+    fn crashes_evacuate_residents_and_the_audit_stays_clean() {
+        let stream = traces::hotmail_sessions(20_000.0, 0.01, 5);
+        let mut svc = DatacenterService::new(ServiceConfig::xeon_fleet(8, 21), stream);
+        svc.set_fault_plane(FaultPlane::new(77, crate::faults::FaultConfig::light()));
+        for _ in 0..400 {
+            svc.step_epoch();
+            assert_eq!(svc.audit(), Vec::<String>::new());
+        }
+        let stats = svc.stats();
+        assert!(stats.crashes > 0, "light faults over 400 epochs must crash");
+        assert!(stats.repairs > 0, "crash windows are finite");
+        assert!(stats.down_machine_epochs > 0);
+        assert!(
+            stats.evacuations + stats.retries > 0,
+            "crashed machines held VMs at some point"
+        );
+        assert!(stats.arrivals >= stats.departures);
+    }
+
+    #[test]
+    fn a_disabled_fault_plane_changes_nothing_byte_for_byte() {
+        let stream = traces::hotmail_sessions(30_000.0, 0.008, 13);
+        let run = |plane: Option<FaultPlane>| {
+            let mut svc = DatacenterService::new(ServiceConfig::xeon_fleet(6, 17), stream.clone());
+            if let Some(plane) = plane {
+                svc.set_fault_plane(plane);
+            }
+            let mut all = Vec::new();
+            for _ in 0..200 {
+                all.push(svc.step_epoch());
+            }
+            (all, svc.stats())
+        };
+        let bare = run(None);
+        let disabled = run(Some(FaultPlane::new(
+            123,
+            crate::faults::FaultConfig::disabled(),
+        )));
+        assert_eq!(bare, disabled);
+    }
+
+    #[test]
+    fn unexpected_placement_errors_are_recorded_not_fatal() {
+        let mut svc = DatacenterService::new(
+            ServiceConfig::xeon_fleet(1, 6),
+            sessions(&[(0.0, 10.0, 0.5, 1)]),
+        );
+        svc.step_epoch();
+        assert!(svc.errors().is_empty());
+        svc.record_placement_error(VmId(9), PmId(4), ClusterError::UnknownPm(PmId(4)));
+        assert_eq!(svc.stats().placement_errors, 1);
+        assert_eq!(svc.errors().len(), 1);
+        let shown = svc.errors()[0].to_string();
+        assert!(shown.contains("failed unexpectedly"), "got: {shown}");
+        // The simulation keeps stepping normally afterwards.
+        svc.run_epochs(15);
         assert!(svc.drained());
     }
 

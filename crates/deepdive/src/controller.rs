@@ -86,6 +86,13 @@ pub struct DeepDiveConfig {
     pub synthetic_training_samples: usize,
     /// RNG seed for the synthetic benchmark training.
     pub seed: u64,
+    /// Epochs a warning may wait for its sandbox pool to come back from an
+    /// outage before the controller gives up on analyzing and falls back to
+    /// a warning-only (degraded) decision.
+    pub analysis_deferral_epochs: u64,
+    /// Retry budget for failed mitigation migrations (transient failures
+    /// and full destinations back off exponentially, then give up).
+    pub migration_retry_attempts: u32,
 }
 
 impl Default for DeepDiveConfig {
@@ -101,6 +108,8 @@ impl Default for DeepDiveConfig {
             use_global_information: true,
             synthetic_training_samples: 150,
             seed: 0xDEE9,
+            analysis_deferral_epochs: 12,
+            migration_retry_attempts: 3,
         }
     }
 }
@@ -128,6 +137,16 @@ pub struct DeepDiveStats {
     /// estimates; a fleet built with [`DeepDive::for_cluster`] keeps this at
     /// zero by construction.
     pub sandbox_spec_fallbacks: u64,
+    /// Analyses deferred because the victim's sandbox pool was inside an
+    /// outage window (each deferral episode is counted once).
+    pub analyses_deferred: u64,
+    /// Deferred analyses whose deadline expired with the pool still down:
+    /// the controller fell back to a warning-only decision instead of
+    /// analyzing against the wrong pool.
+    pub degraded_decisions: u64,
+    /// Mitigation migrations re-scheduled with backoff after a transient
+    /// failure or a full destination.
+    pub migration_retries: u64,
 }
 
 /// Events the controller emits each epoch, for logging and for the benches'
@@ -166,6 +185,45 @@ pub enum EpochEvent {
         /// Why the migration did not happen.
         reason: String,
     },
+    /// A warning escalated to analysis, but the victim's sandbox pool is
+    /// inside an outage window: the analysis waits for the pool (until
+    /// `deadline`) instead of replaying against the wrong hardware.
+    AnalysisDeferred {
+        /// The VM whose analysis is waiting.
+        vm: VmId,
+        /// Epoch at which the controller stops waiting and degrades.
+        deadline: u64,
+    },
+    /// A deferred analysis hit its deadline with the pool still down; the
+    /// controller recorded a warning-only (degraded) decision and applied
+    /// the ordinary cooldown instead of analyzing or panicking.
+    AnalysisDegraded {
+        /// The VM whose analysis was abandoned.
+        vm: VmId,
+    },
+}
+
+/// An analysis parked while the victim's sandbox pool rides out an outage
+/// window.
+#[derive(Debug, Clone, Copy)]
+struct DeferredAnalysis {
+    vm: VmId,
+    /// Epoch at which waiting turns into a degraded (warning-only) decision.
+    deadline: u64,
+}
+
+/// A mitigation migration parked for a backed-off retry after a transient
+/// failure or a full destination.
+#[derive(Debug, Clone, Copy)]
+struct PendingMigration {
+    /// The interference victim whose episode is being mitigated (the VM to
+    /// move is re-decided from fresh reports at retry time).
+    victim: VmId,
+    culprit: Resource,
+    /// Attempts already consumed, the original try included.
+    attempts: u32,
+    /// Earliest epoch the retry may run.
+    next_epoch: u64,
 }
 
 /// The end-to-end DeepDive system.
@@ -192,6 +250,13 @@ pub struct DeepDive {
     stats: DeepDiveStats,
     recent_counters: HashMap<VmId, VecDeque<CounterSnapshot>>,
     cooldown_until: HashMap<VmId, u64>,
+    /// Counter-derived fault schedule shared with the datacenter service;
+    /// `None` (or a disabled plane) leaves every degradation path inert.
+    fault_plane: Option<cloudsim::FaultPlane>,
+    /// Analyses waiting out a sandbox-pool outage, in deferral order.
+    deferred: Vec<DeferredAnalysis>,
+    /// Mitigation migrations awaiting a backed-off retry, in schedule order.
+    pending_migrations: Vec<PendingMigration>,
     /// Persistent worker pool the controller fans independent work over —
     /// per-application model refits and synthetic-benchmark training.
     /// Typically the epoch engine's own pool
@@ -248,6 +313,9 @@ impl DeepDive {
             stats: DeepDiveStats::default(),
             recent_counters: HashMap::new(),
             cooldown_until: HashMap::new(),
+            fault_plane: None,
+            deferred: Vec::new(),
+            pending_migrations: Vec::new(),
             pool: None,
             behavior_scratch: HashMap::new(),
             by_app_scratch: HashMap::new(),
@@ -347,6 +415,29 @@ impl DeepDive {
         }
     }
 
+    /// Attaches the fault plane whose sandbox-outage and migration-failure
+    /// schedules the controller must degrade around.  Share the plane (it
+    /// is `Copy`) with the datacenter service so both layers see the same
+    /// schedule.  A disabled plane is byte-for-byte inert.
+    pub fn set_fault_plane(&mut self, plane: cloudsim::FaultPlane) {
+        self.fault_plane = Some(plane);
+    }
+
+    /// The attached fault plane, if any.
+    pub fn fault_plane(&self) -> Option<&cloudsim::FaultPlane> {
+        self.fault_plane.as_ref()
+    }
+
+    /// Analyses currently waiting out a sandbox-pool outage.
+    pub fn deferred_analyses(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Mitigation migrations currently awaiting a backed-off retry.
+    pub fn pending_migrations(&self) -> usize {
+        self.pending_migrations.len()
+    }
+
     /// The running statistics.
     pub fn stats(&self) -> DeepDiveStats {
         self.stats
@@ -402,6 +493,10 @@ impl DeepDive {
             return events;
         }
         let epoch = reports[0].epoch;
+
+        // Run mitigation migrations whose backoff expired before anything
+        // else this epoch, so a retry sees the freshest reports.
+        events.extend(self.drain_pending_migrations(cluster, reports, epoch));
 
         // Record the duplicated request streams and the counter history.
         self.proxy.record_reports(reports);
@@ -487,6 +582,46 @@ impl DeepDive {
                     // Route the analysis to the sandbox pool matching the
                     // victim's host model.
                     let host_spec = self.host_spec(cluster, report.pm_id);
+                    if let Some(plane) = self.fault_plane.filter(|p| p.is_enabled()) {
+                        let (pool_idx, _) = self.fleet.select_index(&host_spec);
+                        if plane.sandbox_down(pool_idx, epoch) {
+                            // The victim's pool is inside an outage window:
+                            // wait for it rather than replay against the
+                            // wrong hardware — and once the deadline
+                            // passes, degrade to a warning-only decision
+                            // rather than panic or analyze blind.
+                            match self.deferred.iter().position(|d| d.vm == report.vm_id) {
+                                None => {
+                                    let deadline = epoch + self.config.analysis_deferral_epochs;
+                                    self.deferred.push(DeferredAnalysis {
+                                        vm: report.vm_id,
+                                        deadline,
+                                    });
+                                    self.stats.analyses_deferred += 1;
+                                    events.push(EpochEvent::AnalysisDeferred {
+                                        vm: report.vm_id,
+                                        deadline,
+                                    });
+                                }
+                                Some(pos) if epoch >= self.deferred[pos].deadline => {
+                                    self.deferred.remove(pos);
+                                    self.stats.degraded_decisions += 1;
+                                    self.cooldown_until.insert(
+                                        report.vm_id,
+                                        epoch + self.config.analysis_cooldown,
+                                    );
+                                    events.push(EpochEvent::AnalysisDegraded { vm: report.vm_id });
+                                }
+                                Some(_) => {}
+                            }
+                            continue;
+                        }
+                        // Pool came back before the deadline: the deferral
+                        // is over, analyze normally.
+                        if let Some(pos) = self.deferred.iter().position(|d| d.vm == report.vm_id) {
+                            self.deferred.remove(pos);
+                        }
+                    }
                     let result = self.run_analysis(report, &host_spec);
                     let cooldown = if result.interference_confirmed {
                         self.config
@@ -504,7 +639,7 @@ impl DeepDive {
                     if result.interference_confirmed {
                         if let Some(culprit) = result.culprit {
                             if self.config.auto_migrate {
-                                events.extend(self.mitigate(cluster, reports, report, culprit));
+                                events.extend(self.mitigate(cluster, reports, report, culprit, 0));
                             }
                         }
                     }
@@ -582,16 +717,93 @@ impl DeepDive {
         result
     }
 
+    /// Runs every pending-migration retry whose backoff expired, deciding
+    /// the move afresh from this epoch's reports.
+    fn drain_pending_migrations(
+        &mut self,
+        cluster: &mut Cluster,
+        reports: &[VmEpochReport],
+        epoch: u64,
+    ) -> Vec<EpochEvent> {
+        let mut events = Vec::new();
+        if self.pending_migrations.is_empty() {
+            return events;
+        }
+        let mut due = Vec::new();
+        self.pending_migrations.retain(|pending| {
+            if pending.next_epoch <= epoch {
+                due.push(*pending);
+                false
+            } else {
+                true
+            }
+        });
+        for pending in due {
+            match reports.iter().find(|r| r.vm_id == pending.victim) {
+                Some(victim) => {
+                    events.extend(self.mitigate(
+                        cluster,
+                        reports,
+                        victim,
+                        pending.culprit,
+                        pending.attempts,
+                    ));
+                }
+                None => events.push(EpochEvent::MigrationSkipped {
+                    vm: pending.victim,
+                    reason: "victim stopped reporting before the migration retry".to_string(),
+                }),
+            }
+        }
+        events
+    }
+
+    /// Books a backed-off retry for a failed mitigation, or reports the
+    /// budget exhausted.  `attempt` counts tries already consumed (the
+    /// original included); waits double per attempt (1, 2, 4, … epochs).
+    fn schedule_migration_retry(
+        &mut self,
+        victim: VmId,
+        culprit: Resource,
+        attempt: u32,
+        epoch: u64,
+    ) -> Option<EpochEvent> {
+        if attempt >= self.config.migration_retry_attempts {
+            return Some(EpochEvent::MigrationSkipped {
+                vm: victim,
+                reason: "migration retry budget exhausted".to_string(),
+            });
+        }
+        self.stats.migration_retries += 1;
+        self.pending_migrations.push(PendingMigration {
+            victim,
+            culprit,
+            attempts: attempt + 1,
+            next_epoch: epoch + (1u64 << attempt.min(16)),
+        });
+        None
+    }
+
+    /// True while `pm` is inside the fault plane's crash window.
+    fn machine_is_down(&self, pm: PmId, epoch: u64) -> bool {
+        self.fault_plane
+            .is_some_and(|plane| plane.machine_down(pm, epoch))
+    }
+
     /// Mitigates confirmed interference on the machine hosting `victim`.
+    /// `attempt` is zero on the first try and counts up across
+    /// backed-off retries of the same episode.
     fn mitigate(
         &mut self,
         cluster: &mut Cluster,
         reports: &[VmEpochReport],
         victim: &VmEpochReport,
         culprit: Resource,
+        attempt: u32,
     ) -> Vec<EpochEvent> {
         let mut events = Vec::new();
         let pm = victim.pm_id;
+        let epoch = victim.epoch;
         // Residents of the afflicted machine, from this epoch's reports.
         let residents: Vec<ResidentVm> = reports
             .iter()
@@ -617,7 +829,7 @@ impl DeepDive {
         let candidates: Vec<CandidateMachine> = cluster
             .machines()
             .iter()
-            .filter(|m| m.id != pm)
+            .filter(|m| m.id != pm && !self.machine_is_down(m.id, epoch))
             .map(|m| CandidateMachine {
                 pm_id: m.id,
                 spec: m.spec.clone(),
@@ -664,29 +876,56 @@ impl DeepDive {
             .placement
             .decide(&residents, culprit, &candidates, benchmark);
         match decision.destination {
-            Some(destination) => match cluster.migrate(decision.vm_to_migrate, destination) {
-                Ok(_cost) => {
-                    self.stats.migrations += 1;
-                    events.push(EpochEvent::Migrated {
+            Some(destination) => {
+                // A transiently failing migration (the fault plane's
+                // per-(vm, epoch) stream) is retried with backoff, like a
+                // full destination below — never silently dropped.
+                let transient_failure = self
+                    .fault_plane
+                    .is_some_and(|plane| plane.migration_fails(decision.vm_to_migrate, epoch));
+                if transient_failure {
+                    events.push(EpochEvent::MigrationSkipped {
                         vm: decision.vm_to_migrate,
-                        from: pm,
-                        to: destination,
+                        reason: "transient migration failure".to_string(),
+                    });
+                    events.extend(self.schedule_migration_retry(
+                        victim.vm_id,
                         culprit,
-                    });
+                        attempt,
+                        epoch,
+                    ));
+                    return events;
                 }
-                Err(ClusterError::NoCapacity { .. }) => {
-                    events.push(EpochEvent::MigrationSkipped {
-                        vm: decision.vm_to_migrate,
-                        reason: "destination ran out of capacity".to_string(),
-                    });
+                match cluster.migrate(decision.vm_to_migrate, destination) {
+                    Ok(_cost) => {
+                        self.stats.migrations += 1;
+                        events.push(EpochEvent::Migrated {
+                            vm: decision.vm_to_migrate,
+                            from: pm,
+                            to: destination,
+                            culprit,
+                        });
+                    }
+                    Err(ClusterError::NoCapacity { .. }) => {
+                        events.push(EpochEvent::MigrationSkipped {
+                            vm: decision.vm_to_migrate,
+                            reason: "destination ran out of capacity".to_string(),
+                        });
+                        events.extend(self.schedule_migration_retry(
+                            victim.vm_id,
+                            culprit,
+                            attempt,
+                            epoch,
+                        ));
+                    }
+                    Err(e) => {
+                        events.push(EpochEvent::MigrationSkipped {
+                            vm: decision.vm_to_migrate,
+                            reason: e.to_string(),
+                        });
+                    }
                 }
-                Err(e) => {
-                    events.push(EpochEvent::MigrationSkipped {
-                        vm: decision.vm_to_migrate,
-                        reason: e.to_string(),
-                    });
-                }
-            },
+            }
             None => {
                 events.push(EpochEvent::MigrationSkipped {
                     vm: decision.vm_to_migrate,
@@ -839,6 +1078,109 @@ mod tests {
                 || after.analyzer_invocations - before.analyzer_invocations < 9,
             "global information had no effect: {after:?}"
         );
+    }
+
+    #[test]
+    fn a_sandbox_outage_defers_then_degrades_instead_of_analyzing() {
+        use cloudsim::faults::{FaultConfig, FaultPlane};
+
+        let mut cluster = Cluster::homogeneous(1, MachineSpec::xeon_x5472(), Scheduler::default());
+        cluster.place_on(PmId(0), serving_vm(1, 1)).unwrap();
+        let mut dd = controller(false, &cluster);
+        // The pool is down every epoch: analyses can never run, so the
+        // controller must wait out the deferral window and then degrade.
+        dd.set_fault_plane(FaultPlane::new(
+            3,
+            FaultConfig {
+                sandbox_outage_per_epoch: 1.0,
+                outage_epochs: (1, 1),
+                ..FaultConfig::disabled()
+            },
+        ));
+        let engine = EpochEngine::serial(ClusterSeed::new(2));
+        let mut events = Vec::new();
+        for _ in 0..60 {
+            let reports = engine.step(&mut cluster, |_| 0.8);
+            events.extend(dd.process_epoch(&mut cluster, &reports));
+        }
+        let stats = dd.stats();
+        assert_eq!(
+            stats.analyzer_invocations, 0,
+            "never analyze against a downed pool"
+        );
+        assert!(
+            stats.analyses_deferred >= 1,
+            "warnings must defer: {stats:?}"
+        );
+        assert!(
+            stats.degraded_decisions >= 1,
+            "deadlines must degrade: {stats:?}"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, EpochEvent::AnalysisDeferred { vm, .. } if *vm == VmId(1))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, EpochEvent::AnalysisDegraded { vm } if *vm == VmId(1))));
+    }
+
+    #[test]
+    fn failed_migrations_retry_with_backoff_until_the_budget_runs_out() {
+        use cloudsim::faults::{FaultConfig, FaultPlane};
+
+        let mut cluster = Cluster::homogeneous(2, MachineSpec::xeon_x5472(), Scheduler::default());
+        cluster.place_on(PmId(0), serving_vm(1, 1)).unwrap();
+        let mut dd = controller(true, &cluster);
+        // Every migration attempt fails transiently: the episode must back
+        // off through the retry budget and then give up loudly.
+        dd.set_fault_plane(FaultPlane::new(
+            9,
+            FaultConfig {
+                migration_failure: 1.0,
+                ..FaultConfig::disabled()
+            },
+        ));
+        let engine = EpochEngine::serial(ClusterSeed::new(3));
+        run(&mut cluster, &mut dd, &engine, 50, 0.8);
+        cluster.place_on(PmId(0), aggressor_vm(99)).unwrap();
+        let events = run(&mut cluster, &mut dd, &engine, 40, 0.8);
+        let stats = dd.stats();
+        assert!(stats.interference_confirmed >= 1, "{stats:?}");
+        assert_eq!(stats.migrations, 0, "no migration can succeed: {events:?}");
+        assert!(
+            stats.migration_retries >= 1,
+            "failures must be retried: {stats:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                EpochEvent::MigrationSkipped { reason, .. }
+                    if reason == "migration retry budget exhausted"
+            )),
+            "budget exhaustion must be reported: {events:?}"
+        );
+        assert_eq!(cluster.locate(VmId(99)), Some(PmId(0)), "nothing moved");
+    }
+
+    #[test]
+    fn a_disabled_fault_plane_leaves_the_controller_unchanged() {
+        use cloudsim::faults::{FaultConfig, FaultPlane};
+
+        let run_once = |attach_disabled_plane: bool| {
+            let mut cluster =
+                Cluster::homogeneous(2, MachineSpec::xeon_x5472(), Scheduler::default());
+            cluster.place_on(PmId(0), serving_vm(1, 1)).unwrap();
+            let mut dd = controller(true, &cluster);
+            if attach_disabled_plane {
+                dd.set_fault_plane(FaultPlane::new(55, FaultConfig::disabled()));
+            }
+            let engine = EpochEngine::serial(ClusterSeed::new(3));
+            let mut events = run(&mut cluster, &mut dd, &engine, 50, 0.8);
+            cluster.place_on(PmId(0), aggressor_vm(99)).unwrap();
+            events.extend(run(&mut cluster, &mut dd, &engine, 30, 0.8));
+            (events, dd.stats(), cluster.locate(VmId(99)))
+        };
+        assert_eq!(run_once(false), run_once(true));
     }
 
     #[test]

@@ -41,6 +41,16 @@ impl ManagedDatacenter {
         }
     }
 
+    /// Attaches one shared fault plane to **both** layers: the service
+    /// sweeps its machine crash/repair windows, the controller degrades
+    /// around its sandbox outages and transient migration failures.  The
+    /// plane is `Copy`, so both sides read the same counter-derived
+    /// schedule; a disabled plane is byte-for-byte inert.
+    pub fn set_fault_plane(&mut self, plane: cloudsim::FaultPlane) {
+        self.service.set_fault_plane(plane);
+        self.controller.set_fault_plane(plane);
+    }
+
     /// The datacenter front end.
     pub fn service(&self) -> &DatacenterService {
         &self.service
@@ -120,6 +130,27 @@ mod tests {
         // Whatever the controller did, the cluster and service agree on
         // who is resident.
         assert_eq!(dc.service().cluster().vm_count(), 10);
+    }
+
+    #[test]
+    fn the_fault_plane_reaches_both_layers_and_the_loop_survives_chaos() {
+        use cloudsim::faults::{FaultConfig, FaultPlane};
+
+        let service = DatacenterService::new(ServiceConfig::xeon_fleet(4, 33), busy_sessions(10));
+        let mut dc = ManagedDatacenter::new(service, DeepDiveConfig::default());
+        dc.set_fault_plane(FaultPlane::new(11, FaultConfig::light()));
+        assert!(dc.service().fault_plane().is_some());
+        assert!(dc.controller().fault_plane().is_some());
+        let (service_stats, _) = dc.run_epochs(300);
+        assert!(
+            service_stats.crashes > 0,
+            "light faults must crash a machine"
+        );
+        assert_eq!(
+            dc.service().audit(),
+            Vec::<String>::new(),
+            "chaos must not corrupt the cluster"
+        );
     }
 
     #[test]

@@ -183,6 +183,60 @@
 //!   (~18× at 100k machines) — while the service loop absorbs ~5.5–10k
 //!   VM-arrivals/sec under the trace presets.
 //!
+//! # Fault model
+//!
+//! Real datacenters lose machines, botch migrations and take analysis
+//! infrastructure offline; the reproduction injects all three as
+//! *deterministic simulation inputs* rather than leaving robustness
+//! untested:
+//!
+//! * **The fault plane** — `cloudsim::FaultPlane` is a stateless, `Copy`
+//!   schedule: every draw is a SplitMix64 hash of `(fault seed, fault
+//!   kind, entity id, epoch)`, so whether machine *m* crashes at epoch *e*
+//!   is a pure function of the seed — independent of execution mode,
+//!   thread count, query order, or how often the question is asked.
+//!   `cloudsim::FaultConfig` sets the rates: machine crash probability and
+//!   repair windows, transient migration-failure probability, and
+//!   sandbox-pool outage probability and durations.  A plane with all
+//!   rates zero (`FaultConfig::disabled`) is byte-for-byte inert, and
+//!   attaching no plane at all costs nothing.
+//! * **Crash handling in the service** — when a machine's crash window
+//!   opens, `DatacenterService` drains it and evacuates the residents
+//!   first-fit across the surviving fleet; VMs that do not fit park in a
+//!   bounded retry queue with exponential backoff (capped, and abandoned
+//!   after `RETRY_ATTEMPT_LIMIT` failed placements).  Rejected arrivals
+//!   ride the same queue instead of being dropped on the floor.  Repaired
+//!   machines rejoin with their placement caches invalidated.
+//!   `ServiceStats` accounts the whole story: crashes, repairs,
+//!   evacuations, retries, retry admissions, abandonments and
+//!   down-machine-epochs.  Unexpected placement errors surface as typed
+//!   `cloudsim::ServiceError` records (`DatacenterService::errors`), never
+//!   as panics.
+//! * **Controller degradation** — during a sandbox-pool outage, `DeepDive`
+//!   defers confirmed-warning analyses with a deadline
+//!   (`DeepDiveConfig::analysis_deferral_epochs`); if the outage outlives
+//!   the deadline the controller falls back to warning-only operation for
+//!   that VM (a *degraded decision*, with the usual cooldown) instead of
+//!   blocking or crashing.  Transiently failed and capacity-blocked
+//!   migrations retry with exponential backoff up to
+//!   `DeepDiveConfig::migration_retry_attempts`.  `DeepDiveStats` counts
+//!   deferred analyses, degraded decisions and migration retries, and the
+//!   epoch event stream reports each transition.
+//! * **Invariant auditing** — `cloudsim::audit::check_cluster` sweeps a
+//!   cluster for structural corruption (double-resident VMs, phantom
+//!   residents, capacity-accounting drift, id-map disagreements);
+//!   `DatacenterService::audit` extends it with fault-layer invariants
+//!   (parked VMs are not resident, crashed machines are empty).  The
+//!   chaos suite runs the audit after every epoch of every randomized
+//!   schedule.
+//!
+//! Measured by the fault rows of `cargo bench -p bench --bench
+//! datacenter_throughput`: with a disabled plane attached the service
+//! stays within noise of fault-free stepping (idle overhead under 5%,
+//! enforced shape via `check_bench_json`), and under `FaultConfig::light`
+//! the dump reports fleet availability, mean evacuation latency and the
+//! throughput cost of surviving the schedule.
+//!
 //! # Test-suite map
 //!
 //! * per-crate unit tests — each module tests its own invariants (~320
@@ -208,6 +262,12 @@
 //!   clusters step on the calling thread, zero-epoch batches are no-ops,
 //!   and a panicking shard propagates its original payload after the
 //!   barrier without advancing the epoch or poisoning the pool,
+//! * `tests/fault_tolerance.rs` — the chaos suite: randomized fault +
+//!   churn schedules through every execution mode with the invariant
+//!   audit green after every epoch, Serial/Sharded/Pooled bit-identical
+//!   under chaos, a disabled plane reproducing the fault-free trajectory
+//!   byte for byte, and a deterministic hostile schedule exercising every
+//!   fault path (crashes, repairs, evacuations, retries),
 //! * `tests/warning_equivalence.rs` — proptest: warm-started and forced-cold
 //!   model refreshes produce equivalent warning *decisions* (detections
 //!   always, divergence bounded) over randomized growing repositories, an
@@ -223,8 +283,9 @@
 //!
 //! CI runs the whole suite twice — once default (Serial engine pinned in
 //! tests) and once with `CLOUDSIM_THREADS=4 DEEPDIVE_TRAIN_THREADS=4` so
-//! the pooled engine and parallel trainer execute multi-threaded — and
-//! validates the four `BENCH_*.json` throughput dumps with
+//! the pooled engine and parallel trainer execute multi-threaded — with
+//! the fault-tolerance chaos suite called out as a named step in both
+//! lanes, and validates the four `BENCH_*.json` throughput dumps with
 //! `cargo run -p bench --bin check_bench_json` after the smoke steps.
 //!
 //! Everything is seeded: a `cloudsim::ClusterSeed` determines every VM's

@@ -1,0 +1,167 @@
+//! Chaos suite: randomized fault + churn schedules through every engine.
+//!
+//! The fault plane's whole contract is that machine crashes, evacuations,
+//! retries and repairs are *simulation inputs*, not sources of
+//! nondeterminism or corruption.  These properties drive randomized
+//! fault schedules against randomized session churn and assert, for every
+//! schedule:
+//!
+//! * **Invariants hold after every epoch** — no VM resident on two
+//!   machines or lost, id→index maps consistent, capacity accounting
+//!   exact, parked VMs not resident, crashed machines empty
+//!   ([`DatacenterService::audit`]).
+//! * **Execution modes are bit-identical** — Serial, Sharded and Pooled
+//!   stepping produce byte-identical report streams, stats, retry queues
+//!   and final placements under the same fault schedule.
+//! * **A disabled plane is inert** — attaching a fault plane whose rates
+//!   are all zero reproduces the plane-less service trajectory byte for
+//!   byte (the fault layer costs nothing when unused).
+
+use cloudsim::faults::{FaultConfig, FaultPlane};
+use cloudsim::service::{DatacenterService, ServiceConfig, ServiceStats};
+use cloudsim::{ExecutionMode, VmEpochReport};
+use proptest::prelude::*;
+
+/// One run: build the service, attach the plane, step `epochs` epochs
+/// auditing after each, and return the full trajectory.
+fn run_chaos(
+    mode: ExecutionMode,
+    machines: usize,
+    cluster_seed: u64,
+    trace_seed: u64,
+    plane: Option<FaultPlane>,
+    epochs: u64,
+) -> (Vec<Vec<VmEpochReport>>, ServiceStats, usize) {
+    let stream = traces::hotmail_sessions(25_000.0, 0.01, trace_seed);
+    let mut svc = DatacenterService::new(ServiceConfig::xeon_fleet(machines, cluster_seed), stream);
+    svc.engine_mut().set_mode(mode);
+    if let Some(plane) = plane {
+        svc.set_fault_plane(plane);
+    }
+    let mut trajectory = Vec::new();
+    for _ in 0..epochs {
+        trajectory.push(svc.step_epoch());
+        let findings = svc.audit();
+        assert_eq!(findings, Vec::<String>::new(), "invariants violated");
+    }
+    (trajectory, svc.stats(), svc.parked())
+}
+
+/// Strategy over fault configurations from "calm" to "hostile" (rates far
+/// above anything realistic, to force crash pile-ups and retry storms).
+fn fault_config_strategy() -> impl Strategy<Value = FaultConfig> {
+    (
+        0.0..0.05_f64, // machine crash rate per epoch
+        1..6_u64,      // repair window min
+        0..12_u64,     // repair window extra
+        0.0..0.5_f64,  // migration failure rate
+        0.0..0.02_f64, // sandbox outage rate
+        1..4_u64,      // outage window min
+        0..8_u64,      // outage window extra
+    )
+        .prop_map(
+            |(crash, repair_min, repair_extra, migration, outage, outage_min, outage_extra)| {
+                FaultConfig {
+                    machine_crash_per_epoch: crash,
+                    repair_epochs: (repair_min, repair_min + repair_extra),
+                    migration_failure: migration,
+                    sandbox_outage_per_epoch: outage,
+                    outage_epochs: (outage_min, outage_min + outage_extra),
+                }
+            },
+        )
+}
+
+proptest! {
+    // Each case steps three full service runs; keep the count modest so
+    // the suite stays inside the tier-1 budget.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Serial, Sharded and Pooled stepping agree byte for byte on the
+    /// entire trajectory — reports, stats, retry queue depth — under the
+    /// same randomized fault + churn schedule, and every epoch of every
+    /// mode passes the invariant audit.
+    #[test]
+    fn every_execution_mode_survives_chaos_bit_identically(
+        config in fault_config_strategy(),
+        fault_seed in 0..u64::MAX,
+        cluster_seed in 0..1_000_u64,
+        trace_seed in 0..1_000_u64,
+        machines in 3..8_usize,
+    ) {
+        let plane = Some(FaultPlane::new(fault_seed, config));
+        let epochs = 120;
+        let serial = run_chaos(
+            ExecutionMode::Serial, machines, cluster_seed, trace_seed, plane, epochs,
+        );
+        let sharded = run_chaos(
+            ExecutionMode::Sharded { threads: 3 }, machines, cluster_seed, trace_seed, plane, epochs,
+        );
+        let pooled = run_chaos(
+            ExecutionMode::Pooled { threads: 2 }, machines, cluster_seed, trace_seed, plane, epochs,
+        );
+        prop_assert_eq!(&serial, &sharded, "Serial and Sharded diverged");
+        prop_assert_eq!(&serial, &pooled, "Serial and Pooled diverged");
+        // Accounting sanity: every admitted VM is somewhere — departed,
+        // resident, parked, or abandoned (an abandoned evacuee was admitted
+        // once; its departure never fires).
+        let (trajectory, stats, parked) = serial;
+        let resident = trajectory.last().map_or(0, |r| r.len()) as u64;
+        prop_assert!(stats.arrivals >= stats.departures);
+        prop_assert!(
+            stats.arrivals <= stats.departures + resident + parked as u64 + stats.abandonments,
+            "VMs leaked: {:?} resident={} parked={}", stats, resident, parked
+        );
+    }
+
+    /// A plane with all rates zero reproduces the plane-less trajectory
+    /// byte for byte: the fault layer is free when disabled.
+    #[test]
+    fn a_disabled_plane_reproduces_the_fault_free_trajectory(
+        fault_seed in 0..u64::MAX,
+        cluster_seed in 0..1_000_u64,
+        trace_seed in 0..1_000_u64,
+        machines in 3..8_usize,
+    ) {
+        let disabled = Some(FaultPlane::new(fault_seed, FaultConfig::disabled()));
+        let bare = run_chaos(
+            ExecutionMode::Serial, machines, cluster_seed, trace_seed, None, 100,
+        );
+        let gated = run_chaos(
+            ExecutionMode::Serial, machines, cluster_seed, trace_seed, disabled, 100,
+        );
+        prop_assert_eq!(bare, gated);
+    }
+}
+
+/// One deterministic, always-run smoke of the nastiest corner: a fleet so
+/// overloaded and crash-prone that evacuations, retries, abandonments and
+/// repairs all fire — with the audit green throughout.
+#[test]
+fn a_hostile_schedule_exercises_every_fault_path() {
+    let config = FaultConfig {
+        machine_crash_per_epoch: 0.03,
+        repair_epochs: (3, 10),
+        migration_failure: 0.3,
+        sandbox_outage_per_epoch: 0.01,
+        outage_epochs: (4, 10),
+    };
+    let (_, stats, _) = run_chaos(
+        ExecutionMode::Serial,
+        4,
+        7,
+        7,
+        Some(FaultPlane::new(0xC0FFEE, config)),
+        400,
+    );
+    assert!(
+        stats.crashes > 0,
+        "hostile schedule never crashed: {stats:?}"
+    );
+    assert!(stats.repairs > 0, "machines never repaired: {stats:?}");
+    assert!(stats.down_machine_epochs > 0);
+    assert!(
+        stats.evacuations > 0 || stats.retries > 0,
+        "crashes never displaced a VM: {stats:?}"
+    );
+}

@@ -152,6 +152,75 @@ fn shard_panic_propagates_without_poisoning_the_pool() {
 }
 
 #[test]
+fn scatter_map_panic_reraises_the_original_payload_and_keeps_the_pool() {
+    use cloudsim::WorkerPool;
+
+    let pool = WorkerPool::new(3);
+    let probe = pool.liveness();
+    let mut items: Vec<u64> = (0..64).collect();
+
+    // Two tasks panic; the policy re-raises the lowest-index payload after
+    // every worker reached the barrier (no worker is still touching the
+    // arena when the caller unwinds).
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        pool.scatter_map(&mut items, &|item: &mut u64| {
+            if *item == 11 || *item == 40 {
+                panic!("map task {item} failed");
+            }
+            *item * 2
+        })
+    }));
+    let payload = crashed.expect_err("the map panic must propagate");
+    let message = payload
+        .downcast_ref::<String>()
+        .expect("original payload, not a join wrapper");
+    assert_eq!(message, "map task 11 failed", "lowest index wins");
+
+    // The pool survives and the very next scatter_map works end to end.
+    assert!(
+        probe.upgrade().is_some(),
+        "a map panic killed the pool's workers"
+    );
+    let doubled = pool.scatter_map(&mut items, &|item: &mut u64| *item * 2);
+    assert_eq!(doubled.len(), 64);
+    assert!((0..64).all(|i| doubled[i] == i as u64 * 2));
+}
+
+#[test]
+fn scatter_map_panic_leaks_no_arena_slots() {
+    use std::sync::Arc;
+
+    use cloudsim::WorkerPool;
+
+    // Every completed task clones this Arc into its result slot.  If the
+    // unwind path forgot to drop initialized slots (or dropped one twice,
+    // which would abort), the strong count could never return to 1.
+    let token = Arc::new(());
+    let pool = WorkerPool::new(3);
+    let mut items: Vec<usize> = (0..128).collect();
+    let crashed = catch_unwind(AssertUnwindSafe(|| {
+        pool.scatter_map(&mut items, &|item: &mut usize| {
+            if *item == 77 {
+                panic!("slot 77");
+            }
+            Arc::clone(&token)
+        })
+    }));
+    assert!(crashed.is_err(), "the map panic must propagate");
+    assert_eq!(
+        Arc::strong_count(&token),
+        1,
+        "unwinding leaked (or double-freed) result slots"
+    );
+
+    // A clean pass over the same pool accounts for every slot exactly once.
+    let results = pool.scatter_map(&mut items, &|_: &mut usize| Arc::clone(&token));
+    assert_eq!(Arc::strong_count(&token), 1 + results.len());
+    drop(results);
+    assert_eq!(Arc::strong_count(&token), 1);
+}
+
+#[test]
 fn sharded_mode_panic_also_reaches_the_barrier_first() {
     // The scoped-thread baseline follows the same policy: original payload,
     // epoch not advanced, no abort via a bare join().expect.
