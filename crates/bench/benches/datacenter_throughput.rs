@@ -28,12 +28,19 @@
 //!   (Hotmail diurnal and bursty EC2 presets) arrive, run hot, go idle and
 //!   depart through [`DatacenterService`]; the row reports sustained
 //!   VM-arrivals/sec and VM-epochs/sec of the whole pipeline.
-//! * **fault rows** — the same stream stepped over a fixed horizon three
-//!   ways: fault-free baseline, a disabled [`FaultPlane`] (the idle
-//!   overhead of carrying the fault layer, which must stay under 5%), and
-//!   [`FaultConfig::light`] (crash/repair windows and outages on), with
-//!   availability %, mean evacuation latency in epochs, and the overhead
-//!   each scenario pays over the baseline.
+//! * **fault rows** — the same stream (spread placement on, so the
+//!   fault-free baseline isolates the fault machinery) stepped over a
+//!   fixed horizon under a blast-radius sweep: fault-free baseline (not
+//!   dumped), a disabled [`FaultPlane`] (idle overhead, must stay within a
+//!   few percent), [`FaultConfig::light`] (independent machine crashes,
+//!   blast radius 1), [`FaultConfig::rack_outages`] (whole racks at once),
+//!   [`FaultConfig::domain_outages`] (whole power domains), and
+//!   [`FaultConfig::maintenance`] (planned drains with graceful notice).
+//!   All fault scenarios share the same start rate and window lengths, so
+//!   expected machine downtime matches while the blast radius — and hence
+//!   evacuation burstiness, retry latency and cascade-induced
+//!   abandonments — grows; the drain row must show lower disruption
+//!   (instant evacuations) than the equivalent-crash `light` row.
 //!
 //! A parallel row can only beat serial when the OS grants more than one
 //! hardware thread, so every engine row carries `available_parallelism`
@@ -45,7 +52,7 @@
 
 use std::time::{Duration, Instant};
 
-use cloudsim::faults::{FaultConfig, FaultPlane};
+use cloudsim::faults::{FaultConfig, FaultPlane, Topology};
 use cloudsim::service::{DatacenterService, ServiceConfig, ServiceStats};
 use cloudsim::{Cluster, ClusterSeed, EpochEngine, ExecutionMode, PmId, Scheduler, Vm, VmId};
 use criterion::{criterion_group, Criterion};
@@ -129,21 +136,33 @@ struct ServiceRow {
 /// stream: what the crash/evacuation/retry machinery costs and delivers.
 struct FaultRow {
     /// `"disabled"` (plane attached, every rate zero — the idle-overhead
-    /// row, which must stay within a few percent of fault-free) or
-    /// `"light"` (the realistic crash/outage mix).
+    /// row, which must stay within a few percent of fault-free), `"light"`
+    /// (independent machine crashes), `"rack"` / `"domain"` (correlated
+    /// outages felling a whole rack / power domain per draw), or `"drain"`
+    /// (planned maintenance with a graceful notice window).
     scenario: &'static str,
     machines: usize,
+    /// Machines taken down by one fault draw: 1 for independent crashes
+    /// and drains, `machines_per_rack` / `machines_per_domain()` for the
+    /// correlated scenarios.
+    blast_radius: usize,
     epochs_per_sec: f64,
     /// Slowdown vs the fault-free run of the same stream, in percent
     /// (negative = measured faster, i.e. inside noise).
     overhead_pct: f64,
-    /// Machine-epochs outside crash windows, as a percentage.
+    /// Machine-epochs outside down windows, as a percentage.
     availability_pct: f64,
     /// Mean epochs a displaced VM waited in the retry queue before landing
     /// (zero when every evacuation placed immediately).
     evacuation_latency_epochs: f64,
     crashes: u64,
     evacuations: u64,
+    /// VMs migrated off draining machines gracefully (zero in every
+    /// crash-only scenario).
+    drain_migrations: u64,
+    /// Parked VMs that exhausted their retry budget — the cascade cost of
+    /// correlated evacuation bursts overwhelming surviving capacity.
+    abandonments: u64,
 }
 
 fn mode_threads(mode: ExecutionMode) -> usize {
@@ -314,12 +333,16 @@ fn measure_service(
 /// need identical horizons.
 fn measure_fault_service(
     machines: usize,
+    topology: Topology,
     sessions: Vec<traces::VmSession>,
     plane: Option<FaultPlane>,
     epochs: u64,
 ) -> (f64, ServiceStats, u64) {
+    // Spread placement is on for every run of the family — including the
+    // fault-free baseline — so the overhead column isolates the fault
+    // machinery instead of conflating it with the placement policy.
     let mut service = DatacenterService::new(
-        ServiceConfig::xeon_fleet(machines, machines as u64),
+        ServiceConfig::xeon_fleet(machines, machines as u64).with_spread(topology),
         sessions,
     );
     if let Some(plane) = plane {
@@ -335,37 +358,53 @@ fn measure_fault_service(
 }
 
 /// The fault family: one fault-free baseline (not dumped — it only anchors
-/// the overhead column), then the same stream with a disabled plane (idle
-/// overhead must stay under a few percent) and with [`FaultConfig::light`]
-/// (availability, evacuation latency and the price of surviving crashes).
+/// the overhead column), then the same stream under the blast-radius
+/// sweep — disabled plane (idle overhead must stay under a few percent),
+/// independent crashes, whole-rack outages, whole-power-domain outages,
+/// and planned maintenance drains.  All fault scenarios share the start
+/// rate and window lengths, so expected machine downtime is comparable
+/// while the failure-domain size (and the drain's graceful notice) is the
+/// variable under test.
 fn fault_rows(smoke: bool) -> Vec<FaultRow> {
     // Epochs are 1 s of simulated time, so the horizon only needs to cover
     // the stepped window; the peak arrival rate is sized so the fleet
     // carries a substantial resident population for the whole measurement
     // without saturating (rejections would conflate admission-retry latency
-    // with evacuation latency).
-    let (machines, epochs, rate_per_day, horizon_days) = if smoke {
-        (200, 120, 500_000.0, 0.002)
+    // with evacuation latency).  The topology is scaled to the fleet so
+    // both runs span several racks and power domains.
+    let (machines, epochs, rate_per_day, horizon_days, topology) = if smoke {
+        (200, 120, 500_000.0, 0.002, Topology::new(10, 4))
     } else {
-        (2_000, 1_000, 600_000.0, 0.02)
+        (2_000, 1_000, 600_000.0, 0.02, Topology::conventional())
     };
     let stream = || traces::hotmail_sessions(rate_per_day, horizon_days, 7);
     // Each scenario is measured twice and keeps the faster rate: the first
     // run of the process pays allocator and cache warmup that later runs do
     // not, which would otherwise masquerade as (negative) fault overhead.
     let best_of_two = |plane: Option<FaultPlane>| {
-        let (first, _, _) = measure_fault_service(machines, stream(), plane, epochs);
+        let (first, _, _) = measure_fault_service(machines, topology, stream(), plane, epochs);
         let (second, stats, total_epochs) =
-            measure_fault_service(machines, stream(), plane, epochs);
+            measure_fault_service(machines, topology, stream(), plane, epochs);
         (first.max(second), stats, total_epochs)
     };
     let (baseline, _, _) = best_of_two(None);
     [
-        ("disabled", FaultConfig::disabled()),
-        ("light", FaultConfig::light()),
+        ("disabled", FaultConfig::disabled(), 1),
+        ("light", FaultConfig::light(), 1),
+        (
+            "rack",
+            FaultConfig::rack_outages(topology),
+            topology.machines_per_rack,
+        ),
+        (
+            "domain",
+            FaultConfig::domain_outages(topology),
+            topology.machines_per_domain(),
+        ),
+        ("drain", FaultConfig::maintenance(), 1),
     ]
     .into_iter()
-    .map(|(scenario, config)| {
+    .map(|(scenario, config, blast_radius)| {
         let plane = FaultPlane::new(0xFA17, config);
         let (rate, stats, total_epochs) = best_of_two(Some(plane));
         let machine_epochs = (machines as u64 * total_epochs) as f64;
@@ -377,12 +416,15 @@ fn fault_rows(smoke: bool) -> Vec<FaultRow> {
         FaultRow {
             scenario,
             machines,
+            blast_radius,
             epochs_per_sec: rate,
             overhead_pct: (baseline / rate - 1.0) * 100.0,
             availability_pct: 100.0 * (1.0 - stats.down_machine_epochs as f64 / machine_epochs),
             evacuation_latency_epochs,
             crashes: stats.crashes,
             evacuations: stats.evacuations,
+            drain_migrations: stats.drain_migrations,
+            abandonments: stats.abandonments,
         }
     })
     .collect()
@@ -488,22 +530,25 @@ fn print_table(engine_rows: &[EngineRow], service_rows: &[ServiceRow], fault_row
             r.peak_resident
         );
     }
-    println!("# Fault plane — overhead and availability vs the fault-free baseline");
+    println!("# Fault plane — blast-radius sweep vs the fault-free baseline");
     println!(
-        "scenario,machines,epochs_per_sec,overhead_pct,availability_pct,\
-         evacuation_latency_epochs,crashes,evacuations"
+        "scenario,machines,blast_radius,epochs_per_sec,overhead_pct,availability_pct,\
+         evacuation_latency_epochs,crashes,evacuations,drain_migrations,abandonments"
     );
     for r in fault_rows {
         println!(
-            "{},{},{:.1},{:.2},{:.3},{:.2},{},{}",
+            "{},{},{},{:.1},{:.2},{:.3},{:.2},{},{},{},{}",
             r.scenario,
             r.machines,
+            r.blast_radius,
             r.epochs_per_sec,
             r.overhead_pct,
             r.availability_pct,
             r.evacuation_latency_epochs,
             r.crashes,
-            r.evacuations
+            r.evacuations,
+            r.drain_migrations,
+            r.abandonments
         );
     }
 }
@@ -560,18 +605,21 @@ fn dump_json(
     entries.extend(fault_rows.iter().map(|r| {
         format!(
             "  {{\"kind\": \"fault\", \"scenario\": \"{}\", \"machines\": {}, \
-             \"epochs_per_sec\": {:.1}, \"overhead_pct\": {:.2}, \
+             \"blast_radius\": {}, \"epochs_per_sec\": {:.1}, \"overhead_pct\": {:.2}, \
              \"availability_pct\": {:.3}, \"evacuation_latency_epochs\": {:.2}, \
-             \"crashes\": {}, \"evacuations\": {}, \
-             \"available_parallelism\": {cores}}}",
+             \"crashes\": {}, \"evacuations\": {}, \"drain_migrations\": {}, \
+             \"abandonments\": {}, \"available_parallelism\": {cores}}}",
             r.scenario,
             r.machines,
+            r.blast_radius,
             r.epochs_per_sec,
             r.overhead_pct,
             r.availability_pct,
             r.evacuation_latency_epochs,
             r.crashes,
-            r.evacuations
+            r.evacuations,
+            r.drain_migrations,
+            r.abandonments
         )
     }));
     let json = format!("[\n{}\n]\n", entries.join(",\n"));

@@ -28,9 +28,59 @@
 //!
 //! Usage: `cargo run -p bench --bin check_bench_json [FILES...]` — with no
 //! arguments it validates the four dumps at the workspace root.  Exits
-//! nonzero listing every violation found.
+//! nonzero listing every violation found.  `--help` prints the per-file
+//! schema (every required key per row shape); the same reference lives in
+//! `crates/bench/README.md`.
 
 use serde::Value;
+
+/// Schema reference printed by `--help`; kept in sync with `validate` and
+/// mirrored (with prose) in `crates/bench/README.md`.
+const HELP: &str = "\
+check_bench_json — CI validator for the BENCH_*.json throughput dumps.
+
+Usage: cargo run -p bench --bin check_bench_json [FILES...]
+       (no arguments: validates the four dumps at the workspace root)
+
+Every dump is a non-empty JSON array of objects.  Every row records the
+runner's `available_parallelism` (>= 1), and any row with `threads` > 1 on
+a single-core runner must carry `\"overhead_only\": true`.  Rates and sizes
+must be finite and strictly positive unless noted.
+
+BENCH_resolver.json — contention-resolver microbench, one row per fleet:
+  fleet (string), vms_per_machine, reused_vms_per_sec, alloc_vms_per_sec,
+  speedup, available_parallelism
+
+BENCH_cluster.json — epoch-stepping matrix plus a churn probe:
+  throughput rows: mode (string: serial/sharded-N/pooled-N), machines, vms,
+    threads, epochs_per_sec, speedup_vs_serial, available_parallelism
+  churn probe row: migration_churn_per_sec, available_parallelism
+
+BENCH_controller.json — DeepDive controller paths:
+  warning-path rows: path (string), vms, apps, evals_per_sec,
+    speedup_vs_cold, available_parallelism
+  refit-sweep rows: sweep (string), apps, threads, refits_per_sec,
+    speedup_vs_serial, available_parallelism
+  refresh probe row: refresh_warm_us, refresh_cold_us,
+    available_parallelism
+
+BENCH_datacenter.json — rows dispatched on \"kind\":
+  kind=engine: mode (dense/sparse/dense-advance/sparse-advance/
+    sparse-pooled; the dump must pair dense and sparse rows), machines,
+    vms, activity (fraction in (0,1]), threads, epochs_per_sec,
+    vm_epochs_per_sec, speedup_vs_dense, available_parallelism; advance
+    rows may add speedup_vs_dense_sweep
+  kind=service: preset (string), machines, epochs_per_sec,
+    vm_epochs_per_sec, vm_arrivals_per_sec, peak_resident,
+    available_parallelism
+  kind=fault: scenario (disabled/light/rack/domain/drain; the dump must
+    carry a disabled row — the idle-overhead baseline), machines,
+    blast_radius (machines felled per fault event: 1, rack or domain
+    size), epochs_per_sec, available_parallelism; availability_pct in
+    (0, 100]; overhead_pct finite (negative = noise); finite and >= 0:
+    evacuation_latency_epochs, crashes, evacuations, drain_migrations,
+    abandonments
+";
 
 /// The dumps validated by default, relative to the workspace root.
 const DEFAULT_FILES: [&str; 4] = [
@@ -42,6 +92,10 @@ const DEFAULT_FILES: [&str; 4] = [
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{HELP}");
+        return;
+    }
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
     let files: Vec<String> = if args.is_empty() {
         DEFAULT_FILES
@@ -320,19 +374,31 @@ fn validate(doc: &Value, schema: Schema) -> Vec<String> {
                 }
                 Some(Value::Str(kind)) if kind == "fault" => {
                     // A fault-plane row: overhead and availability of one
-                    // scenario against the fault-free baseline.
+                    // scenario against the fault-free baseline.  The
+                    // scenarios sweep blast radius (single machine → rack →
+                    // power domain) plus the graceful-drain alternative.
                     measurement_rows += 1;
+                    const SCENARIOS: [&str; 5] = ["disabled", "light", "rack", "domain", "drain"];
                     match row.get("scenario") {
-                        Some(Value::Str(scenario)) => {
+                        Some(Value::Str(scenario)) if SCENARIOS.contains(&scenario.as_str()) => {
                             saw_disabled_fault |= scenario == "disabled";
                         }
+                        Some(Value::Str(scenario)) => errors.push(format!(
+                            "row {i}: unknown fault \"scenario\" {scenario:?} \
+                             (expected one of {SCENARIOS:?})"
+                        )),
                         _ => errors.push(format!("row {i}: missing string \"scenario\"")),
                     }
                     require_positive(
                         row,
                         i,
                         &mut errors,
-                        &["machines", "epochs_per_sec", "available_parallelism"],
+                        &[
+                            "machines",
+                            "blast_radius",
+                            "epochs_per_sec",
+                            "available_parallelism",
+                        ],
                     );
                     // Availability is a percentage of machine-epochs; 100
                     // exactly is the disabled-plane case, so positive alone
@@ -354,7 +420,13 @@ fn validate(doc: &Value, schema: Schema) -> Vec<String> {
                         row,
                         i,
                         &mut errors,
-                        &["evacuation_latency_epochs", "crashes", "evacuations"],
+                        &[
+                            "evacuation_latency_epochs",
+                            "crashes",
+                            "evacuations",
+                            "drain_migrations",
+                            "abandonments",
+                        ],
                     );
                 }
                 Some(Value::Str(kind)) => {
@@ -628,9 +700,10 @@ mod tests {
                  "vm_arrivals_per_sec": 5455.6, "peak_resident": 8041,
                  "available_parallelism": 1},
                 {"kind": "fault", "scenario": "disabled", "machines": 2000,
-                 "epochs_per_sec": 1200.0, "overhead_pct": 0.31,
+                 "blast_radius": 1, "epochs_per_sec": 1200.0, "overhead_pct": 0.31,
                  "availability_pct": 100.0, "evacuation_latency_epochs": 0.0,
-                 "crashes": 0, "evacuations": 0, "available_parallelism": 1}]"#,
+                 "crashes": 0, "evacuations": 0, "drain_migrations": 0,
+                 "abandonments": 0, "available_parallelism": 1}]"#,
         );
         assert!(validate(&good, Schema::Datacenter).is_empty());
     }
@@ -649,9 +722,10 @@ mod tests {
                  "vm_epochs_per_sec": 32000.0, "speedup_vs_dense": 8.0,
                  "available_parallelism": 1},
                 {"kind": "fault", "scenario": "light", "machines": 100,
-                 "epochs_per_sec": 9.0, "overhead_pct": 11.1,
+                 "blast_radius": 1, "epochs_per_sec": 9.0, "overhead_pct": 11.1,
                  "availability_pct": 96.8, "evacuation_latency_epochs": 1.5,
-                 "crashes": 12, "evacuations": 30, "available_parallelism": 1}]"#,
+                 "crashes": 12, "evacuations": 30, "drain_migrations": 0,
+                 "abandonments": 2, "available_parallelism": 1}]"#,
         );
         let errors = validate(&no_disabled, Schema::Datacenter);
         assert!(
@@ -663,8 +737,9 @@ mod tests {
     #[test]
     fn datacenter_fault_rows_validate() {
         // A disabled-plane idle-overhead row (100% availability, zero
-        // counters, slightly negative overhead = noise) and a light-chaos
-        // row both pass.
+        // counters, slightly negative overhead = noise) plus the full
+        // blast-radius sweep (light / rack / domain) and the graceful
+        // drain row all pass.
         let good = parse(
             r#"[{"kind": "engine", "machines": 100, "vms": 400, "mode": "dense",
                  "activity": 0.1, "threads": 1, "epochs_per_sec": 10.0,
@@ -675,13 +750,30 @@ mod tests {
                  "vm_epochs_per_sec": 32000.0, "speedup_vs_dense": 8.0,
                  "available_parallelism": 1},
                 {"kind": "fault", "scenario": "disabled", "machines": 2000,
-                 "epochs_per_sec": 1200.0, "overhead_pct": -0.42,
+                 "blast_radius": 1, "epochs_per_sec": 1200.0, "overhead_pct": -0.42,
                  "availability_pct": 100.000, "evacuation_latency_epochs": 0.00,
-                 "crashes": 0, "evacuations": 0, "available_parallelism": 1},
+                 "crashes": 0, "evacuations": 0, "drain_migrations": 0,
+                 "abandonments": 0, "available_parallelism": 1},
                 {"kind": "fault", "scenario": "light", "machines": 2000,
-                 "epochs_per_sec": 1100.0, "overhead_pct": 3.80,
+                 "blast_radius": 1, "epochs_per_sec": 1100.0, "overhead_pct": 3.80,
                  "availability_pct": 96.751, "evacuation_latency_epochs": 2.10,
-                 "crashes": 7900, "evacuations": 3100, "available_parallelism": 1}]"#,
+                 "crashes": 7900, "evacuations": 3100, "drain_migrations": 0,
+                 "abandonments": 41, "available_parallelism": 1},
+                {"kind": "fault", "scenario": "rack", "machines": 2000,
+                 "blast_radius": 40, "epochs_per_sec": 1050.0, "overhead_pct": 5.1,
+                 "availability_pct": 93.2, "evacuation_latency_epochs": 3.4,
+                 "crashes": 9100, "evacuations": 4100, "drain_migrations": 0,
+                 "abandonments": 230, "available_parallelism": 1},
+                {"kind": "fault", "scenario": "domain", "machines": 2000,
+                 "blast_radius": 320, "epochs_per_sec": 980.0, "overhead_pct": 7.7,
+                 "availability_pct": 88.0, "evacuation_latency_epochs": 4.9,
+                 "crashes": 21000, "evacuations": 5200, "drain_migrations": 0,
+                 "abandonments": 1900, "available_parallelism": 1},
+                {"kind": "fault", "scenario": "drain", "machines": 2000,
+                 "blast_radius": 1, "epochs_per_sec": 1150.0, "overhead_pct": 2.2,
+                 "availability_pct": 97.4, "evacuation_latency_epochs": 0.8,
+                 "crashes": 0, "evacuations": 120, "drain_migrations": 6400,
+                 "abandonments": 3, "available_parallelism": 1}]"#,
         );
         assert!(validate(&good, Schema::Datacenter).is_empty());
     }
@@ -690,9 +782,10 @@ mod tests {
     fn datacenter_fault_rows_with_bad_fields_fail() {
         let over_100 = parse(
             r#"[{"kind": "fault", "scenario": "light", "machines": 100,
-                 "epochs_per_sec": 10.0, "overhead_pct": 1.0,
+                 "blast_radius": 1, "epochs_per_sec": 10.0, "overhead_pct": 1.0,
                  "availability_pct": 104.2, "evacuation_latency_epochs": 0.0,
-                 "crashes": 0, "evacuations": 0, "available_parallelism": 1}]"#,
+                 "crashes": 0, "evacuations": 0, "drain_migrations": 0,
+                 "abandonments": 0, "available_parallelism": 1}]"#,
         );
         let errors = validate(&over_100, Schema::Datacenter);
         assert!(
@@ -702,9 +795,10 @@ mod tests {
 
         let negative_latency = parse(
             r#"[{"kind": "fault", "scenario": "light", "machines": 100,
-                 "epochs_per_sec": 10.0, "overhead_pct": 1.0,
+                 "blast_radius": 1, "epochs_per_sec": 10.0, "overhead_pct": 1.0,
                  "availability_pct": 99.0, "evacuation_latency_epochs": -3.0,
-                 "crashes": 0, "evacuations": 0, "available_parallelism": 1}]"#,
+                 "crashes": 0, "evacuations": 0, "drain_migrations": 0,
+                 "abandonments": 0, "available_parallelism": 1}]"#,
         );
         let errors = validate(&negative_latency, Schema::Datacenter);
         assert!(
@@ -716,9 +810,10 @@ mod tests {
 
         let missing_overhead = parse(
             r#"[{"kind": "fault", "scenario": "disabled", "machines": 100,
-                 "epochs_per_sec": 10.0, "availability_pct": 100.0,
+                 "blast_radius": 1, "epochs_per_sec": 10.0, "availability_pct": 100.0,
                  "evacuation_latency_epochs": 0.0, "crashes": 0,
-                 "evacuations": 0, "available_parallelism": 1}]"#,
+                 "evacuations": 0, "drain_migrations": 0, "abandonments": 0,
+                 "available_parallelism": 1}]"#,
         );
         let errors = validate(&missing_overhead, Schema::Datacenter);
         assert!(
@@ -727,13 +822,59 @@ mod tests {
         );
 
         let no_scenario = parse(
-            r#"[{"kind": "fault", "machines": 100, "epochs_per_sec": 10.0,
-                 "overhead_pct": 1.0, "availability_pct": 99.0,
-                 "evacuation_latency_epochs": 0.0, "crashes": 0,
-                 "evacuations": 0, "available_parallelism": 1}]"#,
+            r#"[{"kind": "fault", "machines": 100, "blast_radius": 1,
+                 "epochs_per_sec": 10.0, "overhead_pct": 1.0,
+                 "availability_pct": 99.0, "evacuation_latency_epochs": 0.0,
+                 "crashes": 0, "evacuations": 0, "drain_migrations": 0,
+                 "abandonments": 0, "available_parallelism": 1}]"#,
         );
         let errors = validate(&no_scenario, Schema::Datacenter);
         assert!(errors.iter().any(|e| e.contains("scenario")), "{errors:?}");
+
+        // A scenario outside the blast-radius sweep is a typo, not data.
+        let unknown_scenario = parse(
+            r#"[{"kind": "fault", "scenario": "meteor", "machines": 100,
+                 "blast_radius": 1, "epochs_per_sec": 10.0, "overhead_pct": 1.0,
+                 "availability_pct": 99.0, "evacuation_latency_epochs": 0.0,
+                 "crashes": 0, "evacuations": 0, "drain_migrations": 0,
+                 "abandonments": 0, "available_parallelism": 1}]"#,
+        );
+        let errors = validate(&unknown_scenario, Schema::Datacenter);
+        assert!(
+            errors
+                .iter()
+                .any(|e| e.contains("unknown fault \"scenario\"")),
+            "{errors:?}"
+        );
+
+        // Blast radius is how the sweep is read; a fault row without it
+        // (or with zero) is unusable.
+        let no_blast_radius = parse(
+            r#"[{"kind": "fault", "scenario": "rack", "machines": 100,
+                 "epochs_per_sec": 10.0, "overhead_pct": 1.0,
+                 "availability_pct": 99.0, "evacuation_latency_epochs": 0.0,
+                 "crashes": 0, "evacuations": 0, "drain_migrations": 0,
+                 "abandonments": 0, "available_parallelism": 1}]"#,
+        );
+        let errors = validate(&no_blast_radius, Schema::Datacenter);
+        assert!(
+            errors.iter().any(|e| e.contains("blast_radius")),
+            "{errors:?}"
+        );
+
+        // Negative drain-migration counters are a broken dump, not calm data.
+        let negative_drains = parse(
+            r#"[{"kind": "fault", "scenario": "drain", "machines": 100,
+                 "blast_radius": 1, "epochs_per_sec": 10.0, "overhead_pct": 1.0,
+                 "availability_pct": 99.0, "evacuation_latency_epochs": 0.0,
+                 "crashes": 0, "evacuations": 0, "drain_migrations": -5,
+                 "abandonments": 0, "available_parallelism": 1}]"#,
+        );
+        let errors = validate(&negative_drains, Schema::Datacenter);
+        assert!(
+            errors.iter().any(|e| e.contains("drain_migrations")),
+            "{errors:?}"
+        );
     }
 
     #[test]

@@ -25,12 +25,20 @@
 //! invariants (parked VMs are not resident, crashed machines host nothing)
 //! on top.
 //!
+//! [`check_spread`] is a separate, *advisory* check of the failure-domain
+//! spread policy: an application with two or more VMs should not have all
+//! of them behind one power domain.  It is not part of the hard invariant
+//! audit because capacity pressure can legitimately force co-location — the
+//! spread constraint is best-effort by design.
+//!
 //! [`cloudsim::pm::PhysicalMachine::free_cores`]: crate::pm::PhysicalMachine::free_cores
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::cluster::Cluster;
+use crate::faults::Topology;
 use crate::vm::VmId;
+use workloads::AppId;
 
 /// Sweeps every machine and the location index; returns one message per
 /// violated invariant (empty when the cluster is consistent).
@@ -107,6 +115,43 @@ pub fn check_cluster(cluster: &Cluster) -> Vec<String> {
     findings
 }
 
+/// Checks the failure-domain spread policy under `topology`: every
+/// application with two or more resident VMs should span at least two
+/// power domains, provided the fleet itself does (a single-domain fleet
+/// cannot spread anything and audits clean by definition).  Returns one
+/// message per concentrated application.
+///
+/// This is advisory, not a hard invariant — under capacity pressure the
+/// service places wherever room exists rather than reject, so callers
+/// assert emptiness only in scenarios with known headroom.
+pub fn check_spread(cluster: &Cluster, topology: &Topology) -> Vec<String> {
+    let mut fleet_domains: BTreeSet<u64> = BTreeSet::new();
+    let mut apps: BTreeMap<AppId, (usize, BTreeSet<u64>)> = BTreeMap::new();
+    for machine in cluster.machines() {
+        let domain = topology.domain_of(machine.id);
+        fleet_domains.insert(domain);
+        for vm in machine.vms() {
+            let entry = apps.entry(vm.app_id()).or_default();
+            entry.0 += 1;
+            entry.1.insert(domain);
+        }
+    }
+    if fleet_domains.len() < 2 {
+        return Vec::new();
+    }
+    apps.iter()
+        .filter(|(_, (count, domains))| *count >= 2 && domains.len() < 2)
+        .map(|(app, (count, domains))| {
+            let domain = domains.first().copied().unwrap_or(0);
+            format!(
+                "{app:?} concentrates all {count} of its VMs in power domain \
+                 {domain} of a {}-domain fleet",
+                fleet_domains.len()
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +197,37 @@ mod tests {
     fn an_empty_cluster_audits_clean() {
         let cluster = Cluster::homogeneous(2, MachineSpec::xeon_x5472(), Scheduler::default());
         assert!(check_cluster(&cluster).is_empty());
+    }
+
+    #[test]
+    fn the_spread_check_fires_on_a_concentrated_app() {
+        // Four machines, one per rack, two racks per domain → machines
+        // {0, 1} form domain 0, {2, 3} domain 1.
+        let topo = Topology::new(1, 2);
+        let mut cluster = Cluster::homogeneous(4, MachineSpec::xeon_x5472(), Scheduler::default());
+        // Both of app 1's VMs land in domain 0: a violation.
+        cluster.place_on(PmId(0), vm(0)).unwrap();
+        cluster.place_on(PmId(1), vm(1)).unwrap();
+        let findings = check_spread(&cluster, &topo);
+        assert_eq!(findings.len(), 1, "got: {findings:?}");
+        assert!(findings[0].contains("power domain 0"), "got: {findings:?}");
+        // Moving one VM across the domain boundary clears it.
+        cluster.migrate(VmId(1), PmId(2)).unwrap();
+        assert_eq!(check_spread(&cluster, &topo), Vec::<String>::new());
+    }
+
+    #[test]
+    fn the_spread_check_ignores_singletons_and_single_domain_fleets() {
+        let mut cluster = Cluster::homogeneous(2, MachineSpec::xeon_x5472(), Scheduler::default());
+        cluster.place_on(PmId(0), vm(0)).unwrap();
+        cluster.place_on(PmId(0), vm(1)).unwrap();
+        // Both machines share the one domain: nothing can be spread.
+        assert!(check_spread(&cluster, &Topology::new(2, 1)).is_empty());
+        // Two domains, but app 1 has a co-located pair → fires; a lone VM
+        // of another app never does.
+        let topo = Topology::new(1, 1);
+        assert_eq!(check_spread(&cluster, &topo).len(), 1);
+        cluster.remove_vm(VmId(1)).unwrap();
+        assert!(check_spread(&cluster, &topo).is_empty());
     }
 }

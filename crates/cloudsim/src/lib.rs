@@ -45,14 +45,17 @@
 //!   mixed-hardware cluster and routes each analysis to the pool matching
 //!   the victim's host, so counters are never compared across models.
 //! * [`migration`] — live-migration cost model.
-//! * [`faults`] — [`faults::FaultPlane`]: a counter-derived fault schedule
-//!   (machine crash/repair windows, transient migration failures, sandbox
-//!   pool outages) that is a pure function of `(fault seed, entity,
-//!   epoch)` — same SplitMix64 discipline as [`rngs::ClusterSeed`], so
-//!   fault runs stay bit-identical across execution modes.
+//! * [`faults`] — [`faults::FaultPlane`]: a counter-derived, topology-aware
+//!   fault schedule (machine crash/repair windows, correlated rack and
+//!   power-domain outages over a [`faults::Topology`], planned maintenance
+//!   drains with graceful notice windows, transient migration failures,
+//!   sandbox pool outages) that is a pure function of `(fault seed, kind,
+//!   entity, epoch)` — same SplitMix64 discipline as [`rngs::ClusterSeed`],
+//!   so fault runs stay bit-identical across execution modes.
 //! * [`audit`] — [`audit::check_cluster`]: the cluster invariant sweep (no
 //!   VM lost or doubly resident, id→index maps consistent, capacity
-//!   accounting exact) the chaos suite asserts after every epoch.
+//!   accounting exact) the chaos suite asserts after every epoch; plus
+//!   [`audit::check_spread`], the advisory failure-domain spread check.
 //!
 //! DeepDive (crate `deepdive`) consumes only the [`pm::VmEpochReport`]s'
 //! counter snapshots and app identities; the client observations and stall
@@ -74,7 +77,7 @@ pub mod vm;
 
 pub use cluster::Cluster;
 pub use engine::{AdvanceSummary, EpochEngine, ExecutionMode};
-pub use faults::{FaultConfig, FaultPlane};
+pub use faults::{FaultConfig, FaultPlane, Topology};
 pub use pm::{PhysicalMachine, PmId, VmEpochReport};
 pub use pool::WorkerPool;
 pub use proxy::RequestProxy;

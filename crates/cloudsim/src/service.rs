@@ -33,21 +33,48 @@
 //! Attaching a [`FaultPlane`] ([`DatacenterService::set_fault_plane`])
 //! makes machine failure part of the event loop.  At every epoch boundary,
 //! before lifecycle events apply, the service sweeps the plane's
-//! counter-derived crash schedule: a machine entering a crash window is
-//! **drained** — its residents are evacuated first-fit across the surviving
-//! fleet — and a machine leaving its window rejoins empty (its quiescent
-//! cache was invalidated by the drain's generation bump) as a fresh
-//! placement hint.  Evacuees that find no capacity, and rejected arrivals
-//! (with or without a fault plane), are never dropped: they enter a
-//! *bounded retry queue* with epoch-based exponential backoff
+//! counter-derived schedule: a machine entering a down window — its own
+//! crash, a whole-rack or power-domain outage, or the offline phase of a
+//! maintenance drain — is **evacuated** (residents re-placed across the
+//! surviving fleet), and a machine leaving its window rejoins empty (its
+//! quiescent cache was invalidated by the drain's generation bump) as a
+//! fresh placement hint.  Evacuees that find no capacity, and rejected
+//! arrivals (with or without a fault plane), are never dropped: they enter
+//! a *bounded retry queue* with epoch-based exponential backoff
 //! ([`RETRY_ATTEMPT_LIMIT`] attempts, doubling waits capped at
 //! [`RETRY_BACKOFF_CAP_EPOCHS`] epochs) and either land when capacity frees
 //! or are counted as abandoned.  All fault handling runs serially between
 //! engine steps as a pure function of the epoch index, so runs stay
 //! bit-identical across Serial/Sharded/Pooled execution — and a disabled
 //! plane (or none) changes nothing, byte for byte.
+//!
+//! ## Drain protocol
+//!
+//! A maintenance drain is the graceful counterpart to a crash.  During the
+//! notice window ([`FaultPlane::machine_draining`]) the machine keeps
+//! stepping its residents but accepts no new placements, and the service
+//! migrates residents out *incrementally*: each notice epoch it moves
+//! `ceil(residents / epochs_remaining)` VMs, so the evacuation load is
+//! spread over the whole window instead of spiking in one epoch.
+//! Stragglers still resident when the machine goes offline are evacuated
+//! instantly, exactly like a crash — but the down edge is counted as a
+//! `maintenance_windows` stat, not a crash.
+//!
+//! ## Failure-domain spread
+//!
+//! With [`ServiceConfig::spread`] set to a [`Topology`], placement becomes
+//! *spread-aware*: a two-pass next-fit scan first offers machines whose
+//! power domain holds the application's minimum VM count, and only falls
+//! back to any surviving machine when every minimum-count domain is full.
+//! This keeps each application's VMs spread across failure domains — so a
+//! rack or domain outage clips every app instead of erasing one — while
+//! never rejecting a placeable VM ([`crate::audit::check_spread`] is
+//! advisory for exactly this reason).  Spread is strictly opt-in and
+//! orthogonal to the fault plane: it changes placement whether or not
+//! faults are enabled, and leaving it `None` preserves the hint-queue +
+//! next-fit policy byte for byte.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 
 use hwsim::{MachineSpec, EPOCH_SECONDS};
 use queueing::EventQueue;
@@ -57,7 +84,7 @@ use workloads::{AppId, ClientEmulator, DataServing, WebSearch, Workload};
 use crate::audit;
 use crate::cluster::{Cluster, ClusterError};
 use crate::engine::EpochEngine;
-use crate::faults::FaultPlane;
+use crate::faults::{FaultPlane, Topology};
 use crate::pm::{PmId, VmEpochReport};
 use crate::rngs::ClusterSeed;
 use crate::scheduler::Scheduler;
@@ -78,10 +105,17 @@ pub struct ServiceConfig {
     /// idles at load zero (clamped to `[0, 1]`).  The idle tail is where
     /// the sparse engine earns its keep.
     pub active_fraction: f64,
+    /// Failure-domain spread policy: `Some(topology)` makes placement
+    /// prefer the power domain currently holding the fewest of the
+    /// arriving application's VMs (best-effort — capacity pressure falls
+    /// back to any surviving machine).  `None` (the default) keeps the
+    /// plain hint-queue + next-fit policy byte for byte.
+    pub spread: Option<Topology>,
 }
 
 impl ServiceConfig {
-    /// A Xeon X5472 fleet with default scheduling, 30% active lifetimes.
+    /// A Xeon X5472 fleet with default scheduling, 30% active lifetimes,
+    /// no spread policy.
     pub fn xeon_fleet(machines: usize, seed: u64) -> Self {
         Self {
             machines,
@@ -89,7 +123,14 @@ impl ServiceConfig {
             scheduler: Scheduler::default(),
             seed: ClusterSeed::new(seed),
             active_fraction: 0.3,
+            spread: None,
         }
+    }
+
+    /// Enables failure-domain spread placement under `topology`.
+    pub fn with_spread(mut self, topology: Topology) -> Self {
+        self.spread = Some(topology);
+        self
     }
 }
 
@@ -113,12 +154,23 @@ pub struct ServiceStats {
     pub vm_epochs: u64,
     /// Largest number of VMs resident at once.
     pub peak_resident: usize,
-    /// Machines that entered a crash window.
+    /// Machines that entered an *unplanned* down window (own crash, rack
+    /// outage, or power-domain outage).
     pub crashes: u64,
-    /// Machines that came back from a crash window.
+    /// Machines that went offline for *planned* maintenance (the drain
+    /// notice expired); disjoint from `crashes`.
+    pub maintenance_windows: u64,
+    /// Machines that came back from a down window (crash or maintenance).
     pub repairs: u64,
-    /// VMs re-placed immediately when their host crashed.
+    /// VMs re-placed immediately when their host went down.
     pub evacuations: u64,
+    /// Drain notice windows the fleet entered (one per machine per drain).
+    pub drains: u64,
+    /// VMs migrated off a draining machine gracefully, before it went
+    /// offline.
+    pub drain_migrations: u64,
+    /// Machine-epochs spent inside drain notice windows (still serving).
+    pub draining_machine_epochs: u64,
     /// Placement attempts made from the retry queue (successes included).
     pub retries: u64,
     /// Parked VMs that eventually landed through the retry queue.
@@ -222,9 +274,17 @@ pub struct DatacenterService {
     /// Counter-derived fault schedule; `None` (or a disabled plane) leaves
     /// the fault path entirely inert.
     fault_plane: Option<FaultPlane>,
-    /// Edge-detection mirror of the plane's crash windows, indexed by
+    /// Edge-detection mirror of the plane's down windows, indexed by
     /// machine.  Placement skips machines marked down.
     down: Vec<bool>,
+    /// Edge-detection mirror of the plane's drain notice windows.
+    /// Placement skips draining machines; the drain sweep migrates their
+    /// residents out incrementally.
+    draining: Vec<bool>,
+    /// Per-application resident counts by power domain, maintained only
+    /// when [`ServiceConfig::spread`] is set (the spread scan's working
+    /// state).  `BTreeMap` for deterministic iteration.
+    app_domains: BTreeMap<AppId, Vec<u32>>,
     /// Parked VMs (rejected arrivals and stranded evacuees) waiting out
     /// their backoff.
     retry: VecDeque<RetryEntry>,
@@ -261,6 +321,8 @@ impl DatacenterService {
             stats: ServiceStats::default(),
             fault_plane: None,
             down: vec![false; machines],
+            draining: vec![false; machines],
+            app_domains: BTreeMap::new(),
             retry: VecDeque::new(),
             errors: Vec::new(),
         }
@@ -277,10 +339,16 @@ impl DatacenterService {
         self.fault_plane.as_ref()
     }
 
-    /// True while `pm` is inside a crash window (always false without an
+    /// True while `pm` is inside a down window (always false without an
     /// enabled fault plane).
     pub fn machine_down(&self, pm: PmId) -> bool {
         self.down.get(pm.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// True while `pm` is inside a maintenance drain's notice window —
+    /// still serving, but being migrated off and closed to new placements.
+    pub fn machine_draining(&self, pm: PmId) -> bool {
+        self.draining.get(pm.0 as usize).copied().unwrap_or(false)
     }
 
     /// VMs currently parked in the retry queue.
@@ -322,6 +390,18 @@ impl DatacenterService {
             }
         }
         findings
+    }
+
+    /// Runs the advisory failure-domain spread check
+    /// ([`audit::check_spread`]) under the configured spread topology.
+    /// Always empty when spread placement is off.  Not part of
+    /// [`DatacenterService::audit`] because capacity pressure legitimately
+    /// forces co-location — assert emptiness only with known headroom.
+    pub fn audit_spread(&self) -> Vec<String> {
+        match &self.config.spread {
+            Some(topology) => audit::check_spread(&self.cluster, topology),
+            None => Vec::new(),
+        }
     }
 
     /// The cluster being driven.
@@ -367,6 +447,11 @@ impl DatacenterService {
     /// *off* (departures handled by the service itself do this
     /// automatically).
     pub fn note_capacity_freed(&mut self, pm: PmId) {
+        // Spread placement scans by domain count and never consults the
+        // hint queue; don't let it grow unbounded.
+        if self.config.spread.is_some() {
+            return;
+        }
         let index = pm.0 as usize;
         if index < self.config.machines {
             self.free_hint.push_back(index);
@@ -414,10 +499,11 @@ impl DatacenterService {
         self.events.is_empty() && self.retry.is_empty() && self.cluster.vm_count() == 0
     }
 
-    /// Sweeps the fault plane's crash windows once per epoch: a machine
-    /// entering its window is drained (residents evacuated or parked), a
-    /// machine leaving it rejoins as a fresh placement hint.  Inert with no
-    /// plane or a disabled one.
+    /// Sweeps the fault plane's down and drain windows once per epoch: a
+    /// machine entering a down window is evacuated (residents re-placed or
+    /// parked), a machine leaving one rejoins as a fresh placement hint,
+    /// and draining machines have a slice of their residents migrated out.
+    /// Inert with no plane or a disabled one.
     fn apply_faults(&mut self, epoch: u64) {
         let Some(plane) = self.fault_plane else {
             return;
@@ -429,28 +515,79 @@ impl DatacenterService {
             let pm = PmId(index as u64);
             let now_down = plane.machine_down(pm, epoch);
             // Flip the flag *before* handling the edge so evacuation never
-            // re-places a VM onto the machine that is crashing.
+            // re-places a VM onto the machine that is going down.
             let was_down = std::mem::replace(&mut self.down[index], now_down);
             if now_down {
                 self.stats.down_machine_epochs += 1;
                 if !was_down {
-                    self.crash_machine(pm, epoch);
+                    if plane.in_maintenance(pm, epoch) {
+                        self.stats.maintenance_windows += 1;
+                    } else {
+                        self.stats.crashes += 1;
+                    }
+                    self.evacuate_machine(pm, epoch);
                 }
             } else if was_down {
                 self.stats.repairs += 1;
                 self.note_capacity_freed(pm);
             }
         }
+        if plane.config().machine_drain_per_epoch > 0.0 {
+            for index in 0..self.config.machines {
+                let pm = PmId(index as u64);
+                let now_draining = plane.machine_draining(pm, epoch);
+                let was = std::mem::replace(&mut self.draining[index], now_draining);
+                if now_draining {
+                    self.stats.draining_machine_epochs += 1;
+                    if !was {
+                        self.stats.drains += 1;
+                    }
+                    self.drain_step(pm, epoch, &plane);
+                }
+            }
+        }
     }
 
-    /// Drains a crashing machine and re-places its residents first-fit on
-    /// the surviving fleet; VMs that find no room are parked for retry.
-    fn crash_machine(&mut self, pm: PmId, epoch: u64) {
-        self.stats.crashes += 1;
+    /// Empties a machine entering a down window and re-places its residents
+    /// on the surviving fleet; VMs that find no room are parked for retry.
+    fn evacuate_machine(&mut self, pm: PmId, epoch: u64) {
         for vm in self.cluster.drain_machine(pm) {
+            self.note_spread_removed(pm, vm.app_id());
             let id = vm.id;
             match self.place_vm(vm) {
                 Ok(_) => self.stats.evacuations += 1,
+                Err(evacuee) => self.park(RetryEntry {
+                    vm: id,
+                    payload: RetryPayload::Evacuee(evacuee),
+                    attempts: 0,
+                    next_epoch: epoch + 1,
+                    parked_epoch: epoch,
+                }),
+            }
+        }
+    }
+
+    /// One notice epoch of a maintenance drain: migrate
+    /// `ceil(residents / epochs_remaining)` residents off `pm` so the
+    /// machine empties smoothly by the time it goes offline.  Migrations
+    /// that find no room park for retry like crash evacuees.
+    fn drain_step(&mut self, pm: PmId, epoch: u64, plane: &FaultPlane) {
+        let residents: Vec<VmId> = match self.cluster.machine(pm) {
+            Some(machine) => machine.vms().iter().map(|vm| vm.id).collect(),
+            None => return,
+        };
+        if residents.is_empty() {
+            return;
+        }
+        let remaining = plane.drain_remaining(pm, epoch).max(1);
+        let batch = residents.len().div_ceil(remaining as usize);
+        for id in residents.into_iter().take(batch) {
+            let Some(vm) = self.cluster.remove_vm(id) else {
+                continue;
+            };
+            self.note_spread_removed(pm, vm.app_id());
+            match self.place_vm(vm) {
+                Ok(_) => self.stats.drain_migrations += 1,
                 Err(evacuee) => self.park(RetryEntry {
                     vm: id,
                     payload: RetryPayload::Evacuee(evacuee),
@@ -546,7 +683,9 @@ impl DatacenterService {
                 }
                 SessionEvent::Depart(vm) => {
                     if let Some(pm) = self.cluster.locate(vm) {
-                        self.cluster.remove_vm(vm);
+                        if let Some(removed) = self.cluster.remove_vm(vm) {
+                            self.note_spread_removed(pm, removed.app_id());
+                        }
                         self.stats.departures += 1;
                         self.note_capacity_freed(pm);
                     } else if let Some(pos) = self.retry.iter().position(|e| e.vm == vm) {
@@ -613,19 +752,25 @@ impl DatacenterService {
     }
 
     /// Places a VM: freed-capacity hints first (lazily revalidated — stale,
-    /// still-full, or crashed entries are simply dropped), then a next-fit
-    /// scan resuming at the last placement, wrapping once around the whole
-    /// fleet before giving up.  Machines inside a crash window are skipped.
-    /// Returns the hosting machine, or the VM back on a genuine reject (no
-    /// surviving machine admits it right now).
+    /// still-full, crashed or draining entries are simply dropped), then a
+    /// next-fit scan resuming at the last placement, wrapping once around
+    /// the whole fleet before giving up.  Machines that are down or
+    /// draining are skipped.  With [`ServiceConfig::spread`] set the hint
+    /// queue is bypassed and the scan becomes the two-pass spread scan
+    /// ([`DatacenterService::place_spread`]).  Returns the hosting machine,
+    /// or the VM back on a genuine reject (no surviving machine admits it
+    /// right now).
     ///
     /// A placement error other than `NoCapacity` is a fault, not a
     /// rejection: it is recorded in [`DatacenterService::errors`], counted
     /// in `placement_errors`, and the scan keeps going — an arrival never
     /// aborts the simulation.
     fn place_vm(&mut self, mut vm: Vm) -> Result<PmId, Vm> {
+        if let Some(topology) = self.config.spread {
+            return self.place_spread(vm, topology);
+        }
         while let Some(index) = self.free_hint.pop_front() {
-            if self.down[index] {
+            if self.down[index] || self.draining[index] {
                 continue;
             }
             let pm = PmId(index as u64);
@@ -646,7 +791,7 @@ impl DatacenterService {
         let n = self.config.machines;
         for probe in 0..n {
             let index = (self.scan_cursor + probe) % n;
-            if self.down[index] {
+            if self.down[index] || self.draining[index] {
                 continue;
             }
             let pm = PmId(index as u64);
@@ -663,6 +808,81 @@ impl DatacenterService {
             }
         }
         Err(vm)
+    }
+
+    /// The spread-aware scan: pass 1 offers only machines whose power
+    /// domain currently holds the application's minimum VM count, pass 2
+    /// falls back to any surviving machine.  Both passes are next-fit from
+    /// the shared cursor, skip down/draining machines, and record
+    /// non-capacity errors like the plain scan.
+    fn place_spread(&mut self, mut vm: Vm, topology: Topology) -> Result<PmId, Vm> {
+        let app = vm.app_id();
+        let n = self.config.machines;
+        let domains = topology.domains_in_fleet(n).max(1);
+        let counts: Vec<u32> = {
+            let existing = self.app_domains.get(&app);
+            (0..domains)
+                .map(|d| existing.and_then(|c| c.get(d)).copied().unwrap_or(0))
+                .collect()
+        };
+        let min_count = counts.iter().copied().min().unwrap_or(0);
+        for pass in 0..2 {
+            for probe in 0..n {
+                let index = (self.scan_cursor + probe) % n;
+                if self.down[index] || self.draining[index] {
+                    continue;
+                }
+                let pm = PmId(index as u64);
+                let domain = topology.domain_of(pm) as usize;
+                if pass == 0 && counts.get(domain).copied().unwrap_or(0) != min_count {
+                    continue;
+                }
+                match self.cluster.place_on_returning(pm, vm) {
+                    Ok(()) => {
+                        self.scan_cursor = index;
+                        self.note_spread_placed(pm, app);
+                        return Ok(pm);
+                    }
+                    Err((returned, ClusterError::NoCapacity { .. })) => vm = returned,
+                    Err((returned, error)) => {
+                        self.record_placement_error(returned.id, pm, error);
+                        vm = returned;
+                    }
+                }
+            }
+        }
+        Err(vm)
+    }
+
+    /// Bumps the spread bookkeeping for a VM of `app` landing on `pm`.
+    /// No-op unless spread placement is configured.
+    fn note_spread_placed(&mut self, pm: PmId, app: AppId) {
+        let Some(topology) = self.config.spread else {
+            return;
+        };
+        let domain = topology.domain_of(pm) as usize;
+        let counts = self.app_domains.entry(app).or_default();
+        if counts.len() <= domain {
+            counts.resize(domain + 1, 0);
+        }
+        counts[domain] += 1;
+    }
+
+    /// Drops the spread bookkeeping for a VM of `app` leaving `pm` (depart,
+    /// evacuation, or drain migration).  No-op unless spread placement is
+    /// configured.
+    fn note_spread_removed(&mut self, pm: PmId, app: AppId) {
+        let Some(topology) = self.config.spread else {
+            return;
+        };
+        let domain = topology.domain_of(pm) as usize;
+        if let Some(count) = self
+            .app_domains
+            .get_mut(&app)
+            .and_then(|counts| counts.get_mut(domain))
+        {
+            *count = count.saturating_sub(1);
+        }
     }
 
     fn record_placement_error(&mut self, vm: VmId, pm: PmId, error: ClusterError) {
@@ -811,6 +1031,100 @@ mod tests {
             "crashed machines held VMs at some point"
         );
         assert!(stats.arrivals >= stats.departures);
+    }
+
+    #[test]
+    fn maintenance_drains_are_gentler_than_crashes_at_equal_downtime() {
+        // Same start rate and offline windows; the only difference is the
+        // 8-epoch drain notice. Disruption (instant evacuations + parked
+        // retries) must drop when machines leave gracefully.
+        let stream = traces::hotmail_sessions(20_000.0, 0.01, 5);
+        let run = |config: crate::faults::FaultConfig| {
+            let mut svc = DatacenterService::new(ServiceConfig::xeon_fleet(8, 21), stream.clone());
+            svc.set_fault_plane(FaultPlane::new(77, config));
+            for _ in 0..400 {
+                svc.step_epoch();
+                assert_eq!(svc.audit(), Vec::<String>::new());
+            }
+            svc.stats()
+        };
+        let crash = run(crate::faults::FaultConfig::light());
+        let drain = run(crate::faults::FaultConfig::maintenance());
+        assert!(crash.crashes > 0);
+        assert_eq!(crash.drain_migrations, 0, "no drains configured");
+        assert_eq!(drain.crashes, 0, "planned maintenance never crashes");
+        assert!(drain.maintenance_windows > 0, "drains must go offline");
+        assert!(drain.drains > 0);
+        assert!(
+            drain.drain_migrations > 0,
+            "notice windows must migrate residents gracefully: {drain:?}"
+        );
+        assert!(drain.draining_machine_epochs >= drain.drains);
+        // The graceful run displaces fewer VMs instantly: most residents
+        // left during the notice, so offline-edge evacuations shrink.
+        assert!(
+            drain.evacuations < crash.evacuations,
+            "drain {drain:?} vs crash {crash:?}"
+        );
+    }
+
+    #[test]
+    fn spread_placement_spreads_an_app_across_power_domains() {
+        // 8 machines, 2 per rack, 2 racks per domain → power domain 0 holds
+        // machines 0..4, domain 1 holds 4..8.  Six 2-vCPU VMs of one app
+        // fit comfortably anywhere (a Xeon holds four each).
+        let topo = Topology::new(2, 2);
+        let specs: Vec<(f64, f64, f64, usize)> =
+            (0..6).map(|i| (i as f64 * 0.01, 500.0, 0.5, 1)).collect();
+        // Plain next-fit packs the app into domain 0's first two machines.
+        let mut packed = DatacenterService::new(ServiceConfig::xeon_fleet(8, 3), sessions(&specs));
+        packed.run_epochs(2);
+        assert_eq!(packed.stats().arrivals, 6);
+        assert!(packed.audit_spread().is_empty(), "spread off → no findings");
+        assert_eq!(
+            audit::check_spread(packed.cluster(), &topo).len(),
+            1,
+            "next-fit concentrates the app in one domain"
+        );
+        // The spread scan balances the same stream across both domains.
+        let mut spread = DatacenterService::new(
+            ServiceConfig::xeon_fleet(8, 3).with_spread(topo),
+            sessions(&specs),
+        );
+        spread.run_epochs(2);
+        assert_eq!(spread.stats().arrivals, 6);
+        assert_eq!(spread.stats().rejections, 0);
+        assert_eq!(spread.audit(), Vec::<String>::new());
+        assert_eq!(spread.audit_spread(), Vec::<String>::new());
+        let per_domain: Vec<usize> = [0..4usize, 4..8]
+            .into_iter()
+            .map(|range| {
+                range
+                    .filter_map(|i| spread.cluster().machine(PmId(i as u64)))
+                    .map(|m| m.vm_count())
+                    .sum()
+            })
+            .collect();
+        assert_eq!(per_domain, vec![3, 3], "placement alternates domains");
+    }
+
+    #[test]
+    fn spread_placement_survives_faults_with_a_clean_audit() {
+        let topo = Topology::new(2, 2);
+        let stream = traces::hotmail_sessions(20_000.0, 0.01, 9);
+        let mut svc =
+            DatacenterService::new(ServiceConfig::xeon_fleet(8, 21).with_spread(topo), stream);
+        svc.set_fault_plane(FaultPlane::new(
+            77,
+            crate::faults::FaultConfig::rack_outages(topo),
+        ));
+        for _ in 0..400 {
+            svc.step_epoch();
+            assert_eq!(svc.audit(), Vec::<String>::new());
+        }
+        let stats = svc.stats();
+        assert!(stats.crashes > 0, "rack outages must fell machines");
+        assert!(stats.arrivals > 0);
     }
 
     #[test]

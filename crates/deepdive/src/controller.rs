@@ -93,6 +93,12 @@ pub struct DeepDiveConfig {
     /// Retry budget for failed mitigation migrations (transient failures
     /// and full destinations back off exponentially, then give up).
     pub migration_retry_attempts: u32,
+    /// Failure-domain spread preference for mitigation migrations: with
+    /// `Some(topology)`, acceptable destinations outside the afflicted
+    /// machine's power domain win over same-domain ones (see
+    /// [`PlacementManager::with_spread`]).  `None` (the default) picks
+    /// purely by predicted interference.
+    pub spread_topology: Option<cloudsim::Topology>,
 }
 
 impl Default for DeepDiveConfig {
@@ -110,6 +116,7 @@ impl Default for DeepDiveConfig {
             seed: 0xDEE9,
             analysis_deferral_epochs: 12,
             migration_retry_attempts: 3,
+            spread_topology: None,
         }
     }
 }
@@ -297,7 +304,10 @@ impl DeepDive {
     pub fn new(config: DeepDiveConfig, sandboxes: impl Into<SandboxFleet>) -> Self {
         let fleet = sandboxes.into();
         let analyzer = InterferenceAnalyzer::new(config.performance_threshold);
-        let placement = PlacementManager::new(config.acceptable_destination_interference);
+        let mut placement = PlacementManager::new(config.acceptable_destination_interference);
+        if let Some(topology) = config.spread_topology {
+            placement = placement.with_spread(topology);
+        }
         let warning = WarningSystem::new(config.warning.clone());
         let profiling_by_pool = vec![0.0; fleet.pools().len()];
         Self {
@@ -874,7 +884,7 @@ impl DeepDive {
 
         let decision = self
             .placement
-            .decide(&residents, culprit, &candidates, benchmark);
+            .decide(&residents, culprit, pm, &candidates, benchmark);
         match decision.destination {
             Some(destination) => {
                 // A transiently failing migration (the fault plane's

@@ -21,7 +21,7 @@
 //! *actual* hardware model — a memory-bus hog predicts far worse on an
 //! FSB-attached Xeon than on a QuickPath i7, and the manager sees that.
 
-use cloudsim::{PmId, VmId};
+use cloudsim::{PmId, Topology, VmId};
 use hwsim::contention::{resolve_epoch, PlacedDemand};
 use hwsim::{CounterSnapshot, MachineSpec, ResourceDemand};
 use serde::{Deserialize, Serialize};
@@ -89,6 +89,11 @@ pub struct PlacementDecision {
 pub struct PlacementManager {
     /// Maximum predicted interference the manager accepts at a destination.
     pub acceptable_interference: f64,
+    /// Failure-domain spread preference: with `Some(topology)`, acceptable
+    /// destinations in a *different* power domain than the afflicted
+    /// machine win over same-domain ones (interference still breaks ties
+    /// within each group).  `None` picks purely by predicted interference.
+    pub spread: Option<Topology>,
 }
 
 impl PlacementManager {
@@ -106,7 +111,14 @@ impl PlacementManager {
         );
         Self {
             acceptable_interference,
+            spread: None,
         }
+    }
+
+    /// Enables the failure-domain spread preference under `topology`.
+    pub fn with_spread(mut self, topology: Topology) -> Self {
+        self.spread = Some(topology);
+        self
     }
 
     /// Ranks a VM's aggressiveness on a resource from its normalized
@@ -203,6 +215,8 @@ impl PlacementManager {
     ///
     /// * `residents` — the VMs on the afflicted machine.
     /// * `culprit` — the resource the analyzer blamed.
+    /// * `source` — the afflicted machine itself (the migration source;
+    ///   only consulted by the spread preference).
     /// * `candidates` — possible destination machines (the afflicted machine
     ///   itself must not be among them).
     /// * `benchmark` — the trained synthetic benchmark for this server type.
@@ -210,6 +224,7 @@ impl PlacementManager {
         &self,
         residents: &[ResidentVm],
         culprit: Resource,
+        source: PmId,
         candidates: &[CandidateMachine],
         benchmark: &SyntheticBenchmark,
     ) -> PlacementDecision {
@@ -241,15 +256,32 @@ impl PlacementManager {
             .collect();
         predictions.sort_by_key(|p| p.pm_id);
 
-        let destination = predictions
-            .iter()
-            .min_by(|a, b| {
-                a.predicted_interference
-                    .partial_cmp(&b.predicted_interference)
-                    .expect("finite predictions")
-            })
-            .filter(|p| p.predicted_interference <= self.acceptable_interference)
-            .map(|p| p.pm_id);
+        let best_of = |preds: &mut dyn Iterator<Item = &CandidatePrediction>| {
+            preds
+                .min_by(|a, b| {
+                    a.predicted_interference
+                        .partial_cmp(&b.predicted_interference)
+                        .expect("finite predictions")
+                })
+                .filter(|p| p.predicted_interference <= self.acceptable_interference)
+                .map(|p| p.pm_id)
+        };
+        // With a spread topology, an acceptable destination outside the
+        // source's power domain beats any same-domain one — the migration
+        // doubles as a failure-domain spread move.  Fall back to the plain
+        // minimum when no cross-domain candidate is acceptable.
+        let destination = match &self.spread {
+            Some(topology) => {
+                let source_domain = topology.domain_of(source);
+                best_of(
+                    &mut predictions
+                        .iter()
+                        .filter(|p| topology.domain_of(p.pm_id) != source_domain),
+                )
+                .or_else(|| best_of(&mut predictions.iter()))
+            }
+            None => best_of(&mut predictions.iter()),
+        };
 
         PlacementDecision {
             vm_to_migrate: aggressor_id,
@@ -420,7 +452,13 @@ mod tests {
             xeon_candidate(10, vec![busy_memory_demand(), busy_memory_demand()], 4),
             xeon_candidate(11, vec![], 8),
         ];
-        let decision = m.decide(&residents, Resource::CacheMemory, &candidates, &benchmark);
+        let decision = m.decide(
+            &residents,
+            Resource::CacheMemory,
+            PmId(0),
+            &candidates,
+            &benchmark,
+        );
         assert_eq!(
             decision.vm_to_migrate,
             VmId(2),
@@ -448,7 +486,13 @@ mod tests {
             ],
             2,
         )];
-        let decision = m.decide(&residents, Resource::CacheMemory, &candidates, &benchmark);
+        let decision = m.decide(
+            &residents,
+            Resource::CacheMemory,
+            PmId(0),
+            &candidates,
+            &benchmark,
+        );
         assert_eq!(decision.destination, None);
     }
 
@@ -458,9 +502,66 @@ mod tests {
         let benchmark = SyntheticBenchmark::train(MachineSpec::xeon_x5472(), 120, 3);
         let residents = vec![resident(1, counters_with(5.0e7, 0.0, 0.0))];
         let candidates = vec![xeon_candidate(10, vec![quiet_demand()], 0)];
-        let decision = m.decide(&residents, Resource::CacheMemory, &candidates, &benchmark);
+        let decision = m.decide(
+            &residents,
+            Resource::CacheMemory,
+            PmId(0),
+            &candidates,
+            &benchmark,
+        );
         assert!(decision.predictions.is_empty());
         assert_eq!(decision.destination, None);
+    }
+
+    #[test]
+    fn spread_prefers_an_acceptable_cross_domain_destination() {
+        // Machines 0..4 are power domain 0, 4..8 domain 1 (one machine per
+        // rack, four racks per domain).  The source is machine 0; both
+        // candidates are idle (equally acceptable), but machine 5 sits in
+        // the other domain.
+        let topology = Topology::new(1, 4);
+        let benchmark = SyntheticBenchmark::train(MachineSpec::xeon_x5472(), 120, 3);
+        let residents = vec![resident(1, counters_with(5.0e7, 0.0, 0.0))];
+        let candidates = vec![xeon_candidate(1, vec![], 8), xeon_candidate(5, vec![], 8)];
+        let plain = manager().decide(
+            &residents,
+            Resource::CacheMemory,
+            PmId(0),
+            &candidates,
+            &benchmark,
+        );
+        assert_eq!(
+            plain.destination,
+            Some(PmId(1)),
+            "spread off: lowest machine id wins the interference tie"
+        );
+        let spread = manager().with_spread(topology).decide(
+            &residents,
+            Resource::CacheMemory,
+            PmId(0),
+            &candidates,
+            &benchmark,
+        );
+        assert_eq!(
+            spread.vm_to_migrate, plain.vm_to_migrate,
+            "spread only reorders destinations"
+        );
+        assert_eq!(
+            spread.destination,
+            Some(PmId(5)),
+            "spread on: the cross-domain candidate wins"
+        );
+        // With no cross-domain candidate at all, the preference falls back
+        // to the plain minimum instead of declining.
+        let same_domain = vec![xeon_candidate(1, vec![], 8)];
+        let fallback = manager().with_spread(topology).decide(
+            &residents,
+            Resource::CacheMemory,
+            PmId(0),
+            &same_domain,
+            &benchmark,
+        );
+        assert_eq!(fallback.destination, Some(PmId(1)));
     }
 
     #[test]

@@ -218,7 +218,7 @@ pub mod collection {
     use super::{SampleRange, StdRng, Strategy};
     use std::ops::Range;
 
-    /// Strategy for `Vec`s with a size drawn from a range, built by [`vec`].
+    /// Strategy for `Vec`s with a size drawn from a range, built by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,

@@ -1,4 +1,4 @@
-//! The rule engine: project-invariant checks over [`lexer::MaskedFile`]
+//! The rule engine: project-invariant checks over [`crate::lexer::MaskedFile`]
 //! views of every workspace source file.
 //!
 //! | rule id             | invariant                                        |

@@ -9,6 +9,10 @@
 //! evaluates migrations with a regression-trained synthetic benchmark —
 //! without ever test-migrating the real VM.
 //!
+//! A one-page map of the workspace — layer diagram, determinism contract,
+//! simlint rule table, bench/validator data flow — lives in
+//! `ARCHITECTURE.md` at the repository root.
+//!
 //! # Building and testing
 //!
 //! The workspace is fully self-contained (no crates.io access needed; see
@@ -16,11 +20,12 @@
 //!
 //! ```text
 //! cargo build --release      # builds all 17 workspace crates
-//! cargo test -q              # ~490 unit + integration + doc tests, < 10 s
-//! cargo bench --no-run       # compiles the 13 figure/table benches
+//! cargo test -q              # ~560 unit + integration + doc tests, < 30 s
+//! cargo bench --no-run       # compiles the benches (13 figure/table + 4 throughput)
 //! cargo bench                # re-runs every paper experiment with timings
 //! cargo run --example quickstart
 //! cargo run -p simlint       # static analysis: determinism + unsafety contracts
+//! cargo doc --workspace --no-deps   # rustdoc; CI denies warnings
 //! cargo clippy --workspace --all-targets -- -D warnings
 //! cargo fmt --check
 //! ```
@@ -200,6 +205,27 @@
 //!   sandbox-pool outage probability and durations.  A plane with all
 //!   rates zero (`FaultConfig::disabled`) is byte-for-byte inert, and
 //!   attaching no plane at all costs nothing.
+//! * **Topology and correlated failures** — `cloudsim::Topology` maps
+//!   machine ids to racks and power domains by pure id arithmetic
+//!   (`rack = pm / machines_per_rack`, `domain = rack / racks_per_domain`),
+//!   so the mapping is stable as the fleet grows.  The plane draws
+//!   *correlated* outage windows on the rack and domain streams — one
+//!   draw fells every machine behind the failed switch or power feed —
+//!   and *planned maintenance drains*: a per-machine notice window during
+//!   which the machine keeps serving but accepts no new placements and
+//!   migrates residents off incrementally, followed by an offline window.
+//!   A drained machine is never crashed; its VMs move gracefully instead
+//!   of evacuating in a burst (`ServiceStats::drain_migrations` vs
+//!   `evacuations` quantifies the difference).
+//! * **Failure-domain spread** — `ServiceConfig::with_spread(topology)`
+//!   makes arrival placement prefer machines in power domains where the
+//!   app currently has its *fewest* VMs (two-pass next-fit; falls back to
+//!   any surviving machine under capacity pressure), and
+//!   `deepdive::PlacementManager::with_spread` biases interference
+//!   migrations toward acceptable cross-domain destinations.
+//!   `cloudsim::audit::check_spread` is the advisory invariant: any app
+//!   with ≥ 2 VMs all in one power domain is flagged
+//!   (`DatacenterService::audit_spread`).
 //! * **Crash handling in the service** — when a machine's crash window
 //!   opens, `DatacenterService` drains it and evacuates the residents
 //!   first-fit across the surviving fleet; VMs that do not fit park in a
@@ -233,13 +259,17 @@
 //! Measured by the fault rows of `cargo bench -p bench --bench
 //! datacenter_throughput`: with a disabled plane attached the service
 //! stays within noise of fault-free stepping (idle overhead under 5%,
-//! enforced shape via `check_bench_json`), and under `FaultConfig::light`
-//! the dump reports fleet availability, mean evacuation latency and the
-//! throughput cost of surviving the schedule.
+//! enforced shape via `check_bench_json`), and the blast-radius sweep —
+//! independent crashes (`light`), correlated `rack` and `domain` outages,
+//! planned `drain`s — reports per-scenario availability, evacuation
+//! latency, drain migrations and abandonments (schema reference:
+//! `crates/bench/README.md`).  At matched per-machine event rates the
+//! drain row lands near the `light` row's availability with **zero**
+//! crashes and emergency evacuations.
 //!
 //! # Test-suite map
 //!
-//! * per-crate unit tests — each module tests its own invariants (~320
+//! * per-crate unit tests — each module tests its own invariants (~470
 //!   tests across the 9 functional crates and the shims),
 //! * `tests/end_to_end.rs` — the full pipeline: learn → detect →
 //!   attribute → migrate → recover,
@@ -263,11 +293,13 @@
 //!   and a panicking shard propagates its original payload after the
 //!   barrier without advancing the epoch or poisoning the pool,
 //! * `tests/fault_tolerance.rs` — the chaos suite: randomized fault +
-//!   churn schedules through every execution mode with the invariant
-//!   audit green after every epoch, Serial/Sharded/Pooled bit-identical
-//!   under chaos, a disabled plane reproducing the fault-free trajectory
-//!   byte for byte, and a deterministic hostile schedule exercising every
-//!   fault path (crashes, repairs, evacuations, retries),
+//!   churn schedules (including random topologies, correlated rack/domain
+//!   outages and maintenance drains) through every execution mode with
+//!   the invariant audit green after every epoch, Serial/Sharded/Pooled
+//!   bit-identical under chaos, a disabled plane reproducing the
+//!   fault-free trajectory byte for byte, and deterministic hostile
+//!   schedules exercising every fault path (crashes, repairs,
+//!   evacuations, retries, correlated outages, drain migrations),
 //! * `tests/warning_equivalence.rs` — proptest: warm-started and forced-cold
 //!   model refreshes produce equivalent warning *decisions* (detections
 //!   always, divergence bounded) over randomized growing repositories, an

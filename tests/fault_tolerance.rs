@@ -17,7 +17,7 @@
 //!   are all zero reproduces the plane-less service trajectory byte for
 //!   byte (the fault layer costs nothing when unused).
 
-use cloudsim::faults::{FaultConfig, FaultPlane};
+use cloudsim::faults::{FaultConfig, FaultPlane, Topology};
 use cloudsim::service::{DatacenterService, ServiceConfig, ServiceStats};
 use cloudsim::{ExecutionMode, VmEpochReport};
 use proptest::prelude::*;
@@ -49,8 +49,13 @@ fn run_chaos(
 
 /// Strategy over fault configurations from "calm" to "hostile" (rates far
 /// above anything realistic, to force crash pile-ups and retry storms).
+/// Correlated modes ride along: random topologies so small fleets span one
+/// or several racks/domains, rack and domain outage streams, and planned
+/// drains with short notice windows.  Rack/domain outages and maintenance
+/// offline windows reuse the repair/outage window draws — the schedule
+/// derivation is identical, only the KIND tag differs.
 fn fault_config_strategy() -> impl Strategy<Value = FaultConfig> {
-    (
+    let base = (
         0.0..0.05_f64, // machine crash rate per epoch
         1..6_u64,      // repair window min
         0..12_u64,     // repair window extra
@@ -58,18 +63,37 @@ fn fault_config_strategy() -> impl Strategy<Value = FaultConfig> {
         0.0..0.02_f64, // sandbox outage rate
         1..4_u64,      // outage window min
         0..8_u64,      // outage window extra
+    );
+    let correlated = (
+        1..4_usize,    // machines per rack
+        1..3_usize,    // racks per power domain
+        0.0..0.02_f64, // rack outage rate per epoch
+        0.0..0.01_f64, // domain outage rate per epoch
+        0.0..0.06_f64, // drain start rate per epoch
+        1..4_u64,      // drain notice window
+    );
+    (base, correlated).prop_map(
+        |(
+            (crash, repair_min, repair_extra, migration, outage, outage_min, outage_extra),
+            (machines_per_rack, racks_per_domain, rack, domain, drain, notice),
+        )| {
+            FaultConfig {
+                machine_crash_per_epoch: crash,
+                repair_epochs: (repair_min, repair_min + repair_extra),
+                migration_failure: migration,
+                sandbox_outage_per_epoch: outage,
+                outage_epochs: (outage_min, outage_min + outage_extra),
+                topology: Topology::new(machines_per_rack, racks_per_domain),
+                rack_outage_per_epoch: rack,
+                rack_outage_epochs: (repair_min, repair_min + repair_extra),
+                domain_outage_per_epoch: domain,
+                domain_outage_epochs: (outage_min, outage_min + outage_extra),
+                machine_drain_per_epoch: drain,
+                drain_notice_epochs: notice,
+                maintenance_epochs: (repair_min, repair_min + repair_extra),
+            }
+        },
     )
-        .prop_map(
-            |(crash, repair_min, repair_extra, migration, outage, outage_min, outage_extra)| {
-                FaultConfig {
-                    machine_crash_per_epoch: crash,
-                    repair_epochs: (repair_min, repair_min + repair_extra),
-                    migration_failure: migration,
-                    sandbox_outage_per_epoch: outage,
-                    outage_epochs: (outage_min, outage_min + outage_extra),
-                }
-            },
-        )
 }
 
 proptest! {
@@ -145,6 +169,7 @@ fn a_hostile_schedule_exercises_every_fault_path() {
         migration_failure: 0.3,
         sandbox_outage_per_epoch: 0.01,
         outage_epochs: (4, 10),
+        ..FaultConfig::disabled()
     };
     let (_, stats, _) = run_chaos(
         ExecutionMode::Serial,
@@ -164,4 +189,68 @@ fn a_hostile_schedule_exercises_every_fault_path() {
         stats.evacuations > 0 || stats.retries > 0,
         "crashes never displaced a VM: {stats:?}"
     );
+}
+
+/// The correlated corner of the hostile smoke: rack and domain outage
+/// streams plus planned maintenance drains, all firing at once over a
+/// two-rack/two-domain fleet.  Every mode agrees byte for byte, the audit
+/// is green after every epoch, and both fault families leave fingerprints
+/// in the stats (correlated windows fell machines; drains migrate VMs
+/// gracefully during the notice window instead of crashing them).
+#[test]
+fn correlated_outages_and_drains_survive_chaos_bit_identically() {
+    let config = FaultConfig {
+        topology: Topology::new(2, 1),
+        rack_outage_per_epoch: 0.01,
+        rack_outage_epochs: (3, 8),
+        domain_outage_per_epoch: 0.005,
+        domain_outage_epochs: (4, 10),
+        machine_drain_per_epoch: 0.02,
+        drain_notice_epochs: 3,
+        maintenance_epochs: (3, 8),
+        migration_failure: 0.2,
+        ..FaultConfig::disabled()
+    };
+    let plane = Some(FaultPlane::new(0xDECAF, config));
+    let epochs = 400;
+    let serial = run_chaos(ExecutionMode::Serial, 4, 11, 11, plane, epochs);
+    let sharded = run_chaos(
+        ExecutionMode::Sharded { threads: 3 },
+        4,
+        11,
+        11,
+        plane,
+        epochs,
+    );
+    let pooled = run_chaos(
+        ExecutionMode::Pooled { threads: 2 },
+        4,
+        11,
+        11,
+        plane,
+        epochs,
+    );
+    assert_eq!(serial, sharded, "Serial and Sharded diverged");
+    assert_eq!(serial, pooled, "Serial and Pooled diverged");
+
+    let (_, stats, _) = serial;
+    // Correlated windows: with no independent crash stream configured,
+    // every hard down-edge here is a rack or domain outage.
+    assert!(
+        stats.crashes > 0,
+        "correlated outages never felled a machine: {stats:?}"
+    );
+    assert!(stats.repairs > 0, "outage windows never ended: {stats:?}");
+    // Drains: notice windows opened, machines went into maintenance, and
+    // at least one resident VM was migrated off gracefully.
+    assert!(stats.drains > 0, "no drain ever started: {stats:?}");
+    assert!(
+        stats.maintenance_windows > 0,
+        "no drain reached its offline window: {stats:?}"
+    );
+    assert!(
+        stats.drain_migrations > 0,
+        "drains never migrated a resident VM: {stats:?}"
+    );
+    assert!(stats.draining_machine_epochs > 0);
 }
